@@ -1,0 +1,41 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test test-race bench experiments smoke fuzz lint clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# One benchmark per paper table/figure plus solver micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure at full scale (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/mqdp-bench -run all -scale full | tee experiments_full.txt
+
+smoke:
+	$(GO) run ./cmd/mqdp-bench -run all -scale smoke
+
+# Short fuzz pass over the parsing/hashing surfaces.
+fuzz:
+	$(GO) test -fuzz=FuzzTokenize -fuzztime=10s ./internal/textutil
+	$(GO) test -fuzz=FuzzParseDIMACS -fuzztime=10s ./internal/sat
+	$(GO) test -fuzz=FuzzComputeDeterministic -fuzztime=10s ./internal/simhash
+	$(GO) test -fuzz=FuzzReadPosts -fuzztime=10s ./internal/wire
+
+lint:
+	$(GO) vet ./...
+	gofmt -l .
+
+clean:
+	$(GO) clean ./...

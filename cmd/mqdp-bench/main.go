@@ -1,0 +1,79 @@
+// Command mqdp-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	mqdp-bench -list
+//	mqdp-bench -run fig6,fig7          # specific experiments
+//	mqdp-bench -run all                # everything (default)
+//	mqdp-bench -run all -scale smoke   # fast sanity pass
+//
+// Output is the text tables recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"mqdp/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	run := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+	scale := flag.String("scale", "full", "workload scale: full or smoke")
+	format := flag.String("format", "text", "table format: text or md")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	sc := experiments.Full
+	switch strings.ToLower(*scale) {
+	case "full":
+	case "smoke":
+		sc = experiments.Smoke
+	default:
+		fmt.Fprintf(os.Stderr, "mqdp-bench: unknown scale %q (want full or smoke)\n", *scale)
+		os.Exit(2)
+	}
+
+	var selected []experiments.Experiment
+	if *run == "all" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "mqdp-bench: unknown experiment %q; try -list\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+	var out io.Writer = os.Stdout
+	switch strings.ToLower(*format) {
+	case "text":
+	case "md":
+		out = experiments.Markdown(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "mqdp-bench: unknown format %q (want text or md)\n", *format)
+		os.Exit(2)
+	}
+	for _, e := range selected {
+		fmt.Printf("=== %s — %s\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(out, sc); err != nil {
+			fmt.Fprintf(os.Stderr, "mqdp-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("--- %s done in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func decodeLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad line %q: %v", line, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestGenPosts(t *testing.T) {
+	var buf bytes.Buffer
+	if err := genPosts(json.NewEncoder(&buf), 120, 1, 3, 1.5, false, 1); err != nil {
+		t.Fatal(err)
+	}
+	rows := decodeLines(t, &buf)
+	if len(rows) < 60 {
+		t.Fatalf("rows = %d, want ≈120", len(rows))
+	}
+	prev := -1.0
+	for _, r := range rows {
+		v := r["value"].(float64)
+		if v < prev {
+			t.Fatal("posts out of order")
+		}
+		prev = v
+		if len(r["labels"].([]any)) == 0 {
+			t.Fatal("post without labels")
+		}
+	}
+}
+
+func TestGenTweets(t *testing.T) {
+	var buf bytes.Buffer
+	if err := genTweets(json.NewEncoder(&buf), 120, 2, 0.1, false, 1); err != nil {
+		t.Fatal(err)
+	}
+	rows := decodeLines(t, &buf)
+	if len(rows) < 120 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r["text"].(string) == "" {
+			t.Fatal("empty tweet text")
+		}
+	}
+}
+
+func TestGenNews(t *testing.T) {
+	var buf bytes.Buffer
+	if err := genNews(json.NewEncoder(&buf), 50, 1); err != nil {
+		t.Fatal(err)
+	}
+	rows := decodeLines(t, &buf)
+	if len(rows) != 50 {
+		t.Fatalf("rows = %d, want 50", len(rows))
+	}
+}
+
+func TestGenPostsDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := genPosts(json.NewEncoder(&a), 60, 1, 2, 1.2, true, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := genPosts(json.NewEncoder(&b), 60, 1, 2, 1.2, true, 7); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different datasets")
+	}
+}

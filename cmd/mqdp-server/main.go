@@ -1,0 +1,40 @@
+// Command mqdp-server runs the publish/subscribe diversification service:
+// clients register topic profiles and poll per-profile diversified feeds
+// while a shared post stream is ingested.
+//
+//	mqdp-server -addr :8080 -dedup 10
+//
+// API (JSON):
+//
+//	POST   /subscriptions   {"topics":[{"Name":"obama","Keywords":[{"Text":"obama","Weight":1}]}],
+//	                         "lambda":3600, "tau":30, "algorithm":"streamscan+"} → {"id":1}
+//	POST   /ingest          {"id":1,"time":1370000000,"text":"..."} or a JSON array of posts
+//	GET    /subscriptions/1/emissions?after=0&limit=100
+//	GET    /subscriptions/1/stats · GET /stats · POST /flush · DELETE /subscriptions/1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"mqdp/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dedupDist := flag.Int("dedup", 10, "SimHash hamming threshold for near-duplicate dropping")
+	dedupWindow := flag.Int("dedup-window", 8192, "recent posts remembered for deduplication (0 disables)")
+	flag.Parse()
+
+	s := server.New(*dedupDist, *dedupWindow)
+	h := &http.Server{
+		Addr:              *addr,
+		Handler:           server.Handler(s),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("mqdp-server listening on %s (dedup distance %d, window %d)\n", *addr, *dedupDist, *dedupWindow)
+	log.Fatal(h.ListenAndServe())
+}

@@ -1,0 +1,158 @@
+// Command mqdp-stream diversifies a post stream (StreamMQDP, Problem 2):
+// it reads JSONL posts in timestamp order and prints each emission as soon
+// as its decision deadline elapses in event time.
+//
+//	mqdp-datagen -kind posts -duration 600 | mqdp-stream -lambda 30 -tau 10 -algo streamscan+
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"mqdp"
+	"mqdp/internal/core"
+	"mqdp/internal/wire"
+)
+
+// wireEmission extends the post schema with the decision metadata.
+type wireEmission struct {
+	ID     int64    `json:"id"`
+	Value  float64  `json:"value"`
+	Labels []string `json:"labels"`
+	EmitAt float64  `json:"emit_at"`
+	Delay  float64  `json:"delay"`
+}
+
+func main() {
+	input := flag.String("input", "-", "input file of JSONL posts in time order, or - for stdin")
+	lambda := flag.Float64("lambda", 60, "coverage threshold λ")
+	tau := flag.Float64("tau", 30, "maximum reporting delay τ")
+	algo := flag.String("algo", "streamscan", "algorithm: streamscan, streamscan+, streamgreedy, streamgreedy+, instant")
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mqdp-stream: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	if err := run(r, os.Stdout, os.Stderr, *lambda, *tau, *algo); err != nil {
+		fmt.Fprintf(os.Stderr, "mqdp-stream: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run replays JSONL posts from r through the chosen processor, writing
+// emissions to out and a summary to errw.
+func run(r io.Reader, out, errw io.Writer, lambda, tau float64, algoName string) error {
+	var a mqdp.StreamAlgorithm
+	switch strings.ToLower(algoName) {
+	case "streamscan":
+		a = mqdp.StreamScan
+	case "streamscan+", "streamscanplus":
+		a = mqdp.StreamScanPlus
+	case "streamgreedy", "streamgreedysc":
+		a = mqdp.StreamGreedy
+	case "streamgreedy+", "streamgreedysc+":
+		a = mqdp.StreamGreedyPlus
+	case "instant":
+		a = mqdp.Instant
+	default:
+		return fmt.Errorf("unknown streaming algorithm %q", algoName)
+	}
+
+	// The processor wants dense label ids, but the stream arrives with
+	// names and must be processed online: intern lazily and size the
+	// processor generously up front.
+	const maxLabels = 4096
+	var dict core.Dictionary
+	proc, err := mqdp.NewStream(a, maxLabels, lambda, tau)
+	if err != nil {
+		return err
+	}
+
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	enc := json.NewEncoder(w)
+	emit := func(es []mqdp.Emission) error {
+		for _, e := range es {
+			names := make([]string, len(e.Post.Labels))
+			for i, l := range e.Post.Labels {
+				names[i] = dict.Name(l)
+			}
+			if err := enc.Encode(wireEmission{
+				ID: e.Post.ID, Value: e.Post.Value, Labels: names,
+				EmitAt: e.EmitAt, Delay: e.EmitAt - e.Post.Value,
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	seen, emitted, lineNo := 0, 0, 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var wp wire.Post
+		if err := json.Unmarshal([]byte(line), &wp); err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		labels := make([]mqdp.Label, len(wp.Labels))
+		for i, name := range wp.Labels {
+			labels[i] = dict.Intern(name)
+			if int(labels[i]) >= maxLabels {
+				return fmt.Errorf("line %d: more than %d distinct labels", lineNo, maxLabels)
+			}
+		}
+		// Processors expect sorted, deduplicated label sets.
+		sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+		labels = dedupLabels(labels)
+		es, err := proc.Process(mqdp.Post{ID: wp.ID, Value: wp.Value, Labels: labels})
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		seen++
+		emitted += len(es)
+		if err := emit(es); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	es := proc.Flush()
+	emitted += len(es)
+	if err := emit(es); err != nil {
+		return err
+	}
+	fmt.Fprintf(errw, "mqdp-stream: %s emitted %d of %d posts (λ=%v, τ=%v)\n",
+		proc.Name(), emitted, seen, lambda, tau)
+	return nil
+}
+
+// dedupLabels removes adjacent duplicates from a sorted label slice.
+func dedupLabels(labels []mqdp.Label) []mqdp.Label {
+	out := labels[:0]
+	for i, a := range labels {
+		if i == 0 || labels[i-1] != a {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const streamInput = `{"id":1,"value":0,"labels":["a"]}
+{"id":2,"value":1,"labels":["a"]}
+{"id":3,"value":2,"labels":["a","c"]}
+{"id":4,"value":3,"labels":["c"]}
+`
+
+func TestRunAllProcessors(t *testing.T) {
+	for _, algo := range []string{"streamscan", "streamscan+", "streamgreedy", "streamgreedy+", "instant"} {
+		var out, errw bytes.Buffer
+		if err := run(strings.NewReader(streamInput), &out, &errw, 1, 1, algo); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		var total int
+		for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+			if line == "" {
+				continue
+			}
+			var e wireEmission
+			if err := json.Unmarshal([]byte(line), &e); err != nil {
+				t.Fatalf("%s: bad emission line %q: %v", algo, line, err)
+			}
+			if e.Delay < 0 || e.Delay > 1+1e-9 {
+				t.Errorf("%s: delay %v outside τ", algo, e.Delay)
+			}
+			if len(e.Labels) == 0 {
+				t.Errorf("%s: emission without labels", algo)
+			}
+			total++
+		}
+		if total == 0 {
+			t.Errorf("%s emitted nothing", algo)
+		}
+		if !strings.Contains(errw.String(), "emitted") {
+			t.Errorf("%s: missing summary %q", algo, errw.String())
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run(strings.NewReader(streamInput), &out, &errw, 1, 1, "bogus"); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run(strings.NewReader("{oops"), &out, &errw, 1, 1, "streamscan"); err == nil {
+		t.Error("broken json accepted")
+	}
+	outOfOrder := `{"id":1,"value":10,"labels":["a"]}
+{"id":2,"value":5,"labels":["a"]}
+`
+	if err := run(strings.NewReader(outOfOrder), &out, &errw, 1, 1, "streamscan"); err == nil {
+		t.Error("out-of-order stream accepted")
+	}
+}
+
+func TestDedupLabels(t *testing.T) {
+	got := dedupLabels([]int32{1, 1, 2, 3, 3, 3})
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("dedupLabels = %v", got)
+	}
+}

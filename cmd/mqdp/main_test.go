@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleInput = `{"id":1,"value":0,"labels":["a"]}
+{"id":2,"value":1,"labels":["a"]}
+{"id":3,"value":2,"labels":["a","c"]}
+{"id":4,"value":3,"labels":["c"]}
+`
+
+func TestRunAllAlgorithms(t *testing.T) {
+	for _, algo := range []string{"scan", "scan+", "greedysc", "opt", "exhaustive"} {
+		var out, errw bytes.Buffer
+		if err := run(strings.NewReader(sampleInput), &out, &errw, 1, algo, false, false); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		lines := strings.Count(out.String(), "\n")
+		if lines < 2 || lines > 3 {
+			t.Errorf("%s selected %d posts, want 2..3\n%s", algo, lines, out.String())
+		}
+		if !strings.Contains(errw.String(), "selected") {
+			t.Errorf("%s: missing summary: %q", algo, errw.String())
+		}
+	}
+}
+
+func TestRunProportional(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run(strings.NewReader(sampleInput), &out, &errw, 1, "scan", true, false); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Error("no output")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run(strings.NewReader(sampleInput), &out, &errw, 1, "bogus", false, false); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run(strings.NewReader("{broken"), &out, &errw, 1, "scan", false, false); err == nil {
+		t.Error("broken input accepted")
+	}
+	if err := run(strings.NewReader(sampleInput), &out, &errw, -5, "scan", false, false); err == nil {
+		t.Error("negative lambda accepted")
+	}
+}
+
+func TestParseAlgo(t *testing.T) {
+	for name, want := range map[string]string{
+		"scan": "Scan", "SCAN": "Scan", "scanplus": "Scan+", "greedy": "GreedySC",
+	} {
+		algo, err := parseAlgo(name)
+		if err != nil {
+			t.Fatalf("parseAlgo(%q): %v", name, err)
+		}
+		if algo.String() != want {
+			t.Errorf("parseAlgo(%q) = %s, want %s", name, algo, want)
+		}
+	}
+	if _, err := parseAlgo("nope"); err == nil {
+		t.Error("parseAlgo accepted garbage")
+	}
+}
+
+func TestRunStatsFlag(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run(strings.NewReader(sampleInput), &out, &errw, 1, "greedysc", false, true); err != nil {
+		t.Fatal(err)
+	}
+	report := errw.String()
+	for _, want := range []string{"compression", "representatives", "max gap"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("stats output missing %q:\n%s", want, report)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Citypulse: spatiotemporal diversification (the paper's §9 future-work
+// direction, implemented in internal/spatial).
+//
+//	go run ./examples/citypulse
+//
+// A national news desk follows two topics across US cities. A selected post
+// only represents others that are close in BOTH time (λt) and place (λd), so
+// the digest keeps one voice per city per time window instead of letting the
+// loudest city drown out the rest.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mqdp/internal/spatial"
+	"mqdp/internal/synth"
+)
+
+func main() {
+	posts := synth.GenerateGeoPosts(synth.GeoStreamConfig{
+		Duration:   1800, // 30 minutes
+		RatePerSec: 0.3,
+		NumLabels:  2,
+		Overlap:    1.3,
+		Seed:       5,
+	})
+	in, err := spatial.NewInstance(posts, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d geotagged posts across %d cities\n\n", in.Len(), len(synth.DefaultCities()))
+
+	for _, th := range []spatial.Thresholds{
+		{TimeSec: 600, DistKm: 10000}, // time-only (1-D MQDP behaviour)
+		{TimeSec: 600, DistKm: 50},    // per-metro representatives
+	} {
+		cover, err := in.GreedySC(th)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := in.VerifyCover(th, cover.Selected); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("λt=%.0fs λd=%.0fkm → %d representatives\n", th.TimeSec, th.DistKm, cover.Size())
+		if th.DistKm == 50 {
+			byCity := map[string]int{}
+			for _, i := range cover.Selected {
+				byCity[nearestCity(in.Post(i))]++
+			}
+			for _, c := range synth.DefaultCities() {
+				fmt.Printf("  %-12s %d\n", c.Name, byCity[c.Name])
+			}
+		}
+	}
+}
+
+// nearestCity attributes a post to the closest default city.
+func nearestCity(p spatial.Post) string {
+	best, bestD := "", 0.0
+	for _, c := range synth.DefaultCities() {
+		d := spatial.Haversine(p.Lat, p.Lon, c.Lat, c.Lon)
+		if best == "" || d < bestD {
+			best, bestD = c.Name, d
+		}
+	}
+	return best
+}

@@ -1,0 +1,80 @@
+// Stockticker: the paper's investor scenario (§1), streaming.
+//
+//	go run ./examples/stockticker
+//
+// An investor subscribes to ticker queries ($GOOG, $MSFT, $NASDAQ). Posts
+// arrive as a live stream; StreamScan+ emits a diversified sub-stream where
+// every emitted post is reported within τ = 30 seconds of publication, and
+// nothing within λ = 5 minutes repeats a ticker already shown.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"mqdp"
+)
+
+func main() {
+	var dict mqdp.Dictionary
+	tickers := []string{"$goog", "$msft", "$nasdaq"}
+	for _, t := range tickers {
+		dict.Intern(t)
+	}
+
+	// Simulate one trading hour: $nasdaq chatter is constant, $goog has an
+	// earnings burst mid-hour, $msft trickles.
+	rng := rand.New(rand.NewSource(7))
+	var posts []mqdp.Post
+	id := int64(0)
+	add := func(t float64, labels ...mqdp.Label) {
+		sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+		posts = append(posts, mqdp.Post{ID: id, Value: t, Labels: labels})
+		id++
+	}
+	for t := 0.0; t < 3600; t += 20 + rng.Float64()*40 {
+		add(t, 2) // $nasdaq
+	}
+	for t := 1500.0; t < 1900; t += 5 + rng.Float64()*15 {
+		if rng.Float64() < 0.3 {
+			add(t, 0, 2) // $goog + market reaction
+		} else {
+			add(t, 0)
+		}
+	}
+	for t := 0.0; t < 3600; t += 300 + rng.Float64()*600 {
+		add(t, 1) // $msft
+	}
+	sort.Slice(posts, func(i, j int) bool { return posts[i].Value < posts[j].Value })
+
+	lambda, tau := 300.0, 30.0
+	proc, err := mqdp.NewStream(mqdp.StreamScanPlus, dict.Len(), lambda, tau)
+	if err != nil {
+		log.Fatal(err)
+	}
+	emissions, err := mqdp.RunStream(posts, proc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d raw posts → %d alerts (λ=%.0fs, τ=%.0fs)\n\n", len(posts), len(emissions), lambda, tau)
+	maxDelay := 0.0
+	for _, e := range emissions {
+		var names []string
+		for _, l := range e.Post.Labels {
+			names = append(names, dict.Name(l))
+		}
+		delay := e.EmitAt - e.Post.Value
+		if delay > maxDelay {
+			maxDelay = delay
+		}
+		fmt.Printf("  %02d:%02d  %-14v (delayed %4.1fs)\n",
+			int(e.Post.Value)/60, int(e.Post.Value)%60, names, delay)
+	}
+	fmt.Printf("\nmax reporting delay: %.1fs (bound τ = %.0fs)\n", maxDelay, tau)
+	if maxDelay > tau {
+		log.Fatalf("delay bound violated: %v > %v", maxDelay, tau)
+	}
+}

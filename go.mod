@@ -1,0 +1,3 @@
+module mqdp
+
+go 1.22

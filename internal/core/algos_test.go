@@ -1,0 +1,270 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// solveAll runs every approximation on in and verifies each result.
+func solveAll(t *testing.T, in *Instance, m LambdaModel) map[string]*Cover {
+	t.Helper()
+	covers := map[string]*Cover{
+		"Scan":           in.Scan(m),
+		"Scan+":          in.ScanPlus(m, OrderByID),
+		"Scan+/freqdesc": in.ScanPlus(m, OrderByFrequencyDesc),
+		"Scan+/freqasc":  in.ScanPlus(m, OrderByFrequencyAsc),
+		"GreedySC":       in.GreedySC(m),
+		"GreedySC-naive": in.GreedySCNaive(m),
+	}
+	for name, c := range covers {
+		if err := in.VerifyCover(m, c.Selected); err != nil {
+			t.Fatalf("%s produced an invalid cover: %v", name, err)
+		}
+	}
+	return covers
+}
+
+func TestAlgorithmsOnFigure2(t *testing.T) {
+	in := figure2(t)
+	lm := FixedLambda(1)
+	covers := solveAll(t, in, lm)
+	for name, c := range covers {
+		if c.Size() > 3 {
+			t.Errorf("%s size = %d, want ≤ 3 on the Figure 2 instance", name, c.Size())
+		}
+	}
+	// GreedySC finds the optimum here: P3 covers a∈P2,a∈P3,c∈P3,c∈P4 (gain
+	// 4 with λ=∆t), then one more post finishes a∈P1.
+	if got := covers["GreedySC"].Size(); got != 2 {
+		t.Errorf("GreedySC size = %d, want 2", got)
+	}
+}
+
+func TestScanOptimalForSingleLabel(t *testing.T) {
+	// With one label Scan solves the 1-D interval covering problem
+	// optimally (§4.3: Sa is an optimal λ-cover of LP(a)).
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(12)
+		posts := make([]Post, n)
+		for i := range posts {
+			posts[i] = mk(int64(i), float64(rng.Intn(30)), 0)
+		}
+		in := inst(t, 1, posts...)
+		lambda := float64(1 + rng.Intn(5))
+		lm := FixedLambda(lambda)
+		scan := in.Scan(lm)
+		if err := in.VerifyCover(lm, scan.Selected); err != nil {
+			t.Fatalf("trial %d: scan cover invalid: %v", trial, err)
+		}
+		exact, err := in.Exhaustive(lm)
+		if err != nil {
+			t.Fatalf("trial %d: exhaustive: %v", trial, err)
+		}
+		if scan.Size() != exact.Size() {
+			t.Fatalf("trial %d: scan=%d optimal=%d for single label (λ=%v, posts=%v)",
+				trial, scan.Size(), exact.Size(), lambda, posts)
+		}
+	}
+}
+
+func TestScanApproximationBound(t *testing.T) {
+	// |Scan| ≤ s·|OPT| where s = max labels per post.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 150; trial++ {
+		in := randomInstance(rng, 10, 3, 20)
+		lambda := float64(1 + rng.Intn(4))
+		lm := FixedLambda(lambda)
+		exact, err := in.Exhaustive(lm)
+		if err != nil {
+			t.Fatalf("exhaustive: %v", err)
+		}
+		s := in.MaxLabelsPerPost()
+		if s == 0 {
+			continue
+		}
+		for _, c := range []*Cover{in.Scan(lm), in.ScanPlus(lm, OrderByID)} {
+			if c.Size() > s*exact.Size() {
+				t.Fatalf("trial %d: |%s|=%d > s·|OPT|=%d·%d", trial, c.Algorithm, c.Size(), s, exact.Size())
+			}
+		}
+	}
+}
+
+func TestScanPlusNeverWorseThanScanOnDisjointLabels(t *testing.T) {
+	// When no post carries multiple labels Scan+ = Scan (nothing to reuse).
+	in := inst(t, 2,
+		mk(1, 0, 0), mk(2, 1, 0), mk(3, 2, 0),
+		mk(4, 0.5, 1), mk(5, 1.5, 1),
+	)
+	lm := FixedLambda(1)
+	if a, b := in.Scan(lm).Size(), in.ScanPlus(lm, OrderByID).Size(); a != b {
+		t.Errorf("Scan=%d Scan+=%d on disjoint labels, want equal", a, b)
+	}
+}
+
+func TestScanPlusReusesCrossLabelSelections(t *testing.T) {
+	// One central post carries both labels; Scan selects one post per label
+	// list edge while Scan+ reuses the first selection for the second label.
+	in := inst(t, 2,
+		mk(1, 0, 0),
+		mk(2, 1, 0, 1),
+		mk(3, 2, 1),
+	)
+	lm := FixedLambda(1)
+	plus := in.ScanPlus(lm, OrderByID)
+	if plus.Size() != 1 {
+		t.Errorf("Scan+ size = %d, want 1 (P2 covers everything)", plus.Size())
+	}
+	if err := in.VerifyCover(lm, plus.Selected); err != nil {
+		t.Errorf("Scan+ cover invalid: %v", err)
+	}
+}
+
+func TestGreedyLazyMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 120; trial++ {
+		in := randomInstance(rng, 14, 4, 25)
+		lm := FixedLambda(float64(1 + rng.Intn(5)))
+		lazy := in.GreedySC(lm)
+		naive := in.GreedySCNaive(lm)
+		if lazy.Size() != naive.Size() {
+			t.Fatalf("trial %d: lazy=%d naive=%d", trial, lazy.Size(), naive.Size())
+		}
+		for i := range lazy.Selected {
+			if lazy.Selected[i] != naive.Selected[i] {
+				t.Fatalf("trial %d: lazy selected %v, naive %v", trial, lazy.Selected, naive.Selected)
+			}
+		}
+	}
+}
+
+func TestGreedyPicksHighestGainFirst(t *testing.T) {
+	// Central post covers 5 pairs; edge posts 1 each. Greedy must pick the
+	// center first and need only 1 post total.
+	in := inst(t, 1,
+		mk(1, 0, 0), mk(2, 1, 0), mk(3, 2, 0), mk(4, 3, 0), mk(5, 4, 0),
+	)
+	lm := FixedLambda(2)
+	g := in.GreedySC(lm)
+	if g.Size() != 1 || g.Selected[0] != 2 {
+		t.Errorf("GreedySC = %v, want just the middle post (index 2)", g.Selected)
+	}
+}
+
+func TestAlgorithmsWithDuplicateValues(t *testing.T) {
+	// All posts share one timestamp: MQDP degenerates to plain set cover.
+	in := inst(t, 3,
+		mk(1, 5, 0, 1),
+		mk(2, 5, 1, 2),
+		mk(3, 5, 0, 2),
+		mk(4, 5, 0),
+	)
+	lm := FixedLambda(0)
+	covers := solveAll(t, in, lm)
+	exact, err := in.Exhaustive(lm)
+	if err != nil {
+		t.Fatalf("exhaustive: %v", err)
+	}
+	if exact.Size() != 2 {
+		t.Fatalf("optimal set cover size = %d, want 2", exact.Size())
+	}
+	if g := covers["GreedySC"]; g.Size() != 2 {
+		t.Errorf("GreedySC = %d, want 2 on this set-cover instance", g.Size())
+	}
+	opt, err := in.OPT(0, nil)
+	if err != nil {
+		t.Fatalf("OPT: %v", err)
+	}
+	if opt.Size() != 2 {
+		t.Errorf("OPT = %d, want 2", opt.Size())
+	}
+}
+
+func TestApproximationsCoverRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		in := randomInstance(rng, 40, 5, 60)
+		lm := FixedLambda(float64(1 + rng.Intn(8)))
+		solveAll(t, in, lm)
+	}
+}
+
+// randomInstance builds a random instance with up to maxPosts posts, up to
+// maxLabels labels and values in [0, valueRange).
+func randomInstance(rng *rand.Rand, maxPosts, maxLabels, valueRange int) *Instance {
+	n := 1 + rng.Intn(maxPosts)
+	L := 1 + rng.Intn(maxLabels)
+	posts := make([]Post, n)
+	for i := range posts {
+		var labels []Label
+		for a := 0; a < L; a++ {
+			if rng.Intn(3) == 0 {
+				labels = append(labels, Label(a))
+			}
+		}
+		if len(labels) == 0 {
+			labels = append(labels, Label(rng.Intn(L)))
+		}
+		posts[i] = Post{ID: int64(i), Value: float64(rng.Intn(valueRange)), Labels: labels}
+	}
+	in, err := NewInstance(posts, L)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+func TestBucketThinningIsValidCover(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 80; trial++ {
+		in := randomInstance(rng, 40, 4, 60)
+		lambda := float64(1 + rng.Intn(8))
+		c := in.BucketThinning(lambda)
+		if err := in.VerifyCover(FixedLambda(lambda), c.Selected); err != nil {
+			t.Fatalf("trial %d: thinning cover invalid: %v", trial, err)
+		}
+		// Thinning marks one post per (label, non-empty bucket), so the
+		// total selection cannot exceed the bucket count summed over
+		// labels. (Globally Scan and thinning are incomparable: a
+		// thinning representative may serve several labels at once, and a
+		// selected post can carry labels it was not the representative
+		// for.)
+		totalBuckets := 0
+		for a := 0; a < in.NumLabels(); a++ {
+			buckets := map[int64]bool{}
+			for _, pi := range in.LabelPosts(Label(a)) {
+				buckets[int64(math.Floor(in.Post(int(pi)).Value/lambda))] = true
+			}
+			totalBuckets += len(buckets)
+		}
+		if c.Size() > totalBuckets {
+			t.Fatalf("trial %d: %d selected for %d total buckets", trial, c.Size(), totalBuckets)
+		}
+	}
+}
+
+func TestBucketThinningDegenerateLambda(t *testing.T) {
+	in := inst(t, 1, mk(1, 0, 0), mk(2, 0.5, 0), mk(3, 1, 0))
+	c := in.BucketThinning(0)
+	if c.Size() != 3 {
+		t.Errorf("λ=0 thinning = %d, want every labeled post", c.Size())
+	}
+	if err := in.VerifyCover(FixedLambda(0), c.Selected); err != nil {
+		t.Errorf("λ=0 thinning invalid: %v", err)
+	}
+}
+
+func TestBucketThinningNegativeValues(t *testing.T) {
+	// Buckets must align correctly across zero (floor, not truncation).
+	in := inst(t, 1, mk(1, -2.5, 0), mk(2, -0.5, 0), mk(3, 0.5, 0))
+	c := in.BucketThinning(2)
+	if err := in.VerifyCover(FixedLambda(2), c.Selected); err != nil {
+		t.Fatalf("negative-value thinning invalid: %v", err)
+	}
+	// Buckets: [-4,-2), [-2,0), [0,2) → three representatives.
+	if c.Size() != 3 {
+		t.Errorf("thinning size = %d, want 3", c.Size())
+	}
+}

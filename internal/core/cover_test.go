@@ -1,0 +1,159 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// figure2 builds the paper's Figure 2 instance: four posts ∆t apart with
+// label sets {a}, {a}, {a,c}, {c}; label 0 = a, label 1 = c.
+func figure2(t *testing.T) *Instance {
+	return inst(t, 2,
+		mk(1, 1, 0),
+		mk(2, 2, 0),
+		mk(3, 3, 0, 1),
+		mk(4, 4, 1),
+	)
+}
+
+func TestFigure2CoverageRelations(t *testing.T) {
+	in := figure2(t)
+	lm := FixedLambda(1) // λ = ∆t
+	const a, c = Label(0), Label(1)
+	// Example 1 relations (post index = position in dimension order).
+	cases := []struct {
+		i, j int
+		lab  Label
+		want bool
+	}{
+		{1, 0, a, true},  // P2 covers a∈P1
+		{1, 2, a, true},  // P2 covers a∈P3
+		{0, 1, a, true},  // P1 covers a∈P2
+		{2, 1, a, true},  // P3 covers a∈P2
+		{2, 3, c, true},  // P3 covers c∈P4
+		{3, 2, c, true},  // P4 covers c∈P3
+		{0, 2, a, false}, // 2∆t apart
+		{3, 0, a, false}, // 3∆t apart (and P4 lacks a anyway)
+	}
+	for _, tc := range cases {
+		if got := in.Covers(lm, tc.i, tc.j, tc.lab); got != tc.want {
+			t.Errorf("Covers(P%d→P%d, label %d) = %v, want %v", tc.i+1, tc.j+1, tc.lab, got, tc.want)
+		}
+	}
+}
+
+func TestExample2Cover(t *testing.T) {
+	in := figure2(t)
+	lm := FixedLambda(1)
+	// Example 2: {P2, P4} λ-covers P.
+	if err := in.VerifyCover(lm, []int{1, 3}); err != nil {
+		t.Errorf("{P2,P4} should cover Figure 2 instance: %v", err)
+	}
+	// {P2} does not: c∈P3 and c∈P4 uncovered.
+	err := in.VerifyCover(lm, []int{1})
+	if err == nil {
+		t.Fatal("{P2} reported as a cover")
+	}
+	var ce *CoverageError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error type %T, want *CoverageError", err)
+	}
+	if ce.Label != 1 {
+		t.Errorf("uncovered label = %d, want 1 (c)", ce.Label)
+	}
+	// {P1, P3} covers everything: P3 handles both labels around it.
+	if err := in.VerifyCover(lm, []int{0, 2}); err != nil {
+		t.Errorf("{P1,P3} should also be a cover: %v", err)
+	}
+	// The optimum is 2: no single post covers both a∈P1 and c∈P4.
+	opt, err := in.OPT(1, nil)
+	if err != nil {
+		t.Fatalf("OPT: %v", err)
+	}
+	if opt.Size() != 2 {
+		t.Errorf("OPT size = %d, want 2", opt.Size())
+	}
+}
+
+func TestVerifyCoverRejectsBadIndexes(t *testing.T) {
+	in := figure2(t)
+	if err := in.VerifyCover(FixedLambda(1), []int{-1}); err == nil {
+		t.Error("negative index accepted")
+	}
+	if err := in.VerifyCover(FixedLambda(1), []int{99}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestVerifyCoverEmptySelectionOnNonEmptyInstance(t *testing.T) {
+	in := figure2(t)
+	if err := in.VerifyCover(FixedLambda(1), nil); err == nil {
+		t.Error("empty selection accepted for labeled posts")
+	}
+}
+
+func TestCoverAccessors(t *testing.T) {
+	in := figure2(t)
+	c := &Cover{Selected: []int{1, 3}, Algorithm: "test"}
+	if c.Size() != 2 {
+		t.Errorf("Size = %d", c.Size())
+	}
+	ids := c.IDs(in)
+	if len(ids) != 2 || ids[0] != 2 || ids[1] != 4 {
+		t.Errorf("IDs = %v, want [2 4]", ids)
+	}
+	posts := c.Posts(in)
+	if len(posts) != 2 || posts[0].Value != 2 || posts[1].Value != 4 {
+		t.Errorf("Posts = %v", posts)
+	}
+}
+
+func TestNormalizeSelected(t *testing.T) {
+	got := normalizeSelected([]int{5, 1, 3, 1, 5, 5})
+	want := []int{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("normalizeSelected = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("normalizeSelected = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestVerifyCoverDirectionalRadii(t *testing.T) {
+	// Post at value 0 has a big radius; post at value 10 a tiny one.
+	// Under a directional model the big post covers the small one but not
+	// vice versa.
+	in := inst(t, 1, mk(1, 0, 0), mk(2, 10, 0))
+	big := customLambda{radius: map[int]float64{0: 10, 1: 0.5}}
+	if !in.Covers(big, 0, 1, 0) {
+		t.Error("post 0 (radius 10) should cover post 1")
+	}
+	if in.Covers(big, 1, 0, 0) {
+		t.Error("post 1 (radius 0.5) should not cover post 0")
+	}
+	if err := in.VerifyCover(big, []int{0}); err != nil {
+		t.Errorf("post 0 alone covers both posts, got %v", err)
+	}
+	// Selecting only post 1: post 0 uncovered (post 1's radius too small).
+	if err := in.VerifyCover(big, []int{1}); err == nil {
+		t.Error("post 0 should be uncovered when only post 1 is selected")
+	}
+}
+
+// customLambda is a directional test model with explicit per-post radii.
+type customLambda struct {
+	radius map[int]float64
+}
+
+func (c customLambda) Lambda(i int, _ Label) float64 { return c.radius[i] }
+func (c customLambda) Max() float64 {
+	m := 0.0
+	for _, r := range c.radius {
+		if r > m {
+			m = r
+		}
+	}
+	return m
+}

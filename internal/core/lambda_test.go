@@ -1,0 +1,171 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFixedLambdaModel(t *testing.T) {
+	lm := FixedLambda(2.5)
+	if lm.Lambda(0, 0) != 2.5 || lm.Max() != 2.5 {
+		t.Errorf("FixedLambda(2.5) = (%v, %v)", lm.Lambda(0, 0), lm.Max())
+	}
+}
+
+func TestProportionalLambdaRejectsBadLambda0(t *testing.T) {
+	in := inst(t, 1, mk(1, 0, 0))
+	for _, bad := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := NewProportionalLambda(in, bad); !errors.Is(err, ErrBadLambda) {
+			t.Errorf("lambda0=%v error = %v, want ErrBadLambda", bad, err)
+		}
+	}
+}
+
+func TestProportionalLambdaDenseVsSparse(t *testing.T) {
+	// Label 0: a dense cluster around value 0 and one lone post at 100.
+	// Equation 2 must give the lone post a larger radius than the cluster.
+	posts := []Post{mk(100, 100, 0)}
+	for i := 0; i < 20; i++ {
+		posts = append(posts, mk(int64(i), float64(i)*0.1, 0))
+	}
+	in := inst(t, 1, posts...)
+	pl, err := NewProportionalLambda(in, 5)
+	if err != nil {
+		t.Fatalf("NewProportionalLambda: %v", err)
+	}
+	// The lone post sits at the highest instance index.
+	lone := in.Len() - 1
+	if in.Post(lone).Value != 100 {
+		t.Fatalf("expected lone post last, got value %v", in.Post(lone).Value)
+	}
+	denseRadius := pl.Lambda(0, 0)
+	sparseRadius := pl.Lambda(lone, 0)
+	if sparseRadius <= denseRadius {
+		t.Errorf("sparse radius %v ≤ dense radius %v; Equation 2 should expand sparse regions", sparseRadius, denseRadius)
+	}
+	if sparseRadius > 5*math.E+1e-9 {
+		t.Errorf("radius %v exceeds the e·λ0 damping bound", sparseRadius)
+	}
+	if pl.Lambda0() != 5 {
+		t.Errorf("Lambda0 = %v", pl.Lambda0())
+	}
+}
+
+func TestProportionalLambdaBounds(t *testing.T) {
+	// Radii are always in (0, e·λ0] regardless of the distribution.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomInstance(rng, 30, 4, 50)
+		lambda0 := 1 + rng.Float64()*10
+		pl, err := NewProportionalLambda(in, lambda0)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < in.Len(); i++ {
+			for _, a := range in.Post(i).Labels {
+				r := pl.Lambda(i, a)
+				if !(r > 0) || r > lambda0*math.E+1e-9 {
+					return false
+				}
+			}
+		}
+		return pl.Max() <= lambda0*math.E+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProportionalLambdaAverageDensityGivesLambda0(t *testing.T) {
+	// A perfectly uniform single-label stream has density == density0
+	// everywhere away from the edges, so Equation 2 yields exactly λ0.
+	posts := make([]Post, 101)
+	for i := range posts {
+		posts[i] = mk(int64(i), float64(i), 0)
+	}
+	in := inst(t, 1, posts...)
+	lambda0 := 5.0
+	pl, err := NewProportionalLambda(in, lambda0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := 50
+	got := pl.Lambda(mid, 0)
+	// Window [45,55] holds 11 posts → density 1.1/unit vs density0
+	// 101/100 ≈ 1.01/unit; e^(1−1.089) ≈ 0.915 → close to λ0.
+	if math.Abs(got-lambda0) > lambda0*0.2 {
+		t.Errorf("uniform-density radius = %v, want ≈ λ0 = %v", got, lambda0)
+	}
+}
+
+func TestProportionalLambdaPanicsOnForeignLabel(t *testing.T) {
+	in := inst(t, 2, mk(1, 0, 0), mk(2, 1, 1))
+	pl, err := NewProportionalLambda(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Lambda on a label the post lacks did not panic")
+		}
+	}()
+	pl.Lambda(0, 1)
+}
+
+func TestProportionalLambdaSingleValueDegenerate(t *testing.T) {
+	// All posts share one value: span is degenerate but the model must
+	// still produce finite positive radii.
+	in := inst(t, 1, mk(1, 3, 0), mk(2, 3, 0), mk(3, 3, 0))
+	pl, err := NewProportionalLambda(in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if r := pl.Lambda(i, 0); !(r > 0) || math.IsInf(r, 0) {
+			t.Errorf("degenerate-span radius = %v", r)
+		}
+	}
+}
+
+func TestSolversWithProportionalLambda(t *testing.T) {
+	// Dense morning burst + sparse afternoon (the §6 motivating example):
+	// the proportional model must keep more posts in the dense region than
+	// a fixed λ with the same base threshold.
+	var posts []Post
+	id := int64(0)
+	for i := 0; i < 60; i++ { // dense: one post per unit
+		posts = append(posts, mk(id, float64(i), 0))
+		id++
+	}
+	for i := 0; i < 6; i++ { // sparse: one post per 40 units
+		posts = append(posts, mk(id, 100+float64(i)*40, 0))
+		id++
+	}
+	in := inst(t, 1, posts...)
+	lambda0 := 10.0
+	pl, err := NewProportionalLambda(in, lambda0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := in.Scan(FixedLambda(lambda0))
+	prop := in.Scan(pl)
+	if err := in.VerifyCover(pl, prop.Selected); err != nil {
+		t.Fatalf("proportional scan cover invalid: %v", err)
+	}
+	denseCount := func(c *Cover) int {
+		n := 0
+		for _, i := range c.Selected {
+			if in.Post(i).Value < 100 {
+				n++
+			}
+		}
+		return n
+	}
+	if denseCount(prop) <= denseCount(fixed) {
+		t.Errorf("proportional λ kept %d dense posts vs fixed %d; want more representation in dense region",
+			denseCount(prop), denseCount(fixed))
+	}
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// quickInstance derives a small random instance from a seed.
+func quickInstance(seed int64, maxPosts, maxLabels, valueRange int) *Instance {
+	rng := rand.New(rand.NewSource(seed))
+	return randomInstance(rng, maxPosts, maxLabels, valueRange)
+}
+
+func TestQuickAllSolversProduceValidCovers(t *testing.T) {
+	check := func(seed int64, lambdaRaw uint8) bool {
+		in := quickInstance(seed, 25, 4, 40)
+		lambda := float64(lambdaRaw%16) + 0.5
+		lm := FixedLambda(lambda)
+		for _, c := range []*Cover{
+			in.Scan(lm),
+			in.ScanPlus(lm, OrderByID),
+			in.ScanPlus(lm, OrderByFrequencyDesc),
+			in.GreedySC(lm),
+		} {
+			if err := in.VerifyCover(lm, c.Selected); err != nil {
+				t.Logf("seed=%d λ=%v: %s invalid: %v", seed, lambda, c.Algorithm, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOPTMonotoneInLambda(t *testing.T) {
+	// A λ-cover is also a λ'-cover for λ' ≥ λ, so the optimum cannot grow.
+	check := func(seed int64) bool {
+		in := quickInstance(seed, 9, 2, 16)
+		prev := -1
+		for _, lambda := range []float64{0.5, 1, 2, 4, 8} {
+			c, err := in.OPT(lambda, nil)
+			if err != nil {
+				return false
+			}
+			if prev >= 0 && c.Size() > prev {
+				t.Logf("seed=%d: OPT grew from %d to %d as λ increased to %v", seed, prev, c.Size(), lambda)
+				return false
+			}
+			prev = c.Size()
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCoverOfCoverIsNoLarger(t *testing.T) {
+	// Re-diversifying an already diversified set cannot need more posts
+	// than the set itself, and its cover must still verify.
+	check := func(seed int64, lambdaRaw uint8) bool {
+		in := quickInstance(seed, 30, 3, 50)
+		lambda := float64(lambdaRaw%10) + 1
+		lm := FixedLambda(lambda)
+		first := in.GreedySC(lm)
+		sub := make([]Post, 0, first.Size())
+		for _, i := range first.Selected {
+			sub = append(sub, in.Post(i))
+		}
+		subInst, err := NewInstance(sub, in.NumLabels())
+		if err != nil {
+			return false
+		}
+		second := subInst.GreedySC(lm)
+		if second.Size() > first.Size() {
+			return false
+		}
+		return subInst.VerifyCover(lm, second.Selected) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSelectedPostsAlwaysRelevant(t *testing.T) {
+	// No solver may select a post with no labels: it covers nothing.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomInstance(rng, 20, 3, 30)
+		// Inject unlabeled noise posts.
+		posts := append([]Post(nil), in.Posts()...)
+		for i := 0; i < 5; i++ {
+			posts = append(posts, Post{ID: int64(1000 + i), Value: float64(rng.Intn(30))})
+		}
+		in2, err := NewInstance(posts, in.NumLabels())
+		if err != nil {
+			return false
+		}
+		lm := FixedLambda(2)
+		for _, c := range []*Cover{in2.Scan(lm), in2.ScanPlus(lm, OrderByID), in2.GreedySC(lm)} {
+			for _, i := range c.Selected {
+				if len(in2.Post(i).Labels) == 0 {
+					t.Logf("seed=%d: %s selected unlabeled post %d", seed, c.Algorithm, in2.Post(i).ID)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDictionaryRoundTrip(t *testing.T) {
+	check := func(names []string) bool {
+		var d Dictionary
+		ids := make(map[string]Label)
+		for _, n := range names {
+			id := d.Intern(n)
+			if prev, seen := ids[n]; seen && prev != id {
+				return false
+			}
+			ids[n] = id
+		}
+		for n, id := range ids {
+			if d.Name(id) != n {
+				return false
+			}
+			if got, ok := d.Lookup(n); !ok || got != id {
+				return false
+			}
+		}
+		return d.Len() == len(ids)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickVerifierAgreesWithBruteForce(t *testing.T) {
+	// VerifyCover (windowed marking) must agree with the naive O(n²·L)
+	// definition of λ-coverage on random selections.
+	check := func(seed int64, lambdaRaw, pick uint8) bool {
+		in := quickInstance(seed, 12, 3, 20)
+		lambda := float64(lambdaRaw % 8)
+		lm := FixedLambda(lambda)
+		var sel []int
+		for i := 0; i < in.Len(); i++ {
+			if pick&(1<<(uint(i)%8)) != 0 && i%2 == int(pick)%2 {
+				sel = append(sel, i)
+			}
+		}
+		fast := in.VerifyCover(lm, sel) == nil
+		slow := bruteForceCovered(in, lm, sel)
+		if fast != slow {
+			t.Logf("seed=%d λ=%v sel=%v: fast=%v slow=%v", seed, lambda, sel, fast, slow)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func bruteForceCovered(in *Instance, m LambdaModel, sel []int) bool {
+	for j := 0; j < in.Len(); j++ {
+		for _, a := range in.Post(j).Labels {
+			covered := false
+			for _, i := range sel {
+				if hasLabel(in.Post(i).Labels, a) && in.Covers(m, i, j, a) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestQuickEveryOptimalCoverElementIsEssential(t *testing.T) {
+	// If removing an element from a minimum cover left it feasible, a
+	// smaller cover would exist — contradiction. So every element of an
+	// OPT/Exhaustive cover is essential.
+	check := func(seed int64, lambdaRaw uint8) bool {
+		in := quickInstance(seed, 10, 2, 16)
+		lambda := float64(lambdaRaw%6) + 1
+		opt, err := in.OPT(lambda, nil)
+		if err != nil {
+			return false
+		}
+		lm := FixedLambda(lambda)
+		for drop := range opt.Selected {
+			reduced := make([]int, 0, len(opt.Selected)-1)
+			for k, i := range opt.Selected {
+				if k != drop {
+					reduced = append(reduced, i)
+				}
+			}
+			if in.VerifyCover(lm, reduced) == nil {
+				t.Logf("seed=%d λ=%v: dropping element %d of optimal cover %v keeps it feasible",
+					seed, lambda, opt.Selected[drop], opt.Selected)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"sort"
+	"time"
+)
+
+// ScanOrder controls the label processing order of Scan+; the effectiveness
+// of its cross-label removal depends on it (§4.3 of the paper).
+type ScanOrder int
+
+// Label orderings for Scan+.
+const (
+	// OrderByID processes labels in id order (the default).
+	OrderByID ScanOrder = iota
+	// OrderByFrequencyDesc processes labels with the most posts first.
+	OrderByFrequencyDesc
+	// OrderByFrequencyAsc processes labels with the fewest posts first.
+	OrderByFrequencyAsc
+)
+
+// Scan implements Algorithm 3: it solves each label's one-dimensional
+// interval-covering problem optimally with a single pass over LP(a) and
+// returns the union of the per-label solutions. The approximation factor is
+// s, the maximum number of labels on any post, and the running time is
+// O(s·|P|) for a fixed λ model.
+//
+// With a per-post LambdaModel (proportional diversity, §6) coverage is
+// directional; the scan then picks, among candidates able to cover the
+// leftmost uncovered post, the one whose coverage reaches furthest right.
+// For a fixed λ this coincides with the paper's "last post within λ" rule.
+func (in *Instance) Scan(m LambdaModel) *Cover {
+	start := time.Now()
+	selected := make([]bool, len(in.posts))
+	for a := 0; a < in.numLabels; a++ {
+		in.scanLabel(m, Label(a), nil, selected)
+	}
+	return finishScanCover("Scan", start, selected)
+}
+
+// ScanPlus implements the Scan+ variant: identical per-label scans, but when
+// a post is selected for one label, every (post, label) pair it covers is
+// marked satisfied, so the scans of later labels skip those posts.
+func (in *Instance) ScanPlus(m LambdaModel, order ScanOrder) *Cover {
+	start := time.Now()
+	selected := make([]bool, len(in.posts))
+	covered := make([][]bool, in.numLabels)
+	for a := 0; a < in.numLabels; a++ {
+		covered[a] = make([]bool, len(in.byLabel[a]))
+	}
+	for _, a := range in.labelOrder(order) {
+		in.scanLabel(m, a, covered, selected)
+	}
+	return finishScanCover("Scan+", start, selected)
+}
+
+// labelOrder returns label ids in the requested processing order.
+func (in *Instance) labelOrder(order ScanOrder) []Label {
+	labels := make([]Label, in.numLabels)
+	for a := range labels {
+		labels[a] = Label(a)
+	}
+	switch order {
+	case OrderByFrequencyDesc:
+		sort.SliceStable(labels, func(i, j int) bool {
+			return len(in.byLabel[labels[i]]) > len(in.byLabel[labels[j]])
+		})
+	case OrderByFrequencyAsc:
+		sort.SliceStable(labels, func(i, j int) bool {
+			return len(in.byLabel[labels[i]]) < len(in.byLabel[labels[j]])
+		})
+	}
+	return labels
+}
+
+// scanLabel covers all not-yet-covered posts of label a, marking choices in
+// selected. covered is nil for plain Scan (labels are processed fully
+// independently, as in Algorithm 3); for Scan+, covered[b][k] marks position
+// k of LP(b) as satisfied and is updated for every label of each selection.
+func (in *Instance) scanLabel(m LambdaModel, a Label, covered [][]bool, selected []bool) {
+	lp := in.byLabel[a]
+	n := len(lp)
+	maxR := m.Max()
+	next := 0 // frontier: position of the next possibly-uncovered post
+	for {
+		if covered != nil {
+			for next < n && covered[a][next] {
+				next++
+			}
+		}
+		if next >= n {
+			return
+		}
+		left := next
+		leftVal := in.posts[lp[left]].Value
+		// Pick the candidate whose coverage of `left` reaches furthest
+		// right. Candidates sit at positions ≥ left within maxR of
+		// left's value; `left` itself always qualifies (radius ≥ 0
+		// covers distance 0).
+		best, bestReach := left, leftVal+m.Lambda(int(lp[left]), a)
+		for k := left + 1; k < n; k++ {
+			v := in.posts[lp[k]].Value
+			if v-leftVal > maxR {
+				break
+			}
+			r := m.Lambda(int(lp[k]), a)
+			if v-leftVal <= r {
+				if reach := v + r; reach > bestReach {
+					best, bestReach = k, reach
+				}
+			}
+		}
+		in.selectPost(m, int(lp[best]), covered, selected)
+		// Everything this label has up to bestReach is now covered.
+		for next < n && in.posts[lp[next]].Value <= bestReach {
+			next++
+		}
+	}
+}
+
+// selectPost marks post i selected and, in Scan+ mode (covered non-nil),
+// marks every (post, label) pair i covers as satisfied.
+func (in *Instance) selectPost(m LambdaModel, i int, covered [][]bool, selected []bool) {
+	selected[i] = true
+	if covered == nil {
+		return
+	}
+	v := in.posts[i].Value
+	for _, b := range in.posts[i].Labels {
+		r := m.Lambda(i, b)
+		from, to := in.windowInLabel(b, v-r, v+r)
+		cov := covered[b]
+		for k := from; k < to; k++ {
+			cov[k] = true
+		}
+	}
+}
+
+// finishScanCover converts a selected bitmap to a Cover.
+func finishScanCover(name string, start time.Time, selected []bool) *Cover {
+	sel := make([]int, 0, 16)
+	for i, ok := range selected {
+		if ok {
+			sel = append(sel, i)
+		}
+	}
+	return &Cover{Selected: sel, Algorithm: name, Elapsed: time.Since(start)}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// CoverStats summarizes how a cover represents an instance; it is the
+// quantitative face of the paper's effectiveness study (§7.2) for a single
+// solution: how compressed the stream is, how work is shared between labels
+// and how much redundancy the cover carries.
+type CoverStats struct {
+	// Posts and Selected are the instance and cover sizes.
+	Posts    int
+	Selected int
+	// CompressionRatio = Selected / Posts (0 when the instance is empty).
+	CompressionRatio float64
+	// PerLabel maps each label to its representative count (selected posts
+	// carrying it) and the largest dimension gap between consecutive
+	// representatives.
+	PerLabel []LabelStats
+	// MeanCoverers is the average number of selected posts covering each
+	// (post, label) pair — 1.0 means a perfectly tight cover, higher
+	// values mean redundancy.
+	MeanCoverers float64
+	// MaxDelayedPairGap is the largest dimension distance from any covered
+	// pair to its nearest coverer, a tightness measure (≤ the λ used).
+	MaxPairDistance float64
+}
+
+// LabelStats is CoverStats' per-label breakdown.
+type LabelStats struct {
+	Label           Label
+	Posts           int     // posts carrying the label
+	Representatives int     // selected posts carrying the label
+	MaxGap          float64 // largest value gap between consecutive representatives
+}
+
+// Stats computes CoverStats for a verified cover. It returns an error if the
+// selection is not actually a cover under m.
+func (in *Instance) Stats(m LambdaModel, selected []int) (*CoverStats, error) {
+	if err := in.VerifyCover(m, selected); err != nil {
+		return nil, fmt.Errorf("core: stats of a non-cover: %w", err)
+	}
+	st := &CoverStats{Posts: in.Len(), Selected: len(selected)}
+	if in.Len() > 0 {
+		st.CompressionRatio = float64(len(selected)) / float64(in.Len())
+	}
+	pairCount, covererSum := 0, 0
+	for a := 0; a < in.numLabels; a++ {
+		lp := in.byLabel[a]
+		ls := LabelStats{Label: Label(a), Posts: len(lp)}
+		var repValues []float64
+		for _, i := range selected {
+			if hasLabel(in.posts[i].Labels, Label(a)) {
+				ls.Representatives++
+				repValues = append(repValues, in.posts[i].Value)
+			}
+		}
+		for k := 1; k < len(repValues); k++ {
+			if gap := repValues[k] - repValues[k-1]; gap > ls.MaxGap {
+				ls.MaxGap = gap
+			}
+		}
+		// Redundancy and tightness per pair.
+		for _, pi := range lp {
+			pairCount++
+			coverers := 0
+			nearest := math.Inf(1)
+			for _, i := range selected {
+				if !hasLabel(in.posts[i].Labels, Label(a)) {
+					continue
+				}
+				if in.Covers(m, i, int(pi), Label(a)) {
+					coverers++
+					if d := math.Abs(in.posts[i].Value - in.posts[pi].Value); d < nearest {
+						nearest = d
+					}
+				}
+			}
+			covererSum += coverers
+			if !math.IsInf(nearest, 1) && nearest > st.MaxPairDistance {
+				st.MaxPairDistance = nearest
+			}
+		}
+		st.PerLabel = append(st.PerLabel, ls)
+	}
+	if pairCount > 0 {
+		st.MeanCoverers = float64(covererSum) / float64(pairCount)
+	}
+	return st, nil
+}

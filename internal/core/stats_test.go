@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestStatsOnFigure2(t *testing.T) {
+	in := figure2(t)
+	lm := FixedLambda(1)
+	st, err := in.Stats(lm, []int{1, 3}) // {P2, P4}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Posts != 4 || st.Selected != 2 {
+		t.Errorf("sizes = %d/%d", st.Selected, st.Posts)
+	}
+	if math.Abs(st.CompressionRatio-0.5) > 1e-12 {
+		t.Errorf("compression = %v", st.CompressionRatio)
+	}
+	if len(st.PerLabel) != 2 {
+		t.Fatalf("per-label entries = %d", len(st.PerLabel))
+	}
+	// Label a (0): P2 is the only representative among 3 posts.
+	a := st.PerLabel[0]
+	if a.Posts != 3 || a.Representatives != 1 || a.MaxGap != 0 {
+		t.Errorf("label a stats = %+v", a)
+	}
+	// Label c (1): P4 represents 2 posts.
+	c := st.PerLabel[1]
+	if c.Posts != 2 || c.Representatives != 1 {
+		t.Errorf("label c stats = %+v", c)
+	}
+	if st.MaxPairDistance > 1 {
+		t.Errorf("max pair distance %v exceeds λ", st.MaxPairDistance)
+	}
+	if st.MeanCoverers < 1 {
+		t.Errorf("mean coverers %v < 1", st.MeanCoverers)
+	}
+}
+
+func TestStatsRejectsNonCover(t *testing.T) {
+	in := figure2(t)
+	if _, err := in.Stats(FixedLambda(1), []int{0}); err == nil {
+		t.Error("stats accepted a non-cover")
+	}
+}
+
+func TestStatsEmptyInstance(t *testing.T) {
+	in := inst(t, 1)
+	st, err := in.Stats(FixedLambda(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CompressionRatio != 0 || st.MeanCoverers != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+}
+
+func TestStatsTightnessBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		in := randomInstance(rng, 25, 3, 40)
+		lambda := float64(1 + rng.Intn(6))
+		lm := FixedLambda(lambda)
+		cover := in.GreedySC(lm)
+		st, err := in.Stats(lm, cover.Selected)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.MaxPairDistance > lambda+1e-9 {
+			t.Fatalf("trial %d: max pair distance %v > λ %v", trial, st.MaxPairDistance, lambda)
+		}
+		if st.Selected > 0 && st.MeanCoverers < 1 {
+			t.Fatalf("trial %d: mean coverers %v < 1", trial, st.MeanCoverers)
+		}
+		// Representatives per label never exceed the cover size; gaps are
+		// nonnegative.
+		for _, ls := range st.PerLabel {
+			if ls.Representatives > st.Selected || ls.MaxGap < 0 {
+				t.Fatalf("trial %d: label stats %+v", trial, ls)
+			}
+		}
+	}
+}
+
+func TestStatsGapMeasuresSpread(t *testing.T) {
+	// Representatives at 0 and 100 for a label → MaxGap 100.
+	in := inst(t, 1,
+		mk(1, 0, 0), mk(2, 100, 0),
+	)
+	st, err := in.Stats(FixedLambda(1), []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PerLabel[0].MaxGap != 100 {
+		t.Errorf("MaxGap = %v, want 100", st.PerLabel[0].MaxGap)
+	}
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"math"
+	"time"
+)
+
+// BucketThinning is the naive baseline the paper's algorithms implicitly
+// compete with: partition the diversity dimension into aligned buckets of
+// width λ and keep one post per (label, non-empty bucket). Any two posts in
+// the same bucket are within λ, so the result is always a valid λ-cover —
+// but it ignores cross-label sharing and bucket boundaries, so it selects
+// substantially more posts than Scan, let alone GreedySC. It exists as the
+// ablation reference point ("what does the simplest correct filter cost?").
+func (in *Instance) BucketThinning(lambda float64) *Cover {
+	start := time.Now()
+	selected := make([]bool, len(in.posts))
+	if lambda <= 0 {
+		// Degenerate: every labeled post is its own bucket.
+		for i := range in.posts {
+			if len(in.posts[i].Labels) > 0 {
+				selected[i] = true
+			}
+		}
+		return finishScanCover("BucketThinning", start, selected)
+	}
+	for a := 0; a < in.numLabels; a++ {
+		lastBucket := int64(math.MinInt64)
+		for _, pi := range in.byLabel[a] {
+			b := int64(math.Floor(in.posts[pi].Value / lambda))
+			if b != lastBucket {
+				selected[pi] = true
+				lastBucket = b
+			}
+		}
+	}
+	return finishScanCover("BucketThinning", start, selected)
+}

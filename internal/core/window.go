@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Window extracts the sub-instance of posts with Value in [lo, hi], keeping
+// the label space. The returned mapping translates the sub-instance's post
+// indexes back to indexes in the parent instance.
+func (in *Instance) Window(lo, hi float64) (*Instance, []int, error) {
+	if math.IsNaN(lo) || math.IsNaN(hi) || lo > hi {
+		return nil, nil, fmt.Errorf("core: invalid window [%v, %v]", lo, hi)
+	}
+	from := sort.Search(len(in.posts), func(k int) bool { return in.posts[k].Value >= lo })
+	to := sort.Search(len(in.posts), func(k int) bool { return in.posts[k].Value > hi })
+	sub := make([]Post, to-from)
+	mapping := make([]int, to-from)
+	for k := from; k < to; k++ {
+		sub[k-from] = in.posts[k]
+		mapping[k-from] = k
+	}
+	subInst, err := NewInstance(sub, in.numLabels)
+	if err != nil {
+		return nil, nil, err
+	}
+	return subInst, mapping, nil
+}
+
+// WindowCover is one window's solution within SolveWindows.
+type WindowCover struct {
+	Lo, Hi float64
+	Cover  *Cover // Selected holds parent-instance indexes
+}
+
+// SolveWindows partitions the instance into consecutive windows of the given
+// width (aligned to the first post's value) and solves each independently
+// with solve. The union of the window covers is always a valid λ-cover of
+// the whole instance — each window covers its own posts — though it may be
+// larger than a global solve, since coverage cannot be shared across window
+// boundaries. This is the paging mode of a timeline UI: each window's digest
+// is locally complete.
+func (in *Instance) SolveWindows(width float64, solve func(*Instance) (*Cover, error)) ([]WindowCover, error) {
+	if !(width > 0) {
+		return nil, fmt.Errorf("core: window width %v must be positive", width)
+	}
+	if in.Len() == 0 {
+		return nil, nil
+	}
+	lo, hi := in.valueRange()
+	var out []WindowCover
+	for start := lo; start <= hi; start += width {
+		end := math.Nextafter(start+width, start) // [start, start+width)
+		sub, mapping, err := in.Window(start, end)
+		if err != nil {
+			return nil, err
+		}
+		if sub.Len() == 0 {
+			continue
+		}
+		cover, err := solve(sub)
+		if err != nil {
+			return nil, fmt.Errorf("core: window [%v, %v): %w", start, start+width, err)
+		}
+		mapped := make([]int, len(cover.Selected))
+		for k, i := range cover.Selected {
+			mapped[k] = mapping[i]
+		}
+		out = append(out, WindowCover{
+			Lo: start,
+			Hi: start + width,
+			Cover: &Cover{
+				Selected:  mapped,
+				Algorithm: cover.Algorithm,
+				Elapsed:   cover.Elapsed,
+				Optimal:   cover.Optimal,
+			},
+		})
+	}
+	return out, nil
+}
+
+// UnionSelected merges window covers into one deduplicated selection over
+// the parent instance.
+func UnionSelected(windows []WindowCover) []int {
+	var all []int
+	for _, w := range windows {
+		all = append(all, w.Cover.Selected...)
+	}
+	return normalizeSelected(all)
+}

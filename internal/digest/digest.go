@@ -1,0 +1,137 @@
+// Package digest renders covers and emission feeds into the user-facing
+// summaries the paper's applications show (§1: a journalist's topic digest,
+// an investor's ticker feed): a chronological timeline of representative
+// posts annotated with their topics, plus per-topic counts.
+package digest
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"mqdp/internal/core"
+)
+
+// Entry is one digest line.
+type Entry struct {
+	PostID int64
+	Value  float64
+	Topics []string
+	Text   string
+}
+
+// Digest is a rendered cover.
+type Digest struct {
+	Entries []Entry
+	// TopicCounts maps topic names to how many entries carry them.
+	TopicCounts map[string]int
+	// Span is the dimension range [lo, hi] the entries cover.
+	SpanLo, SpanHi float64
+}
+
+// TextFor resolves a post's display text (e.g. from the original tweets);
+// return "" when unknown.
+type TextFor func(postID int64) string
+
+// Build assembles a digest from an instance and a cover, resolving topic
+// names through dict and texts through textFor (which may be nil).
+func Build(inst *core.Instance, dict *core.Dictionary, selected []int, textFor TextFor) *Digest {
+	d := &Digest{TopicCounts: make(map[string]int)}
+	sel := append([]int(nil), selected...)
+	sort.Ints(sel)
+	for _, i := range sel {
+		p := inst.Post(i)
+		names := make([]string, len(p.Labels))
+		for k, a := range p.Labels {
+			names[k] = dict.Name(a)
+			d.TopicCounts[names[k]]++
+		}
+		text := ""
+		if textFor != nil {
+			text = textFor(p.ID)
+		}
+		d.Entries = append(d.Entries, Entry{PostID: p.ID, Value: p.Value, Topics: names, Text: text})
+	}
+	if len(d.Entries) > 0 {
+		d.SpanLo = d.Entries[0].Value
+		d.SpanHi = d.Entries[len(d.Entries)-1].Value
+	}
+	return d
+}
+
+// Options shape rendering.
+type Options struct {
+	// MaxTextLen truncates entry texts (0 = no limit).
+	MaxTextLen int
+	// ValueAsClock renders values as HH:MM:SS offsets (for the time
+	// dimension); otherwise values print numerically.
+	ValueAsClock bool
+}
+
+// WriteText renders the digest as aligned plain text.
+func (d *Digest) WriteText(w io.Writer, opts Options) error {
+	for _, e := range d.Entries {
+		text := e.Text
+		if opts.MaxTextLen > 0 && len(text) > opts.MaxTextLen {
+			text = text[:opts.MaxTextLen] + "…"
+		}
+		stamp := fmt.Sprintf("%10.2f", e.Value)
+		if opts.ValueAsClock {
+			stamp = formatClock(e.Value)
+		}
+		if _, err := fmt.Fprintf(w, "%s  [%s]  %s\n", stamp, strings.Join(e.Topics, ", "), text); err != nil {
+			return err
+		}
+	}
+	if len(d.Entries) == 0 {
+		_, err := fmt.Fprintln(w, "(empty digest)")
+		return err
+	}
+	names := make([]string, 0, len(d.TopicCounts))
+	for name := range d.TopicCounts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if _, err := fmt.Fprintf(w, "\n%d posts", len(d.Entries)); err != nil {
+		return err
+	}
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, " · %s ×%d", name, d.TopicCounts[name]); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteMarkdown renders the digest as a markdown table.
+func (d *Digest) WriteMarkdown(w io.Writer, opts Options) error {
+	if _, err := fmt.Fprintln(w, "| when | topics | post |"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "|---|---|---|"); err != nil {
+		return err
+	}
+	for _, e := range d.Entries {
+		text := strings.ReplaceAll(e.Text, "|", "\\|")
+		if opts.MaxTextLen > 0 && len(text) > opts.MaxTextLen {
+			text = text[:opts.MaxTextLen] + "…"
+		}
+		stamp := fmt.Sprintf("%.2f", e.Value)
+		if opts.ValueAsClock {
+			stamp = formatClock(e.Value)
+		}
+		if _, err := fmt.Fprintf(w, "| %s | %s | %s |\n", stamp, strings.Join(e.Topics, ", "), text); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatClock renders seconds-from-start as HH:MM:SS.
+func formatClock(seconds float64) string {
+	t := time.Duration(seconds * float64(time.Second))
+	return fmt.Sprintf("%02d:%02d:%02d", int(t.Hours()), int(t.Minutes())%60, int(t.Seconds())%60)
+}

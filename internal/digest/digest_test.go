@@ -1,0 +1,109 @@
+package digest
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mqdp/internal/core"
+)
+
+func buildFixture(t *testing.T) (*core.Instance, *core.Dictionary, []int) {
+	t.Helper()
+	var dict core.Dictionary
+	a, c := dict.Intern("obama"), dict.Intern("economy")
+	posts := []core.Post{
+		{ID: 1, Value: 60, Labels: []core.Label{a}},
+		{ID: 2, Value: 120, Labels: []core.Label{a, c}},
+		{ID: 3, Value: 3725, Labels: []core.Label{c}},
+	}
+	inst, err := core.NewInstance(posts, dict.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst, &dict, []int{1, 2} // posts 2 and 3
+}
+
+func TestBuild(t *testing.T) {
+	inst, dict, sel := buildFixture(t)
+	texts := map[int64]string{2: "obama economy speech", 3: "markets wobble"}
+	d := Build(inst, dict, sel, func(id int64) string { return texts[id] })
+	if len(d.Entries) != 2 {
+		t.Fatalf("entries = %d", len(d.Entries))
+	}
+	if d.Entries[0].PostID != 2 || d.Entries[1].PostID != 3 {
+		t.Errorf("entry order: %+v", d.Entries)
+	}
+	if d.TopicCounts["obama"] != 1 || d.TopicCounts["economy"] != 2 {
+		t.Errorf("topic counts = %v", d.TopicCounts)
+	}
+	if d.SpanLo != 120 || d.SpanHi != 3725 {
+		t.Errorf("span = [%v, %v]", d.SpanLo, d.SpanHi)
+	}
+	if d.Entries[0].Text != "obama economy speech" {
+		t.Errorf("text = %q", d.Entries[0].Text)
+	}
+}
+
+func TestBuildNilTextResolver(t *testing.T) {
+	inst, dict, sel := buildFixture(t)
+	d := Build(inst, dict, sel, nil)
+	if d.Entries[0].Text != "" {
+		t.Errorf("nil resolver produced text %q", d.Entries[0].Text)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	inst, dict, sel := buildFixture(t)
+	d := Build(inst, dict, sel, func(int64) string {
+		return "a rather long text that should be truncated for display"
+	})
+	var buf bytes.Buffer
+	if err := d.WriteText(&buf, Options{MaxTextLen: 10, ValueAsClock: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "00:02:00") { // 120 s
+		t.Errorf("clock stamp missing:\n%s", out)
+	}
+	if !strings.Contains(out, "01:02:05") { // 3725 s
+		t.Errorf("hour stamp missing:\n%s", out)
+	}
+	if !strings.Contains(out, "a rather l…") {
+		t.Errorf("truncation missing:\n%s", out)
+	}
+	if !strings.Contains(out, "economy ×2") {
+		t.Errorf("topic summary missing:\n%s", out)
+	}
+}
+
+func TestWriteTextEmpty(t *testing.T) {
+	inst, dict, _ := buildFixture(t)
+	d := Build(inst, dict, nil, nil)
+	var buf bytes.Buffer
+	if err := d.WriteText(&buf, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty digest") {
+		t.Errorf("empty rendering = %q", buf.String())
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	inst, dict, sel := buildFixture(t)
+	d := Build(inst, dict, sel, func(int64) string { return "cell | with pipe" })
+	var buf bytes.Buffer
+	if err := d.WriteMarkdown(&buf, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "| when | topics | post |") {
+		t.Errorf("markdown header missing:\n%s", out)
+	}
+	if !strings.Contains(out, `cell \| with pipe`) {
+		t.Errorf("pipe escaping missing:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 4 {
+		t.Errorf("markdown lines = %d, want 4", lines)
+	}
+}

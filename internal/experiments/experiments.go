@@ -1,0 +1,194 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§7) plus the reproduction extras indexed in DESIGN.md. Each
+// experiment is a named runner that builds its seeded synthetic workload,
+// executes the algorithms under the paper's parameters (scaled as documented
+// in EXPERIMENTS.md), and prints the same rows/series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// newSeededRand returns a deterministic RNG for workload sampling.
+func newSeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Scale selects the workload size.
+type Scale int
+
+// Scales.
+const (
+	// Smoke runs in well under a second per experiment; used by `go test`
+	// and the benchmarks.
+	Smoke Scale = iota
+	// Full reproduces the shapes at the scaled-down paper parameters.
+	Full
+)
+
+// Experiment is one reproducible table/figure.
+type Experiment struct {
+	// ID is the DESIGN.md identifier, e.g. "fig6".
+	ID string
+	// Title describes the paper artifact.
+	Title string
+	// Run executes the experiment, writing its rows to w.
+	Run func(w io.Writer, sc Scale) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment in registration (paper) order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs lists the registered identifiers, sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for _, e := range registry {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// table is a minimal aligned-text table writer.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(cols ...string) *table { return &table{header: cols} }
+
+func (t *table) add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// writeMarkdown renders the table as GitHub-flavored markdown.
+func (t *table) writeMarkdown(w io.Writer) error {
+	row := func(cells []string) error {
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | ")); err != nil {
+			return err
+		}
+		return nil
+	}
+	if err := row(t.header); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if err := row(sep); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		if err := row(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// markdownWriter marks an output destination as wanting markdown tables.
+// Wrap the writer passed to Experiment.Run with Markdown() to switch table
+// rendering.
+type markdownWriter struct{ io.Writer }
+
+// Markdown wraps w so experiment tables render as markdown.
+func Markdown(w io.Writer) io.Writer { return markdownWriter{w} }
+
+func (t *table) write(w io.Writer) error {
+	if _, ok := w.(markdownWriter); ok {
+		return t.writeMarkdown(w)
+	}
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := fmt.Fprint(w, "  "); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%-*s", widths[i], c); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintln(w)
+		return err
+	}
+	if err := line(t.header); err != nil {
+		return err
+	}
+	underline := make([]string, len(t.header))
+	for i := range underline {
+		underline[i] = dashes(widths[i])
+	}
+	if err := line(underline); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		if err := line(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func dashes(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '-'
+	}
+	return string(b)
+}
+
+// relErr is the paper's relative solution-size error.
+func relErr(approx, opt int) float64 {
+	if opt == 0 {
+		return 0
+	}
+	d := approx - opt
+	if d < 0 {
+		d = -d
+	}
+	return float64(d) / float64(opt)
+}

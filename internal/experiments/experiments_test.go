@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "table2",
+		"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+		"fig13", "fig14", "fig15",
+		"hardness", "prop", "ablation-scanplus", "ablation-dedup", "ablation-greedy",
+		"ext-spatial", "ext-adaptive", "ext-expansion", "ext-windows",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d (%v)", len(All()), len(want), IDs())
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID found a nonexistent experiment")
+	}
+}
+
+// TestAllExperimentsRunAtSmokeScale executes every registered experiment at
+// Smoke scale: the full harness must produce output without errors.
+func TestAllExperimentsRunAtSmokeScale(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, Smoke); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestFig6ErrorsNonNegativeAndOptConsistent(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runFig6(&buf, Smoke); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "errScan") || !strings.Contains(out, "errGreedySC") {
+		t.Errorf("fig6 output missing columns:\n%s", out)
+	}
+	if strings.Contains(out, "-0.") {
+		t.Errorf("fig6 reports a negative relative error (approx beat OPT?):\n%s", out)
+	}
+}
+
+func TestPropExperimentShowsProportionality(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runProp(&buf, Smoke); err != nil {
+		t.Fatal(err)
+	}
+	// The proportional model's dense share must exceed the fixed model's.
+	out := buf.String()
+	fixedShare := lastFloat(t, out, "fixed λ")
+	propShare := lastFloat(t, out, "proportional")
+	if propShare <= fixedShare {
+		t.Errorf("proportional dense share %v ≤ fixed %v:\n%s", propShare, fixedShare, out)
+	}
+}
+
+// lastFloat extracts the last whitespace-separated float on the line
+// containing marker.
+func lastFloat(t *testing.T, out, marker string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, marker) {
+			fields := strings.Fields(line)
+			v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("marker %q not found in:\n%s", marker, out)
+	return 0
+}
+
+func TestTableWriter(t *testing.T) {
+	tb := newTable("a", "bb")
+	tb.add(1, 2.5)
+	tb.add("xx", "y")
+	var buf bytes.Buffer
+	if err := tb.write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "a ") {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if got := relErr(12, 10); got != 0.2 {
+		t.Errorf("relErr(12,10) = %v", got)
+	}
+	if got := relErr(10, 10); got != 0 {
+		t.Errorf("relErr(10,10) = %v", got)
+	}
+	if got := relErr(5, 0); got != 0 {
+		t.Errorf("relErr(x,0) = %v", got)
+	}
+}
+
+func TestExtAdaptiveTracksInputBetterThanFixed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runExtAdaptive(&buf, Smoke); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	adaptiveL1 := lastFloat(t, out, "adaptive")
+	fixedL1 := lastFloat(t, out, "fixed")
+	if adaptiveL1 >= fixedL1 {
+		t.Errorf("adaptive L1 %v ≥ fixed %v; Eq. 2 should track the diurnal profile:\n%s", adaptiveL1, fixedL1, out)
+	}
+}
+
+func TestExtExpansionImprovesRecall(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runExtExpansion(&buf, Smoke); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	recallOf := func(marker string) float64 {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, marker) {
+				fields := strings.Fields(line)
+				v, err := strconv.ParseFloat(fields[len(fields)-2], 64)
+				if err != nil {
+					t.Fatalf("parse %q: %v", line, err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("marker %q missing:\n%s", marker, out)
+		return 0
+	}
+	truncated := recallOf("truncated")
+	expanded := recallOf("expanded")
+	if expanded <= truncated {
+		t.Errorf("expansion recall %v ≤ truncated %v:\n%s", expanded, truncated, out)
+	}
+}
+
+func TestMarkdownTableWriter(t *testing.T) {
+	tb := newTable("a", "b")
+	tb.add(1, "x")
+	var buf bytes.Buffer
+	if err := tb.write(Markdown(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	want := "| a | b |\n| --- | --- |\n| 1 | x |\n"
+	if buf.String() != want {
+		t.Errorf("markdown = %q, want %q", buf.String(), want)
+	}
+}

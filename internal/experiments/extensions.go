@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mqdp/internal/core"
+	"mqdp/internal/match"
+	"mqdp/internal/stream"
+	"mqdp/internal/synth"
+	"mqdp/internal/textutil"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ext-adaptive",
+		Title: "Extension (§5+§6): streaming proportional diversity — dense-region representation vs fixed λ",
+		Run:   runExtAdaptive,
+	})
+	register(Experiment{
+		ID:    "ext-expansion",
+		Title: "Extension (§9 future work): context expansion of queries — matching recall before diversification",
+		Run:   runExtExpansion,
+	})
+}
+
+// runExtAdaptive compares AdaptiveStreamScan against fixed-λ StreamScan on a
+// diurnal stream: the adaptive processor should track the input's day/night
+// density profile where fixed λ flattens it.
+func runExtAdaptive(w io.Writer, sc Scale) error {
+	duration := 86400.0
+	if sc == Smoke {
+		duration = 7200
+	}
+	posts := synth.GeneratePosts(synth.PostStreamConfig{
+		Duration:   duration,
+		RatePerSec: 0.25,
+		NumLabels:  2,
+		Overlap:    1.3,
+		Diurnal:    true,
+		Seed:       601,
+	})
+	lambda0, tau := 600.0, 60.0
+	adaptive, err := stream.NewAdaptiveScan(2, lambda0, tau)
+	if err != nil {
+		return err
+	}
+	fixed, err := stream.NewScan(2, lambda0, tau, false)
+	if err != nil {
+		return err
+	}
+	esA, err := stream.Run(posts, adaptive)
+	if err != nil {
+		return err
+	}
+	esF, err := stream.Run(posts, fixed)
+	if err != nil {
+		return err
+	}
+	// Split the day into quarters and compare emission shares with the
+	// input share.
+	quarters := func(values []float64) [4]float64 {
+		var counts [4]int
+		for _, v := range values {
+			q := int(v / (duration / 4))
+			if q > 3 {
+				q = 3
+			}
+			counts[q]++
+		}
+		var out [4]float64
+		total := len(values)
+		if total == 0 {
+			return out
+		}
+		for q := range counts {
+			out[q] = float64(counts[q]) / float64(total)
+		}
+		return out
+	}
+	var inVals, aVals, fVals []float64
+	for _, p := range posts {
+		inVals = append(inVals, p.Value)
+	}
+	for _, e := range esA {
+		aVals = append(aVals, e.Post.Value)
+	}
+	for _, e := range esF {
+		fVals = append(fVals, e.Post.Value)
+	}
+	qi, qa, qf := quarters(inVals), quarters(aVals), quarters(fVals)
+	tb := newTable("series", "total", "q1 share", "q2 share", "q3 share", "q4 share", "L1 vs input")
+	l1 := func(q [4]float64) float64 {
+		s := 0.0
+		for k := range q {
+			d := q[k] - qi[k]
+			if d < 0 {
+				d = -d
+			}
+			s += d
+		}
+		return s
+	}
+	tb.add("input", len(inVals), qi[0], qi[1], qi[2], qi[3], 0.0)
+	tb.add("adaptive λ (Eq. 2, trailing)", len(aVals), qa[0], qa[1], qa[2], qa[3], l1(qa))
+	tb.add("fixed λ0", len(fVals), qf[0], qf[1], qf[2], qf[3], l1(qf))
+	return tb.write(w)
+}
+
+// runExtExpansion trains the PMI expander on the news corpus and measures
+// the matching-recall gain on tweets whose topical words are tail keywords.
+func runExtExpansion(w io.Writer, sc Scale) error {
+	worldCfg := synth.WorldConfig{BroadTopics: 4, TopicsPerBroad: 4, KeywordsPerTopic: 30, Seed: 611}
+	newsN, streamDur := 1500, 3600.0
+	if sc == Smoke {
+		newsN, streamDur = 300, 600
+	}
+	world := synth.NewWorld(worldCfg)
+	// Truncated topics simulate a user profile that only knows the head
+	// keywords; the corpus still carries the full co-occurrence structure.
+	full := world.MatchTopics([]int{0, 1, 2})
+	truncated := make([]match.Topic, len(full))
+	for i, t := range full {
+		head := t.Keywords
+		if len(head) > 5 {
+			head = head[:5]
+		}
+		truncated[i] = match.Topic{Name: t.Name, Keywords: head}
+	}
+	var seeds []string
+	for _, t := range truncated {
+		for _, kw := range t.Keywords {
+			seeds = append(seeds, kw.Text)
+		}
+	}
+	expander, err := match.NewExpander(seeds)
+	if err != nil {
+		return err
+	}
+	for _, a := range synth.NewsCorpus(world, synth.NewsConfig{Articles: newsN, WordsPerDoc: 90, Seed: 612}) {
+		expander.ObserveText(a.Text)
+	}
+	expanded := make([]match.Topic, len(truncated))
+	for i, t := range truncated {
+		expanded[i] = expander.Expand(t, 15, 3, 0.2)
+	}
+	tweets := synth.TweetStream(world, synth.StreamConfig{Duration: streamDur, RatePerSec: 4, TopicRatio: 0.5, Seed: 613})
+	measure := func(topics []match.Topic) (matched, truePos, relevant int, err error) {
+		m, err := match.NewMatcher(topics)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		for _, tw := range tweets {
+			isRelevant := false
+			for _, ti := range tw.Topics {
+				if ti == 0 || ti == 1 || ti == 2 {
+					isRelevant = true
+				}
+			}
+			if isRelevant {
+				relevant++
+			}
+			if len(m.MatchWords(wordsOf(tw.Text))) > 0 {
+				matched++
+				if isRelevant {
+					truePos++
+				}
+			}
+		}
+		return matched, truePos, relevant, nil
+	}
+	tb := newTable("queries", "keywords/topic", "matched", "recall", "precision")
+	for _, row := range []struct {
+		name   string
+		topics []match.Topic
+	}{
+		{"truncated (head 5)", truncated},
+		{"expanded (+PMI context)", expanded},
+		{"full (oracle 30)", full},
+	} {
+		matched, tp, rel, err := measure(row.topics)
+		if err != nil {
+			return err
+		}
+		kw := 0
+		for _, t := range row.topics {
+			kw += len(t.Keywords)
+		}
+		recall, precision := 0.0, 0.0
+		if rel > 0 {
+			recall = float64(tp) / float64(rel)
+		}
+		if matched > 0 {
+			precision = float64(tp) / float64(matched)
+		}
+		tb.add(row.name, kw/len(row.topics), matched, recall, precision)
+	}
+	if err := tb.write(w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "\n%d tweets; relevance = planted topic ∈ {0,1,2}\n", len(tweets))
+	return err
+}
+
+// wordsOf tokenizes via the shared tokenizer.
+func wordsOf(text string) []string {
+	return textutil.Words(text)
+}
+
+func init() {
+	register(Experiment{
+		ID:    "ext-windows",
+		Title: "Extension: paged (windowed) solving overhead vs one global solve",
+		Run:   runExtWindows,
+	})
+}
+
+// runExtWindows quantifies the cost of solving a day in independent pages
+// (SolveWindows): the union stays a valid cover but cannot share coverage
+// across page boundaries, so it grows as pages shrink.
+func runExtWindows(w io.Writer, sc Scale) error {
+	in := day(sc, 3, 620)
+	lambda := 600.0
+	lm := core.FixedLambda(lambda)
+	global := in.GreedySC(lm)
+	widths := []float64{3600, 7200, 21600, 86400}
+	if sc == Smoke {
+		widths = []float64{900, 3600}
+	}
+	tb := newTable("window width (s)", "windows", "union size", "vs global")
+	for _, width := range widths {
+		windows, err := in.SolveWindows(width, func(sub *core.Instance) (*core.Cover, error) {
+			return sub.GreedySC(lm), nil
+		})
+		if err != nil {
+			return err
+		}
+		union := core.UnionSelected(windows)
+		if err := in.VerifyCover(lm, union); err != nil {
+			return fmt.Errorf("ext-windows width %v: %w", width, err)
+		}
+		tb.add(width, len(windows), len(union), float64(len(union))/float64(global.Size()))
+	}
+	if err := tb.write(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "\nglobal GreedySC: %d posts over %d (λ=%.0fs)\n", global.Size(), in.Len(), lambda)
+	return err
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+// goldenIDs lists the experiments whose smoke-scale output is fully
+// deterministic (no timing columns) and therefore golden-testable. Timing
+// experiments (fig13–15, ablation-greedy) are excluded by construction.
+var goldenIDs = []string{
+	"table1", "table2",
+	"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+	"hardness", "prop",
+	"ablation-scanplus", "ablation-dedup",
+	"ext-spatial", "ext-adaptive", "ext-expansion", "ext-windows",
+}
+
+// TestGoldenOutputs locks the deterministic experiments' smoke output
+// against testdata/<id>.golden. Regenerate intentionally with
+//
+//	go test ./internal/experiments -run TestGoldenOutputs -update
+func TestGoldenOutputs(t *testing.T) {
+	for _, id := range goldenIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %q missing", id)
+			}
+			var buf bytes.Buffer
+			if err := e.Run(&buf, Smoke); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", id+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("output drifted from %s.\n--- got ---\n%s\n--- want ---\n%s", path, buf.Bytes(), want)
+			}
+		})
+	}
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mqdp/internal/spatial"
+	"mqdp/internal/synth"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ext-spatial",
+		Title: "Extension (§9 future work): spatiotemporal diversification — cover sizes vs geographic radius",
+		Run:   runExtSpatial,
+	})
+}
+
+// runExtSpatial sweeps the geographic radius λd at a fixed time radius: a
+// tight λd forces per-city representatives (larger covers), a continental
+// λd collapses to the 1-D temporal problem.
+func runExtSpatial(w io.Writer, sc Scale) error {
+	cfg := synth.GeoStreamConfig{Duration: 7200, RatePerSec: 0.4, NumLabels: 3, Overlap: 1.4, Seed: 701}
+	if sc == Smoke {
+		cfg.Duration = 900
+	}
+	posts := synth.GenerateGeoPosts(cfg)
+	in, err := spatial.NewInstance(posts, cfg.NumLabels)
+	if err != nil {
+		return err
+	}
+	lambdaT := 600.0
+	radii := []float64{25, 100, 500, 2000, 10000}
+	if sc == Smoke {
+		radii = []float64{25, 10000}
+	}
+	tb := newTable("distKm", "greedySC", "timeScan")
+	for _, dk := range radii {
+		th := spatial.Thresholds{TimeSec: lambdaT, DistKm: dk}
+		greedy, err := in.GreedySC(th)
+		if err != nil {
+			return err
+		}
+		if err := in.VerifyCover(th, greedy.Selected); err != nil {
+			return fmt.Errorf("ext-spatial greedy invalid at %v km: %w", dk, err)
+		}
+		scan, err := in.TimeScan(th)
+		if err != nil {
+			return err
+		}
+		if err := in.VerifyCover(th, scan.Selected); err != nil {
+			return fmt.Errorf("ext-spatial scan invalid at %v km: %w", dk, err)
+		}
+		tb.add(dk, greedy.Size(), scan.Size())
+	}
+	if err := tb.write(w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "\nstream: %d geotagged posts over %.0f min, λt = %.0f s, 5 cities\n",
+		in.Len(), cfg.Duration/60, lambdaT)
+	return err
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"mqdp/internal/lda"
+	"mqdp/internal/match"
+	"mqdp/internal/synth"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table1",
+		Title: "Table 1: example LDA topics with their highest-weight keywords",
+		Run:   runTable1,
+	})
+	register(Experiment{
+		ID:    "table2",
+		Title: "Table 2: matching posts per minute for label sets of size 2, 5, 20",
+		Run:   runTable2,
+	})
+}
+
+// runTable1 rebuilds the paper's query-generation pipeline: synthetic news
+// corpus → LDA → topics-as-keyword-sets, and prints sample topics like the
+// paper's Table 1 (golf/NFL under Sports, elections under Politics, ...).
+func runTable1(w io.Writer, sc Scale) error {
+	worldCfg := synth.WorldConfig{BroadTopics: 4, TopicsPerBroad: 4, KeywordsPerTopic: 25, Seed: 101}
+	newsCfg := synth.NewsConfig{Articles: 1200, WordsPerDoc: 90, Seed: 102}
+	iters := 150
+	if sc == Smoke {
+		worldCfg.TopicsPerBroad = 2
+		newsCfg.Articles = 200
+		newsCfg.WordsPerDoc = 50
+		iters = 40
+	}
+	world := synth.NewWorld(worldCfg)
+	articles := synth.NewsCorpus(world, newsCfg)
+	corpus := lda.NewCorpus()
+	for _, a := range articles {
+		corpus.AddText(a.Text)
+	}
+	model, err := lda.Train(corpus, lda.Options{
+		Topics:     len(world.Topics),
+		Iterations: iters,
+		Seed:       103,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "news corpus: %d articles, vocabulary %d; LDA K=%d\n\n",
+		corpus.Docs(), corpus.VocabSize(), model.Topics()); err != nil {
+		return err
+	}
+	// Show the first few topics with their top keywords, Table 1-style.
+	show := model.Topics()
+	if show > 6 {
+		show = 6
+	}
+	tb := newTable("topic", "highest-weight keywords")
+	for k := 0; k < show; k++ {
+		kws := model.TopKeywords(k, 8)
+		words := make([]string, len(kws))
+		for i, kw := range kws {
+			words[i] = kw.Word
+		}
+		tb.add(fmt.Sprintf("topic-%d", k), strings.Join(words, " "))
+	}
+	return tb.write(w)
+}
+
+// runTable2 pushes a synthetic tweet stream through the keyword matcher for
+// sampled label sets (profiles) of each size and reports the mean number of
+// unique matching posts per minute — the paper's Table 2, at our ~10×
+// scaled-down stream rate.
+func runTable2(w io.Writer, sc Scale) error {
+	worldCfg := synth.WorldConfig{Seed: 201}
+	streamCfg := synth.StreamConfig{Duration: 7200, RatePerSec: 5.8, Seed: 202}
+	setsPerSize := 80 // the paper used 100 label sets per size
+	if sc == Smoke {
+		streamCfg.Duration = 600
+		streamCfg.RatePerSec = 3
+		setsPerSize = 3
+	}
+	world := synth.NewWorld(worldCfg)
+	tweets := synth.TweetStream(world, streamCfg)
+	minutes := streamCfg.Duration / 60
+
+	tb := newTable("|L|", "matching posts/min (mean over label sets)")
+	rng := newSeededRand(203)
+	for _, size := range []int{2, 5, 20} {
+		total := 0.0
+		for s := 0; s < setsPerSize; s++ {
+			topicIdx := world.SampleLabelSet(rng, size)
+			m, err := match.NewMatcher(world.MatchTopics(topicIdx))
+			if err != nil {
+				return err
+			}
+			matched := 0
+			for _, tw := range tweets {
+				if len(m.Match(tw.Text)) > 0 {
+					matched++
+				}
+			}
+			total += float64(matched) / minutes
+		}
+		tb.add(size, total/float64(setsPerSize))
+	}
+	if err := tb.write(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "\nstream: %d tweets over %.0f minutes (%.2f/s; the paper's 1%% sample ran ≈50/s)\n",
+		len(tweets), minutes, float64(len(tweets))/streamCfg.Duration)
+	return err
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mqdp/internal/core"
+	"mqdp/internal/stream"
+	"mqdp/internal/synth"
+)
+
+// rateForLabels approximates Table 2's matching rates, scaled ~10× down from
+// the paper's 1% Twitter sample: roughly 0.105 matching posts per second per
+// label in the set.
+func rateForLabels(numLabels int) float64 { return 0.105 * float64(numLabels) }
+
+// interval builds the paper's "10-minute interval" workload used whenever
+// relative error against OPT is needed: small |L|, modest rate.
+func interval(sc Scale, numLabels int, overlap float64, seed int64) *core.Instance {
+	duration := 600.0
+	rate := rateForLabels(numLabels) * 2.5 // denser than the day-scale stream, as in §7.2
+	if sc == Smoke {
+		duration = 120
+	}
+	posts := synth.GeneratePosts(synth.PostStreamConfig{
+		Duration:   duration,
+		RatePerSec: rate,
+		NumLabels:  numLabels,
+		Overlap:    overlap,
+		Seed:       seed,
+	})
+	in, err := core.NewInstance(posts, numLabels)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: workload generation: %v", err))
+	}
+	return in
+}
+
+// day builds the "1 day of tweets" workload (scaled: default rate gives
+// ≈ 9k matching posts per day per label pair instead of the paper's ~90k).
+func day(sc Scale, numLabels int, seed int64) *core.Instance {
+	duration := 86400.0
+	if sc == Smoke {
+		duration = 3600
+	}
+	posts := synth.GeneratePosts(synth.PostStreamConfig{
+		Duration:   duration,
+		RatePerSec: rateForLabels(numLabels),
+		NumLabels:  numLabels,
+		Overlap:    1.4,
+		Diurnal:    true,
+		Seed:       seed,
+	})
+	in, err := core.NewInstance(posts, numLabels)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: workload generation: %v", err))
+	}
+	return in
+}
+
+// optBudget bounds OPT in experiment settings; generous but finite so a
+// mis-parameterized sweep fails fast instead of hanging.
+func optBudget() *core.OPTOptions {
+	return &core.OPTOptions{MaxStates: 1 << 18, MaxWork: 1 << 30}
+}
+
+// runStreaming replays an instance's posts through a processor and returns
+// the emission count.
+func runStreaming(in *core.Instance, p stream.Processor) (int, error) {
+	es, err := stream.Run(in.Posts(), p)
+	if err != nil {
+		return 0, err
+	}
+	return len(es), nil
+}
+
+// streamingQuartet builds the four §5 processors for a parameter set.
+func streamingQuartet(numLabels int, lambda, tau float64) ([]stream.Processor, error) {
+	scan, err := stream.NewScan(numLabels, lambda, tau, false)
+	if err != nil {
+		return nil, err
+	}
+	scanPlus, err := stream.NewScan(numLabels, lambda, tau, true)
+	if err != nil {
+		return nil, err
+	}
+	greedy, err := stream.NewGreedy(numLabels, lambda, tau, false)
+	if err != nil {
+		return nil, err
+	}
+	greedyPlus, err := stream.NewGreedy(numLabels, lambda, tau, true)
+	if err != nil {
+		return nil, err
+	}
+	return []stream.Processor{scan, scanPlus, greedy, greedyPlus}, nil
+}

@@ -1,0 +1,43 @@
+// Package fenwick provides a Fenwick (binary indexed) tree over integer
+// counts. Both the offline GreedySC solver and the streaming greedy
+// processor use it to count uncovered (post, label) pairs inside value
+// windows in O(log n).
+package fenwick
+
+// Tree is a Fenwick tree over n positions of int counts. The zero value is
+// unusable; call New.
+type Tree struct {
+	tree []int
+}
+
+// New returns a tree of n zeroed positions.
+func New(n int) *Tree {
+	return &Tree{tree: make([]int, n+1)}
+}
+
+// Len reports the number of positions.
+func (f *Tree) Len() int { return len(f.tree) - 1 }
+
+// Add adds delta at position i (0-based).
+func (f *Tree) Add(i, delta int) {
+	for i++; i < len(f.tree); i += i & -i {
+		f.tree[i] += delta
+	}
+}
+
+// Prefix returns the sum of positions [0, i).
+func (f *Tree) Prefix(i int) int {
+	s := 0
+	for ; i > 0; i -= i & -i {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// RangeSum returns the sum of positions [from, to).
+func (f *Tree) RangeSum(from, to int) int {
+	if from >= to {
+		return 0
+	}
+	return f.Prefix(to) - f.Prefix(from)
+}

@@ -1,0 +1,59 @@
+package fenwick
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasicOperations(t *testing.T) {
+	f := New(8)
+	if f.Len() != 8 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	f.Add(0, 1)
+	f.Add(3, 2)
+	f.Add(7, 5)
+	cases := []struct{ from, to, want int }{
+		{0, 8, 8}, {0, 1, 1}, {1, 3, 0}, {3, 4, 2}, {4, 8, 5}, {7, 8, 5},
+		{5, 5, 0}, {6, 2, 0},
+	}
+	for _, tc := range cases {
+		if got := f.RangeSum(tc.from, tc.to); got != tc.want {
+			t.Errorf("RangeSum(%d,%d) = %d, want %d", tc.from, tc.to, got, tc.want)
+		}
+	}
+	f.Add(3, -2)
+	if got := f.RangeSum(0, 8); got != 6 {
+		t.Errorf("after decrement, total = %d, want 6", got)
+	}
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 50
+	f := New(n)
+	ref := make([]int, n)
+	for step := 0; step < 2000; step++ {
+		if rng.Intn(2) == 0 {
+			i, d := rng.Intn(n), rng.Intn(5)-2
+			f.Add(i, d)
+			ref[i] += d
+		} else {
+			from, to := rng.Intn(n+1), rng.Intn(n+1)
+			want := 0
+			for i := from; i < to; i++ {
+				want += ref[i]
+			}
+			if got := f.RangeSum(from, to); got != want {
+				t.Fatalf("step %d: RangeSum(%d,%d) = %d, want %d", step, from, to, got, want)
+			}
+		}
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	f := New(0)
+	if f.Prefix(0) != 0 || f.RangeSum(0, 0) != 0 {
+		t.Error("empty tree misbehaved")
+	}
+}

@@ -1,0 +1,29 @@
+package index_test
+
+import (
+	"fmt"
+
+	"mqdp/internal/index"
+)
+
+func Example() {
+	ix := index.New()
+	docs := []index.Doc{
+		{ID: 1, Time: 10, Text: "obama speaks on the economy"},
+		{ID: 2, Time: 20, Text: "sports roundup tonight"},
+		{ID: 3, Time: 30, Text: "senate reacts to obama plan"},
+	}
+	for _, d := range docs {
+		if err := ix.Add(d); err != nil {
+			panic(err)
+		}
+	}
+	for _, pos := range ix.TermQuery("obama", 0, 100) {
+		fmt.Println(ix.Doc(pos).ID)
+	}
+	fmt.Println("both terms:", len(ix.AllQuery([]string{"obama", "senate"}, 0, 100)))
+	// Output:
+	// 1
+	// 3
+	// both terms: 1
+}

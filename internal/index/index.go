@@ -1,0 +1,354 @@
+// Package index implements an in-memory, real-time inverted index over
+// microblogging posts — the "tweets inverted index" of the paper's Figure 1
+// architecture (there built on Lucene, here built from scratch). Like
+// Twitter's EarlyBird it is append-only in timestamp order and organized as
+// a chain of sealed, immutable segments plus one active segment receiving
+// writes: a single writer appends documents while readers run term,
+// boolean-OR/AND, time-range and TF-IDF ranked queries.
+package index
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"mqdp/internal/textutil"
+)
+
+// Doc is one indexed post.
+type Doc struct {
+	// ID is the application identifier.
+	ID int64
+	// Time is the publication timestamp (seconds, event time).
+	Time float64
+	// Text is the raw post text.
+	Text string
+}
+
+// posting is one (document, term-frequency) entry; pos is the document's
+// global position across all segments.
+type posting struct {
+	pos  int32
+	freq uint16
+}
+
+// segment holds a contiguous run of documents and their postings. Sealed
+// segments are immutable; only the last segment accepts writes.
+type segment struct {
+	docs     []Doc
+	postings map[string][]posting
+}
+
+func newSegment(capHint int) *segment {
+	return &segment{docs: make([]Doc, 0, capHint), postings: make(map[string][]posting)}
+}
+
+// DefaultSegmentSize is the document count at which the active segment is
+// sealed and a fresh one opened.
+const DefaultSegmentSize = 1 << 16
+
+// Index is a real-time inverted index. The zero value is not usable; call
+// New. One goroutine may Add while any number run queries.
+type Index struct {
+	mu       sync.RWMutex
+	segments []*segment // all sealed except the last
+	segStart []int32    // global position of each segment's first doc
+	segSize  int
+	count    int32
+	terms    int // distinct terms across segments (upper-bound estimate is exact here)
+	termSet  map[string]struct{}
+}
+
+// New returns an empty index with the default segment size.
+func New() *Index { return NewWithSegmentSize(DefaultSegmentSize) }
+
+// NewWithSegmentSize returns an empty index sealing segments at size docs.
+func NewWithSegmentSize(size int) *Index {
+	if size < 1 {
+		size = 1
+	}
+	ix := &Index{segSize: size, termSet: make(map[string]struct{})}
+	ix.segments = append(ix.segments, newSegment(min(size, 1024)))
+	ix.segStart = append(ix.segStart, 0)
+	return ix
+}
+
+// ErrTimeOrder reports an Add with a timestamp before the newest document.
+var ErrTimeOrder = errors.New("index: documents must be added in timestamp order")
+
+// Add indexes doc. Documents must arrive in nondecreasing Time order, which
+// keeps every posting list time-sorted for free (the EarlyBird property).
+// When the active segment is full it is sealed and a new one opened.
+func (ix *Index) Add(doc Doc) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.count > 0 {
+		if last := ix.lastDocLocked(); doc.Time < last.Time {
+			return fmt.Errorf("%w: %v after %v", ErrTimeOrder, doc.Time, last.Time)
+		}
+	}
+	active := ix.segments[len(ix.segments)-1]
+	if len(active.docs) >= ix.segSize {
+		active = newSegment(min(ix.segSize, 1024))
+		ix.segments = append(ix.segments, active)
+		ix.segStart = append(ix.segStart, ix.count)
+	}
+	pos := ix.count
+	active.docs = append(active.docs, doc)
+	ix.count++
+	counts := make(map[string]uint16)
+	for _, tok := range textutil.Tokenize(doc.Text) {
+		if tok.Kind == textutil.Word && textutil.IsStopword(tok.Text) {
+			continue
+		}
+		if counts[tok.Text] < math.MaxUint16 {
+			counts[tok.Text]++
+		}
+	}
+	for term, freq := range counts {
+		active.postings[term] = append(active.postings[term], posting{pos: pos, freq: freq})
+		if _, seen := ix.termSet[term]; !seen {
+			ix.termSet[term] = struct{}{}
+			ix.terms++
+		}
+	}
+	return nil
+}
+
+func (ix *Index) lastDocLocked() Doc {
+	for s := len(ix.segments) - 1; s >= 0; s-- {
+		if n := len(ix.segments[s].docs); n > 0 {
+			return ix.segments[s].docs[n-1]
+		}
+	}
+	return Doc{}
+}
+
+// Len reports the number of indexed documents.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return int(ix.count)
+}
+
+// Segments reports how many segments back the index (≥ 1).
+func (ix *Index) Segments() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.segments)
+}
+
+// docLocked resolves a global position; the caller holds a lock.
+func (ix *Index) docLocked(pos int32) Doc {
+	s := sort.Search(len(ix.segStart), func(k int) bool { return ix.segStart[k] > pos }) - 1
+	return ix.segments[s].docs[pos-ix.segStart[s]]
+}
+
+// Doc returns the document at position pos (0 ≤ pos < Len, in time order).
+func (ix *Index) Doc(pos int32) Doc {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.docLocked(pos)
+}
+
+// DocFreq returns the number of documents containing term.
+func (ix *Index) DocFreq(term string) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	total := 0
+	for _, seg := range ix.segments {
+		total += len(seg.postings[term])
+	}
+	return total
+}
+
+// Terms reports the number of distinct indexed terms.
+func (ix *Index) Terms() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.terms
+}
+
+// rangeFilterSeg appends the positions of seg's postings for pl within the
+// time range [lo, hi]. The caller holds at least a read lock.
+func (ix *Index) rangeFilterSeg(seg *segment, pl []posting, lo, hi float64, out []int32) []int32 {
+	base := func(k int) Doc {
+		// postings positions are global; map into this segment's docs.
+		return ix.docLocked(pl[k].pos)
+	}
+	from := sort.Search(len(pl), func(k int) bool { return base(k).Time >= lo })
+	to := sort.Search(len(pl), func(k int) bool { return base(k).Time > hi })
+	for k := from; k < to; k++ {
+		out = append(out, pl[k].pos)
+	}
+	return out
+}
+
+// termPositions gathers term's positions within [lo, hi] across segments,
+// ascending. The caller holds at least a read lock.
+func (ix *Index) termPositions(term string, lo, hi float64) []int32 {
+	var out []int32
+	for _, seg := range ix.segments {
+		if pl := seg.postings[term]; len(pl) > 0 {
+			out = ix.rangeFilterSeg(seg, pl, lo, hi, out)
+		}
+	}
+	return out
+}
+
+// TermQuery returns the positions of documents containing term with Time in
+// [lo, hi], ascending.
+func (ix *Index) TermQuery(term string, lo, hi float64) []int32 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.termPositions(term, lo, hi)
+}
+
+// AnyQuery returns positions of documents containing at least one of terms,
+// with Time in [lo, hi], ascending and deduplicated (boolean OR).
+func (ix *Index) AnyQuery(terms []string, lo, hi float64) []int32 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var all []int32
+	for _, t := range terms {
+		all = append(all, ix.termPositions(t, lo, hi)...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	out := all[:0]
+	for i, p := range all {
+		if i == 0 || all[i-1] != p {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// AllQuery returns positions of documents containing every one of terms,
+// with Time in [lo, hi], ascending (boolean AND). An empty term list matches
+// nothing.
+func (ix *Index) AllQuery(terms []string, lo, hi float64) []int32 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if len(terms) == 0 {
+		return nil
+	}
+	// Intersect starting from the rarest term.
+	sorted := append([]string(nil), terms...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return ix.docFreqLocked(sorted[i]) < ix.docFreqLocked(sorted[j])
+	})
+	cur := ix.termPositions(sorted[0], lo, hi)
+	for _, t := range sorted[1:] {
+		if len(cur) == 0 {
+			return nil
+		}
+		other := ix.termPositions(t, lo, hi)
+		next := cur[:0]
+		k := 0
+		for _, pos := range cur {
+			for k < len(other) && other[k] < pos {
+				k++
+			}
+			if k < len(other) && other[k] == pos {
+				next = append(next, pos)
+			}
+		}
+		cur = next
+	}
+	if len(cur) == 0 {
+		return nil
+	}
+	return cur
+}
+
+func (ix *Index) docFreqLocked(term string) int {
+	total := 0
+	for _, seg := range ix.segments {
+		total += len(seg.postings[term])
+	}
+	return total
+}
+
+// Hit is one ranked search result.
+type Hit struct {
+	Pos   int32
+	Score float64
+}
+
+// hitHeap is a min-heap on score used for top-k selection.
+type hitHeap []Hit
+
+func (h hitHeap) Len() int { return len(h) }
+func (h hitHeap) Less(i, j int) bool {
+	if h[i].Score != h[j].Score {
+		return h[i].Score < h[j].Score
+	}
+	return h[i].Pos > h[j].Pos // prefer earlier docs on ties
+}
+func (h hitHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *hitHeap) Push(x any)   { *h = append(*h, x.(Hit)) }
+func (h *hitHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// Search tokenizes query and returns the top-k documents in [lo, hi] by
+// TF-IDF score, best first.
+func (ix *Index) Search(query string, k int, lo, hi float64) []Hit {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if k <= 0 {
+		return nil
+	}
+	terms := make(map[string]struct{})
+	for _, tok := range textutil.Tokenize(query) {
+		if tok.Kind == textutil.Word && textutil.IsStopword(tok.Text) {
+			continue
+		}
+		terms[tok.Text] = struct{}{}
+	}
+	n := float64(ix.count)
+	scores := make(map[int32]float64)
+	for term := range terms {
+		df := ix.docFreqLocked(term)
+		if df == 0 {
+			continue
+		}
+		idf := math.Log(1 + n/float64(df))
+		for _, seg := range ix.segments {
+			pl := seg.postings[term]
+			if len(pl) == 0 {
+				continue
+			}
+			from := sort.Search(len(pl), func(x int) bool { return ix.docLocked(pl[x].pos).Time >= lo })
+			to := sort.Search(len(pl), func(x int) bool { return ix.docLocked(pl[x].pos).Time > hi })
+			for _, p := range pl[from:to] {
+				scores[p.pos] += (1 + math.Log(float64(p.freq))) * idf
+			}
+		}
+	}
+	h := make(hitHeap, 0, k)
+	for pos, score := range scores {
+		switch {
+		case len(h) < k:
+			heap.Push(&h, Hit{Pos: pos, Score: score})
+		case score > h[0].Score || (score == h[0].Score && pos < h[0].Pos):
+			// Deterministic top-k despite map iteration order: ties are
+			// broken toward earlier documents.
+			h[0] = Hit{Pos: pos, Score: score}
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]Hit, len(h))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(Hit)
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,101 @@
+package index
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// snapshotVersion guards the on-disk format.
+const snapshotVersion = 1
+
+// snapshot is the gob-encoded on-disk form of an Index: a flat document list
+// plus flattened posting lists (segment layout is an in-memory concern and
+// is rebuilt on load).
+type snapshot struct {
+	Version int
+	Docs    []Doc
+	Terms   []termSnapshot
+}
+
+// termSnapshot flattens one posting list.
+type termSnapshot struct {
+	Term string
+	Pos  []int32
+	Freq []uint16
+}
+
+// Save serializes the index. Readers may continue concurrently; the writer
+// must be paused (Save takes the read lock).
+func (ix *Index) Save(w io.Writer) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	snap := snapshot{Version: snapshotVersion}
+	for _, seg := range ix.segments {
+		snap.Docs = append(snap.Docs, seg.docs...)
+	}
+	// Merge per-segment posting lists; segments are position-ordered so
+	// concatenation keeps lists ascending.
+	merged := make(map[string]*termSnapshot)
+	order := make([]string, 0, ix.terms)
+	for _, seg := range ix.segments {
+		for term, pl := range seg.postings {
+			ts, ok := merged[term]
+			if !ok {
+				ts = &termSnapshot{Term: term}
+				merged[term] = ts
+				order = append(order, term)
+			}
+			for _, p := range pl {
+				ts.Pos = append(ts.Pos, p.pos)
+				ts.Freq = append(ts.Freq, p.freq)
+			}
+		}
+	}
+	for _, term := range order {
+		snap.Terms = append(snap.Terms, *merged[term])
+	}
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("index: save: %w", err)
+	}
+	return nil
+}
+
+// Load reconstructs an index from a Save stream, validating the snapshot's
+// structural invariants (time order, posting ranges and ordering) before
+// rebuilding the segments.
+func Load(r io.Reader) (*Index, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("index: load: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("index: load: unsupported snapshot version %d", snap.Version)
+	}
+	for i := 1; i < len(snap.Docs); i++ {
+		if snap.Docs[i].Time < snap.Docs[i-1].Time {
+			return nil, fmt.Errorf("index: load: documents out of time order at %d", i)
+		}
+	}
+	n := int32(len(snap.Docs))
+	for _, ts := range snap.Terms {
+		if len(ts.Pos) != len(ts.Freq) {
+			return nil, fmt.Errorf("index: load: term %q has mismatched posting arrays", ts.Term)
+		}
+		for i := range ts.Pos {
+			if ts.Pos[i] < 0 || ts.Pos[i] >= n {
+				return nil, fmt.Errorf("index: load: term %q references document %d of %d", ts.Term, ts.Pos[i], n)
+			}
+			if i > 0 && ts.Pos[i] <= ts.Pos[i-1] {
+				return nil, fmt.Errorf("index: load: term %q posting list not ascending", ts.Term)
+			}
+		}
+	}
+	ix := New()
+	for _, d := range snap.Docs {
+		if err := ix.Add(d); err != nil {
+			return nil, fmt.Errorf("index: load: %w", err)
+		}
+	}
+	return ix, nil
+}

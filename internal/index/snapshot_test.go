@@ -1,0 +1,103 @@
+package index
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	ix := New()
+	for i := 0; i < 200; i++ {
+		text := fmt.Sprintf("post %d about obama", i)
+		if i%3 == 0 {
+			text += " and the senate budget"
+		}
+		if err := ix.Add(Doc{ID: int64(i), Time: float64(i), Text: text}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != ix.Len() || loaded.Terms() != ix.Terms() {
+		t.Fatalf("loaded %d docs / %d terms, want %d / %d", loaded.Len(), loaded.Terms(), ix.Len(), ix.Terms())
+	}
+	for _, term := range []string{"obama", "senate", "budget", "nonexistent"} {
+		a := ix.TermQuery(term, 0, 1e9)
+		b := loaded.TermQuery(term, 0, 1e9)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("TermQuery(%q) differs after reload: %v vs %v", term, a, b)
+		}
+	}
+	ha := ix.Search("obama senate", 5, 0, 1e9)
+	hb := loaded.Search("obama senate", 5, 0, 1e9)
+	if !reflect.DeepEqual(ha, hb) {
+		t.Errorf("Search differs after reload: %v vs %v", ha, hb)
+	}
+	// The loaded index keeps accepting documents.
+	if err := loaded.Add(Doc{ID: 999, Time: 1e6, Text: "obama again"}); err != nil {
+		t.Fatalf("Add after load: %v", err)
+	}
+	if got := loaded.DocFreq("obama"); got != ix.DocFreq("obama")+1 {
+		t.Errorf("post-load DocFreq = %d", got)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a gob stream")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestLoadRejectsBadSnapshots(t *testing.T) {
+	encode := func(s snapshot) *bytes.Buffer {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&s); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+	cases := []struct {
+		name string
+		snap snapshot
+	}{
+		{"wrong version", snapshot{Version: 99}},
+		{"out-of-order docs", snapshot{Version: 1, Docs: []Doc{{ID: 1, Time: 5}, {ID: 2, Time: 1}}}},
+		{"mismatched postings", snapshot{Version: 1, Docs: []Doc{{ID: 1}},
+			Terms: []termSnapshot{{Term: "x", Pos: []int32{0}, Freq: nil}}}},
+		{"dangling posting", snapshot{Version: 1, Docs: []Doc{{ID: 1}},
+			Terms: []termSnapshot{{Term: "x", Pos: []int32{5}, Freq: []uint16{1}}}}},
+		{"non-ascending postings", snapshot{Version: 1, Docs: []Doc{{ID: 1}, {ID: 2, Time: 1}},
+			Terms: []termSnapshot{{Term: "x", Pos: []int32{1, 0}, Freq: []uint16{1, 1}}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Load(encode(tc.snap)); err == nil {
+				t.Errorf("bad snapshot %q accepted", tc.name)
+			}
+		})
+	}
+}
+
+func TestSaveEmptyIndex(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 0 || loaded.Terms() != 0 {
+		t.Errorf("loaded empty index has %d docs / %d terms", loaded.Len(), loaded.Terms())
+	}
+}

@@ -1,0 +1,229 @@
+package lda
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// plantedCorpus builds documents from nTopics disjoint vocabularies so a
+// correct sampler can recover the planted structure.
+func plantedCorpus(nTopics, docsPerTopic, wordsPerDoc int, seed int64) (*Corpus, [][]string, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	vocabs := make([][]string, nTopics)
+	for t := range vocabs {
+		for w := 0; w < 12; w++ {
+			vocabs[t] = append(vocabs[t], fmt.Sprintf("topic%dword%d", t, w))
+		}
+	}
+	c := NewCorpus()
+	var truth []int
+	for t := 0; t < nTopics; t++ {
+		for d := 0; d < docsPerTopic; d++ {
+			words := make([]string, wordsPerDoc)
+			for i := range words {
+				words[i] = vocabs[t][rng.Intn(len(vocabs[t]))]
+			}
+			c.AddWords(words)
+			truth = append(truth, t)
+		}
+	}
+	return c, vocabs, truth
+}
+
+func TestTrainRecoversPlantedTopics(t *testing.T) {
+	c, vocabs, truth := plantedCorpus(3, 30, 40, 1)
+	m, err := Train(c, Options{Topics: 3, Iterations: 150, Seed: 2})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	// Each planted topic's documents must agree on a dominant model topic,
+	// and the three dominant topics must be distinct.
+	assigned := make([]int, 3)
+	for pt := 0; pt < 3; pt++ {
+		votes := map[int]int{}
+		for d, tr := range truth {
+			if tr != pt {
+				continue
+			}
+			k, err := m.DominantTopic(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			votes[k]++
+		}
+		best, bestVotes, total := 0, 0, 0
+		for k, v := range votes {
+			total += v
+			if v > bestVotes {
+				best, bestVotes = k, v
+			}
+		}
+		if bestVotes*10 < total*9 {
+			t.Errorf("planted topic %d: only %d/%d docs agree on model topic %d", pt, bestVotes, total, best)
+		}
+		assigned[pt] = best
+	}
+	if assigned[0] == assigned[1] || assigned[1] == assigned[2] || assigned[0] == assigned[2] {
+		t.Errorf("planted topics mapped to non-distinct model topics %v", assigned)
+	}
+	// Top keywords of each recovered topic must come from its planted vocab.
+	for pt := 0; pt < 3; pt++ {
+		kws := m.TopKeywords(assigned[pt], 5)
+		if len(kws) != 5 {
+			t.Fatalf("TopKeywords returned %d words", len(kws))
+		}
+		want := map[string]bool{}
+		for _, w := range vocabs[pt] {
+			want[w] = true
+		}
+		for _, kw := range kws {
+			if !want[kw.Word] {
+				t.Errorf("topic %d keyword %q not from planted vocabulary %d", assigned[pt], kw.Word, pt)
+			}
+		}
+	}
+}
+
+func TestTrainDeterministicPerSeed(t *testing.T) {
+	c, _, _ := plantedCorpus(2, 10, 20, 3)
+	m1, err := Train(c, Options{Topics: 2, Iterations: 30, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(c, Options{Topics: 2, Iterations: 30, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 2; k++ {
+		a, b := m1.TopKeywords(k, 10), m2.TopKeywords(k, 10)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("same seed, different keywords: %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+func TestTopKeywordsWeightsSortedAndNormalized(t *testing.T) {
+	c, _, _ := plantedCorpus(2, 15, 30, 5)
+	m, err := Train(c, Options{Topics: 2, Iterations: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 2; k++ {
+		kws := m.TopKeywords(k, 1000)
+		for i := 1; i < len(kws); i++ {
+			if kws[i].Weight > kws[i-1].Weight {
+				t.Fatalf("topic %d keywords not sorted by weight", k)
+			}
+		}
+		sum := 0.0
+		for _, kw := range kws {
+			if kw.Weight <= 0 || kw.Weight > 1 {
+				t.Fatalf("weight %v out of (0,1]", kw.Weight)
+			}
+			sum += kw.Weight
+		}
+		if sum > 1.0001 {
+			t.Errorf("topic %d weights sum to %v > 1", k, sum)
+		}
+	}
+}
+
+func TestDocTopicsIsDistribution(t *testing.T) {
+	c, _, _ := plantedCorpus(2, 5, 15, 7)
+	m, err := Train(c, Options{Topics: 2, Iterations: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < c.Docs(); d++ {
+		theta, err := m.DocTopics(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, p := range theta {
+			if p < 0 {
+				t.Fatalf("negative topic probability %v", p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("doc %d θ sums to %v", d, sum)
+		}
+	}
+	if _, err := m.DocTopics(-1); err == nil {
+		t.Error("DocTopics(-1) accepted")
+	}
+	if _, err := m.DocTopics(c.Docs()); err == nil {
+		t.Error("DocTopics(out of range) accepted")
+	}
+}
+
+func TestTrainEmptyCorpus(t *testing.T) {
+	if _, err := Train(NewCorpus(), Options{}); !errors.Is(err, ErrEmptyCorpus) {
+		t.Errorf("error = %v, want ErrEmptyCorpus", err)
+	}
+}
+
+func TestCorpusAddText(t *testing.T) {
+	c := NewCorpus()
+	if !c.AddText("the senate votes on the budget") {
+		t.Fatal("AddText rejected non-empty document")
+	}
+	if c.AddText("the and of") { // all stopwords
+		t.Error("stopword-only document accepted")
+	}
+	if c.Docs() != 1 {
+		t.Errorf("Docs = %d, want 1", c.Docs())
+	}
+	if c.VocabSize() != 3 { // senate, votes, budget
+		t.Errorf("VocabSize = %d, want 3", c.VocabSize())
+	}
+}
+
+func TestTopKeywordsEdgeCases(t *testing.T) {
+	c, _, _ := plantedCorpus(2, 5, 10, 9)
+	m, err := Train(c, Options{Topics: 2, Iterations: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.TopKeywords(-1, 5); got != nil {
+		t.Errorf("TopKeywords(-1) = %v", got)
+	}
+	if got := m.TopKeywords(5, 5); got != nil {
+		t.Errorf("TopKeywords(out of range) = %v", got)
+	}
+	if got := m.TopKeywords(0, 0); got != nil {
+		t.Errorf("TopKeywords(n=0) = %v", got)
+	}
+	if m.Topics() != 2 {
+		t.Errorf("Topics = %d", m.Topics())
+	}
+}
+
+func TestPerplexityImprovesWithTraining(t *testing.T) {
+	c, _, _ := plantedCorpus(3, 25, 40, 13)
+	barely, err := Train(c, Options{Topics: 3, Iterations: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trained, err := Train(c, Options{Topics: 3, Iterations: 120, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, pt := barely.Perplexity(), trained.Perplexity()
+	if !(pt > 0) || math.IsInf(pt, 0) {
+		t.Fatalf("trained perplexity = %v", pt)
+	}
+	if pt >= pb {
+		t.Errorf("training did not reduce perplexity: %v → %v", pb, pt)
+	}
+	// A fitted topical model beats the uniform-word baseline (= vocab size).
+	if pt >= float64(c.VocabSize()) {
+		t.Errorf("perplexity %v not below uniform baseline %d", pt, c.VocabSize())
+	}
+}

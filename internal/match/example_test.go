@@ -1,0 +1,24 @@
+package match_test
+
+import (
+	"fmt"
+
+	"mqdp/internal/match"
+)
+
+func ExampleMatcher_Match() {
+	m, err := match.NewMatcher([]match.Topic{
+		{Name: "politics", Keywords: []match.Keyword{{Text: "obama", Weight: 1}, {Text: "senate", Weight: 0.6}}},
+		{Name: "markets", Keywords: []match.Keyword{{Text: "stocks", Weight: 1}}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	labels := m.Match("obama comments move stocks higher")
+	for _, a := range labels {
+		fmt.Println(m.Topic(a).Name)
+	}
+	// Output:
+	// politics
+	// markets
+}

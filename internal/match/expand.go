@@ -1,0 +1,187 @@
+package match
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"mqdp/internal/textutil"
+)
+
+// Expander implements §9's "context expansion" direction for short posts:
+// topic keyword sets are enriched with words that strongly co-occur with the
+// existing keywords in a background corpus, measured by pointwise mutual
+// information at the document level,
+//
+//	PMI(seed, w) = log( P(seed, w) / (P(seed) · P(w)) ).
+//
+// Tracking is seeded: only co-occurrences between registered seed words and
+// other words are counted, which keeps memory proportional to
+// |seeds| × |vocabulary seen with them| instead of |vocabulary|².
+type Expander struct {
+	seeds map[string]struct{}
+	// docFreq[w] = documents containing w.
+	docFreq map[string]int
+	// coFreq[seed][w] = documents containing both.
+	coFreq map[string]map[string]int
+	docs   int
+}
+
+// ErrNoSeeds reports an expander without seed words.
+var ErrNoSeeds = errors.New("match: expander needs seed words")
+
+// NewExpander tracks co-occurrence against the given seed words (typically
+// the union of all topic keywords).
+func NewExpander(seeds []string) (*Expander, error) {
+	if len(seeds) == 0 {
+		return nil, ErrNoSeeds
+	}
+	e := &Expander{
+		seeds:   make(map[string]struct{}, len(seeds)),
+		docFreq: make(map[string]int),
+		coFreq:  make(map[string]map[string]int),
+	}
+	for _, s := range seeds {
+		if s == "" {
+			continue
+		}
+		e.seeds[s] = struct{}{}
+		e.coFreq[s] = make(map[string]int)
+	}
+	if len(e.seeds) == 0 {
+		return nil, ErrNoSeeds
+	}
+	return e, nil
+}
+
+// ObserveText tokenizes one corpus document and records co-occurrences.
+func (e *Expander) ObserveText(text string) {
+	e.Observe(textutil.ContentWords(text))
+}
+
+// Observe records one pre-tokenized document.
+func (e *Expander) Observe(words []string) {
+	if len(words) == 0 {
+		return
+	}
+	distinct := make(map[string]struct{}, len(words))
+	for _, w := range words {
+		distinct[w] = struct{}{}
+	}
+	e.docs++
+	var present []string
+	for w := range distinct {
+		e.docFreq[w]++
+		if _, ok := e.seeds[w]; ok {
+			present = append(present, w)
+		}
+	}
+	for _, s := range present {
+		co := e.coFreq[s]
+		for w := range distinct {
+			if w != s {
+				co[w]++
+			}
+		}
+	}
+}
+
+// Docs reports how many documents were observed.
+func (e *Expander) Docs() int { return e.docs }
+
+// Collocate is one expansion candidate.
+type Collocate struct {
+	Word  string
+	PMI   float64
+	Joint int // documents containing both the seed and the word
+	// Score ranks candidates: PMI damped by joint support,
+	// PMI · log(1+joint) — the standard fix for plain PMI's bias toward
+	// rare one-off pairs.
+	Score float64
+}
+
+// Collocates returns the top-n collocates of seed by support-damped PMI,
+// requiring at least minCount joint documents.
+func (e *Expander) Collocates(seed string, n, minCount int) []Collocate {
+	co, ok := e.coFreq[seed]
+	if !ok || e.docs == 0 || n <= 0 {
+		return nil
+	}
+	seedDF := e.docFreq[seed]
+	if seedDF == 0 {
+		return nil
+	}
+	var out []Collocate
+	for w, joint := range co {
+		if joint < minCount {
+			continue
+		}
+		pmi := math.Log(float64(joint) * float64(e.docs) / (float64(seedDF) * float64(e.docFreq[w])))
+		if pmi <= 0 {
+			continue
+		}
+		out = append(out, Collocate{
+			Word:  w,
+			PMI:   pmi,
+			Joint: joint,
+			Score: pmi * math.Log1p(float64(joint)),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Word < out[j].Word
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Expand returns a copy of t with up to extra new keywords: the strongest
+// collocates (PMI > minPMI, ≥ minCount joint docs) of the topic's existing
+// keywords that are not already keywords. New keywords get the weight of the
+// collocate's PMI normalized into (0, 1].
+func (e *Expander) Expand(t Topic, extra, minCount int, minPMI float64) Topic {
+	if extra <= 0 {
+		return t
+	}
+	existing := make(map[string]struct{}, len(t.Keywords))
+	for _, kw := range t.Keywords {
+		existing[kw.Text] = struct{}{}
+	}
+	bestScore := map[string]float64{}
+	for _, kw := range t.Keywords {
+		for _, c := range e.Collocates(kw.Text, extra*4, minCount) {
+			if _, dup := existing[c.Word]; dup {
+				continue
+			}
+			if c.PMI > minPMI && c.Score > bestScore[c.Word] {
+				bestScore[c.Word] = c.Score
+			}
+		}
+	}
+	cands := make([]Collocate, 0, len(bestScore))
+	maxScore := 0.0
+	for w, s := range bestScore {
+		cands = append(cands, Collocate{Word: w, Score: s})
+		if s > maxScore {
+			maxScore = s
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Score != cands[j].Score {
+			return cands[i].Score > cands[j].Score
+		}
+		return cands[i].Word < cands[j].Word
+	})
+	if len(cands) > extra {
+		cands = cands[:extra]
+	}
+	out := Topic{Name: t.Name, Keywords: append([]Keyword(nil), t.Keywords...)}
+	for _, c := range cands {
+		out.Keywords = append(out.Keywords, Keyword{Text: c.Word, Weight: c.Score / maxScore})
+	}
+	return out
+}

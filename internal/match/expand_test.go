@@ -1,0 +1,153 @@
+package match
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// obamaCorpus emits documents where "obama" reliably co-occurs with
+// "whitehouse" and "potus", while "pizza" co-occurs with neither.
+func obamaCorpus(e *Expander, n int, rng *rand.Rand) {
+	for i := 0; i < n; i++ {
+		switch i % 3 {
+		case 0:
+			e.Observe([]string{"obama", "whitehouse", "potus", "press", fmt.Sprintf("noise%d", rng.Intn(50))})
+		case 1:
+			e.Observe([]string{"obama", "whitehouse", "speech", fmt.Sprintf("noise%d", rng.Intn(50))})
+		default:
+			e.Observe([]string{"pizza", "cheese", "oven", fmt.Sprintf("noise%d", rng.Intn(50))})
+		}
+	}
+}
+
+func TestNewExpanderValidation(t *testing.T) {
+	if _, err := NewExpander(nil); !errors.Is(err, ErrNoSeeds) {
+		t.Errorf("empty seeds error = %v", err)
+	}
+	if _, err := NewExpander([]string{""}); !errors.Is(err, ErrNoSeeds) {
+		t.Errorf("blank seeds error = %v", err)
+	}
+}
+
+func TestCollocatesFindContext(t *testing.T) {
+	e, err := NewExpander([]string{"obama"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obamaCorpus(e, 300, rand.New(rand.NewSource(1)))
+	if e.Docs() != 300 {
+		t.Errorf("Docs = %d", e.Docs())
+	}
+	cols := e.Collocates("obama", 3, 5)
+	if len(cols) == 0 {
+		t.Fatal("no collocates found")
+	}
+	if cols[0].Word != "whitehouse" {
+		t.Errorf("top collocate = %q, want whitehouse (cols %v)", cols[0].Word, cols)
+	}
+	for _, c := range cols {
+		if c.Word == "cheese" || c.Word == "oven" {
+			t.Errorf("unrelated word %q ranked as collocate", c.Word)
+		}
+		if c.PMI <= 0 {
+			t.Errorf("non-positive PMI %v for %q", c.PMI, c.Word)
+		}
+	}
+	if got := e.Collocates("unknown", 3, 1); got != nil {
+		t.Errorf("Collocates(unknown) = %v", got)
+	}
+	if got := e.Collocates("obama", 0, 1); got != nil {
+		t.Errorf("n=0 collocates = %v", got)
+	}
+}
+
+func TestExpandImprovesRecall(t *testing.T) {
+	// Posts mention "whitehouse" without the keyword "obama"; the expanded
+	// topic catches them.
+	e, err := NewExpander([]string{"obama"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obamaCorpus(e, 300, rand.New(rand.NewSource(2)))
+	base := Topic{Name: "obama", Keywords: []Keyword{{Text: "obama", Weight: 1}}}
+	expanded := e.Expand(base, 2, 5, 0.1)
+	if len(expanded.Keywords) <= len(base.Keywords) {
+		t.Fatalf("expansion added no keywords: %v", expanded.Keywords)
+	}
+	if len(base.Keywords) != 1 {
+		t.Fatal("Expand mutated the input topic")
+	}
+	mBase, err := NewMatcher([]Topic{base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mExp, err := NewMatcher([]Topic{expanded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := "statement from the whitehouse this afternoon"
+	if got := mBase.Match(post); got != nil {
+		t.Fatalf("base matcher unexpectedly matched: %v", got)
+	}
+	if got := mExp.Match(post); len(got) != 1 {
+		t.Errorf("expanded matcher missed the contextual post (keywords %v)", expanded.Keywords)
+	}
+	// Weights are normalized into (0, 1].
+	for _, kw := range expanded.Keywords[1:] {
+		if kw.Weight <= 0 || kw.Weight > 1 {
+			t.Errorf("expanded keyword weight %v outside (0,1]", kw.Weight)
+		}
+	}
+}
+
+func TestExpandRespectsLimits(t *testing.T) {
+	e, err := NewExpander([]string{"obama"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obamaCorpus(e, 300, rand.New(rand.NewSource(3)))
+	base := Topic{Name: "t", Keywords: []Keyword{{Text: "obama", Weight: 1}}}
+	if got := e.Expand(base, 0, 1, 0); len(got.Keywords) != 1 {
+		t.Errorf("extra=0 expanded to %v", got.Keywords)
+	}
+	one := e.Expand(base, 1, 5, 0.1)
+	if len(one.Keywords) != 2 {
+		t.Errorf("extra=1 produced %d keywords", len(one.Keywords))
+	}
+	// A huge minCount filters everything.
+	none := e.Expand(base, 5, 10000, 0.1)
+	if len(none.Keywords) != 1 {
+		t.Errorf("unreachable minCount still expanded: %v", none.Keywords)
+	}
+	// Existing keywords are never re-added.
+	both := Topic{Name: "t", Keywords: []Keyword{{Text: "obama", Weight: 1}, {Text: "whitehouse", Weight: 1}}}
+	exp := e.Expand(both, 3, 5, 0.1)
+	seen := map[string]int{}
+	for _, kw := range exp.Keywords {
+		seen[kw.Text]++
+		if seen[kw.Text] > 1 {
+			t.Errorf("duplicate keyword %q after expansion", kw.Text)
+		}
+	}
+}
+
+func TestObserveEmptyAndUnseeded(t *testing.T) {
+	e, err := NewExpander([]string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Observe(nil)
+	e.ObserveText("")
+	if e.Docs() != 0 {
+		t.Errorf("empty documents counted: %d", e.Docs())
+	}
+	e.ObserveText("the quick brown fox") // no seeds present
+	if e.Docs() != 1 {
+		t.Errorf("Docs = %d", e.Docs())
+	}
+	if got := e.Collocates("x", 5, 1); got != nil {
+		t.Errorf("collocates without seed sightings = %v", got)
+	}
+}

@@ -1,0 +1,220 @@
+// Package match implements the posts/label matching module of the paper's
+// Figure 1 architecture: user queries are topics (weighted keyword sets,
+// e.g. from LDA), and a post matches a topic when it contains at least one
+// of the topic's keywords — the matching rule of §7.1. The matcher projects
+// raw posts into core.Post values on a chosen diversity dimension.
+package match
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"mqdp/internal/core"
+	"mqdp/internal/index"
+	"mqdp/internal/lda"
+	"mqdp/internal/sentiment"
+	"mqdp/internal/textutil"
+)
+
+// Keyword is one weighted topic keyword.
+type Keyword struct {
+	Text   string
+	Weight float64
+}
+
+// Topic is a user query: a named, weighted keyword set.
+type Topic struct {
+	Name     string
+	Keywords []Keyword
+}
+
+// Dimension selects the diversity dimension a matched post is projected on.
+type Dimension int
+
+// Supported dimensions.
+const (
+	// ByTime uses the post timestamp (the paper's default).
+	ByTime Dimension = iota
+	// BySentiment uses lexicon polarity in [-1, 1].
+	BySentiment
+)
+
+// Matcher matches post text against a fixed topic set. It is immutable
+// after construction and safe for concurrent use.
+type Matcher struct {
+	topics []Topic
+	byWord map[string][]weightedLabel // keyword -> topics containing it
+}
+
+// weightedLabel pairs a topic with the weight of one of its keywords.
+type weightedLabel struct {
+	label  core.Label
+	weight float64
+}
+
+// ErrNoTopics is returned when constructing a matcher without topics.
+var ErrNoTopics = errors.New("match: no topics")
+
+// NewMatcher builds a matcher where topic i answers to label i.
+func NewMatcher(topics []Topic) (*Matcher, error) {
+	if len(topics) == 0 {
+		return nil, ErrNoTopics
+	}
+	m := &Matcher{topics: topics, byWord: make(map[string][]weightedLabel)}
+	for ti, t := range topics {
+		if len(t.Keywords) == 0 {
+			return nil, fmt.Errorf("match: topic %d (%q) has no keywords", ti, t.Name)
+		}
+		seen := map[string]bool{}
+		for _, kw := range t.Keywords {
+			if kw.Text == "" || seen[kw.Text] {
+				continue
+			}
+			seen[kw.Text] = true
+			m.byWord[kw.Text] = append(m.byWord[kw.Text], weightedLabel{label: core.Label(ti), weight: kw.Weight})
+		}
+	}
+	return m, nil
+}
+
+// NumTopics reports the topic (label) count.
+func (m *Matcher) NumTopics() int { return len(m.topics) }
+
+// Topic returns the topic behind a label.
+func (m *Matcher) Topic(a core.Label) Topic { return m.topics[a] }
+
+// Match tokenizes text and returns the labels of every topic with at least
+// one keyword present, sorted and deduplicated.
+func (m *Matcher) Match(text string) []core.Label {
+	return m.MatchWords(textutil.Words(text))
+}
+
+// MatchWords is Match over pre-tokenized words.
+func (m *Matcher) MatchWords(words []string) []core.Label {
+	var labels []core.Label
+	for _, w := range words {
+		for _, wl := range m.byWord[w] {
+			labels = append(labels, wl.label)
+		}
+	}
+	if len(labels) == 0 {
+		return nil
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	out := labels[:0]
+	for i, a := range labels {
+		if i == 0 || labels[i-1] != a {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Score is a topic-relevance score for one text.
+type Score struct {
+	Label core.Label
+	// Value is the sum of the weights of the topic's distinct keywords
+	// present in the text.
+	Value float64
+}
+
+// MatchScores returns per-topic relevance scores (distinct matched keyword
+// weights summed), sorted by label. Only topics with at least one match
+// appear.
+func (m *Matcher) MatchScores(words []string) []Score {
+	type hit struct {
+		word  string
+		label core.Label
+	}
+	seen := map[hit]struct{}{}
+	scores := map[core.Label]float64{}
+	for _, w := range words {
+		for _, wl := range m.byWord[w] {
+			h := hit{word: w, label: wl.label}
+			if _, dup := seen[h]; dup {
+				continue // a repeated keyword counts once
+			}
+			seen[h] = struct{}{}
+			scores[wl.label] += wl.weight
+		}
+	}
+	out := make([]Score, 0, len(scores))
+	for a, v := range scores {
+		out = append(out, Score{Label: a, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}
+
+// MatchThreshold returns the labels whose relevance score reaches theta —
+// a stricter relevance rule than the paper's "contains at least one keyword"
+// (which is the special case theta → 0 with unit weights).
+func (m *Matcher) MatchThreshold(text string, theta float64) []core.Label {
+	var out []core.Label
+	for _, s := range m.MatchScores(textutil.Words(text)) {
+		if s.Value >= theta {
+			out = append(out, s.Label)
+		}
+	}
+	return out
+}
+
+// PostFromDoc projects doc onto dim, returning false when no topic matches
+// (such posts are irrelevant to every query and never enter MQDP).
+func (m *Matcher) PostFromDoc(doc index.Doc, dim Dimension) (core.Post, bool) {
+	labels := m.Match(doc.Text)
+	if len(labels) == 0 {
+		return core.Post{}, false
+	}
+	value := doc.Time
+	if dim == BySentiment {
+		value = sentiment.Score(doc.Text)
+	}
+	return core.Post{ID: doc.ID, Value: value, Labels: labels}, true
+}
+
+// FromIndex retrieves every document in [lo, hi] matching at least one topic
+// from ix (via boolean-OR keyword queries, the paper's "search query against
+// an inverted index" input path) and projects the matches onto dim.
+func (m *Matcher) FromIndex(ix *index.Index, dim Dimension, lo, hi float64) []core.Post {
+	var terms []string
+	for w := range m.byWord {
+		terms = append(terms, w)
+	}
+	sort.Strings(terms) // deterministic query order
+	positions := ix.AnyQuery(terms, lo, hi)
+	posts := make([]core.Post, 0, len(positions))
+	for _, pos := range positions {
+		if p, ok := m.PostFromDoc(ix.Doc(pos), dim); ok {
+			posts = append(posts, p)
+		}
+	}
+	return posts
+}
+
+// FromLDA converts trained LDA topics into matcher queries: topic k becomes
+// a Topic named by namer (or "topic-k") with its top keywordsPerTopic
+// weighted keywords — the paper's §7.1 query-generation step.
+func FromLDA(model *lda.Model, topicIDs []int, keywordsPerTopic int, namer func(k int) string) ([]Topic, error) {
+	if len(topicIDs) == 0 {
+		return nil, ErrNoTopics
+	}
+	topics := make([]Topic, 0, len(topicIDs))
+	for _, k := range topicIDs {
+		kws := model.TopKeywords(k, keywordsPerTopic)
+		if len(kws) == 0 {
+			return nil, fmt.Errorf("match: LDA topic %d has no keywords", k)
+		}
+		name := fmt.Sprintf("topic-%d", k)
+		if namer != nil {
+			name = namer(k)
+		}
+		t := Topic{Name: name}
+		for _, kw := range kws {
+			t.Keywords = append(t.Keywords, Keyword{Text: kw.Word, Weight: kw.Weight})
+		}
+		topics = append(topics, t)
+	}
+	return topics, nil
+}

@@ -1,0 +1,158 @@
+// Package sat provides CNF formulas, a DPLL satisfiability solver and the
+// paper's Lemma 1 reduction from CNF-SAT to MQDP. The reduction is both the
+// NP-hardness proof artifact and a test oracle: a formula is satisfiable iff
+// the reduced MQDP instance has a λ-cover of cardinality n(2m+3).
+package sat
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Literal encodes variable v (1-based) as +v and its negation as -v.
+type Literal int
+
+// Var returns the literal's variable.
+func (l Literal) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Positive reports whether the literal is unnegated.
+func (l Literal) Positive() bool { return l > 0 }
+
+// Clause is a disjunction of literals.
+type Clause []Literal
+
+// Formula is a CNF formula over variables 1..NumVars.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// ErrBadFormula reports structurally invalid formulas.
+var ErrBadFormula = errors.New("sat: invalid formula")
+
+// Validate checks literal ranges and non-empty clauses.
+func (f *Formula) Validate() error {
+	if f.NumVars < 0 {
+		return fmt.Errorf("%w: negative variable count", ErrBadFormula)
+	}
+	for ci, c := range f.Clauses {
+		if len(c) == 0 {
+			return fmt.Errorf("%w: clause %d is empty", ErrBadFormula, ci)
+		}
+		for _, l := range c {
+			if l == 0 || l.Var() > f.NumVars {
+				return fmt.Errorf("%w: clause %d literal %d out of range", ErrBadFormula, ci, l)
+			}
+		}
+	}
+	return nil
+}
+
+// Eval evaluates the formula under assign, where assign[v] is variable v's
+// value (index 0 unused).
+func (f *Formula) Eval(assign []bool) bool {
+	for _, c := range f.Clauses {
+		ok := false
+		for _, l := range c {
+			if assign[l.Var()] == l.Positive() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the formula like (x1 ∨ ¬x2) ∧ (x2 ∨ x3).
+func (f *Formula) String() string {
+	var b strings.Builder
+	for ci, c := range f.Clauses {
+		if ci > 0 {
+			b.WriteString(" ∧ ")
+		}
+		b.WriteByte('(')
+		for li, l := range c {
+			if li > 0 {
+				b.WriteString(" ∨ ")
+			}
+			if !l.Positive() {
+				b.WriteString("¬")
+			}
+			fmt.Fprintf(&b, "x%d", l.Var())
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// ParseDIMACS reads a formula in the standard DIMACS CNF format: comment
+// lines start with 'c', a header "p cnf <vars> <clauses>" precedes
+// zero-terminated clause lines.
+func ParseDIMACS(r io.Reader) (*Formula, error) {
+	sc := bufio.NewScanner(r)
+	f := &Formula{NumVars: -1}
+	var cur Clause
+	declared := -1
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("%w: bad problem line %q", ErrBadFormula, line)
+			}
+			nv, err1 := strconv.Atoi(fields[2])
+			nc, err2 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || nv < 0 || nc < 0 {
+				return nil, fmt.Errorf("%w: bad problem line %q", ErrBadFormula, line)
+			}
+			f.NumVars, declared = nv, nc
+			continue
+		}
+		if f.NumVars < 0 {
+			return nil, fmt.Errorf("%w: clause before problem line", ErrBadFormula)
+		}
+		for _, tok := range strings.Fields(line) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("%w: bad literal %q", ErrBadFormula, tok)
+			}
+			if v == 0 {
+				f.Clauses = append(f.Clauses, cur)
+				cur = nil
+				continue
+			}
+			cur = append(cur, Literal(v))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(cur) > 0 {
+		f.Clauses = append(f.Clauses, cur)
+	}
+	if f.NumVars < 0 {
+		return nil, fmt.Errorf("%w: missing problem line", ErrBadFormula)
+	}
+	if declared >= 0 && len(f.Clauses) != declared {
+		return nil, fmt.Errorf("%w: declared %d clauses, found %d", ErrBadFormula, declared, len(f.Clauses))
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

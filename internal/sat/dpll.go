@@ -1,0 +1,165 @@
+package sat
+
+// value is a three-state assignment.
+type value int8
+
+const (
+	unknown value = iota
+	vTrue
+	vFalse
+)
+
+// Solve decides satisfiability with DPLL: unit propagation, pure-literal
+// elimination, then branching on the first unassigned variable. On success
+// it returns a total satisfying assignment (assign[v] for variable v,
+// index 0 unused).
+func Solve(f *Formula) ([]bool, bool) {
+	if err := f.Validate(); err != nil {
+		return nil, false
+	}
+	assign := make([]value, f.NumVars+1)
+	if !dpll(f, assign) {
+		return nil, false
+	}
+	out := make([]bool, f.NumVars+1)
+	for v := 1; v <= f.NumVars; v++ {
+		out[v] = assign[v] == vTrue // unknowns default to false
+	}
+	return out, true
+}
+
+// litValue evaluates a literal under a partial assignment.
+func litValue(assign []value, l Literal) value {
+	a := assign[l.Var()]
+	if a == unknown {
+		return unknown
+	}
+	if (a == vTrue) == l.Positive() {
+		return vTrue
+	}
+	return vFalse
+}
+
+// dpll tries to extend assign to satisfy f.
+func dpll(f *Formula, assign []value) bool {
+	// Unit propagation to fixpoint; record trail for backtracking.
+	var trail []int
+	undo := func() {
+		for _, v := range trail {
+			assign[v] = unknown
+		}
+	}
+	for {
+		unit := Literal(0)
+		for _, c := range f.Clauses {
+			sat, unassigned, last := false, 0, Literal(0)
+			for _, l := range c {
+				switch litValue(assign, l) {
+				case vTrue:
+					sat = true
+				case unknown:
+					unassigned++
+					last = l
+				}
+				if sat {
+					break
+				}
+			}
+			if sat {
+				continue
+			}
+			if unassigned == 0 {
+				undo()
+				return false // conflict
+			}
+			if unassigned == 1 {
+				unit = last
+				break
+			}
+		}
+		if unit == 0 {
+			break
+		}
+		v := unit.Var()
+		if unit.Positive() {
+			assign[v] = vTrue
+		} else {
+			assign[v] = vFalse
+		}
+		trail = append(trail, v)
+	}
+	// Pure literal elimination.
+	polarity := make(map[int]int8) // 1 pos only, 2 neg only, 3 both
+	for _, c := range f.Clauses {
+		clauseSat := false
+		for _, l := range c {
+			if litValue(assign, l) == vTrue {
+				clauseSat = true
+				break
+			}
+		}
+		if clauseSat {
+			continue
+		}
+		for _, l := range c {
+			if litValue(assign, l) != unknown {
+				continue
+			}
+			if l.Positive() {
+				polarity[l.Var()] |= 1
+			} else {
+				polarity[l.Var()] |= 2
+			}
+		}
+	}
+	for v, pol := range polarity {
+		if pol == 1 {
+			assign[v] = vTrue
+			trail = append(trail, v)
+		} else if pol == 2 {
+			assign[v] = vFalse
+			trail = append(trail, v)
+		}
+	}
+	// Pick a branching variable.
+	branch := 0
+	done := true
+	for _, c := range f.Clauses {
+		sat := false
+		var free Literal
+		for _, l := range c {
+			switch litValue(assign, l) {
+			case vTrue:
+				sat = true
+			case unknown:
+				if free == 0 {
+					free = l
+				}
+			}
+			if sat {
+				break
+			}
+		}
+		if !sat {
+			if free == 0 {
+				undo()
+				return false // conflict introduced by pure-literal pass: impossible, but be safe
+			}
+			done = false
+			branch = free.Var()
+			break
+		}
+	}
+	if done {
+		return true
+	}
+	for _, try := range []value{vTrue, vFalse} {
+		assign[branch] = try
+		if dpll(f, assign) {
+			return true
+		}
+	}
+	assign[branch] = unknown
+	undo()
+	return false
+}

@@ -1,0 +1,32 @@
+package sat_test
+
+import (
+	"fmt"
+
+	"mqdp/internal/sat"
+)
+
+func ExampleSolve() {
+	// (x1 ∨ x2) ∧ (¬x1 ∨ x2) is satisfied by x2 = true.
+	f := &sat.Formula{NumVars: 2, Clauses: []sat.Clause{{1, 2}, {-1, 2}}}
+	assign, ok := sat.Solve(f)
+	fmt.Println(ok, f.Eval(assign))
+
+	unsat := &sat.Formula{NumVars: 1, Clauses: []sat.Clause{{1}, {-1}}}
+	_, ok = sat.Solve(unsat)
+	fmt.Println(ok)
+	// Output:
+	// true true
+	// false
+}
+
+func ExampleReduce() {
+	f := &sat.Formula{NumVars: 1, Clauses: []sat.Clause{{1}}}
+	r, err := sat.Reduce(f)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("posts=%d labels=%d budget=%d\n", len(r.Posts), r.NumLabels, r.Budget)
+	// Output:
+	// posts=10 labels=4 budget=5
+}

@@ -1,0 +1,37 @@
+package sat
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzParseDIMACS(f *testing.F) {
+	for _, seed := range []string{
+		"p cnf 3 2\n1 -2 0\n2 3 0\n",
+		"c comment\np cnf 1 1\n1 0\n",
+		"p cnf 0 0\n",
+		"p cnf -1 0\n",
+		"garbage",
+		"p cnf 2 1\n1 2",
+		"p cnf 1 1\n0\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		formula, err := ParseDIMACS(strings.NewReader(src)) // must not panic
+		if err != nil {
+			return
+		}
+		// Every successfully parsed formula must validate, stringify and
+		// survive the solver without panicking.
+		if verr := formula.Validate(); verr != nil {
+			t.Fatalf("parsed formula fails validation: %v (src %q)", verr, src)
+		}
+		_ = formula.String()
+		if formula.NumVars <= 12 && len(formula.Clauses) <= 16 {
+			if assign, ok := Solve(formula); ok && !formula.Eval(assign) {
+				t.Fatalf("solver returned non-satisfying assignment for %q", src)
+			}
+		}
+	})
+}

@@ -1,0 +1,183 @@
+package sat
+
+import (
+	"fmt"
+
+	"mqdp/internal/core"
+)
+
+// Reduction is the Lemma 1 transformation of a CNF formula into an MQDP
+// instance with λ = 1. The paper claims the formula is satisfiable iff the
+// instance has a λ-cover of cardinality at most Budget = n(2m+3).
+//
+// Reproduction note: the (⇒) direction holds and is exercised by
+// CoverFromAssignment, but the published (⇐) argument is flawed. Its
+// rigidity claim — "the only way to cover all 2m+3 occurrences of u_i with
+// m+1 posts is to choose the even-time posts (2j, {u_i})" — overlooks the
+// boundary posts (1, {u_i, w_i}) and (2m+3, {u_i, w_i}): a post at time 1
+// covers occurrences {1, 2}, so configurations like times {1, 3, 6} also
+// cover seven occurrences with three posts. Concretely, for the
+// unsatisfiable formula (x1)∧(¬x1) (n=1, m=2, budget 7) the six posts at
+// times {1,3,6} on the u side and {2,5,7} on the ū side — which include both
+// clause carriers (3,{u,c1}) and (5,{ū,c2}) of *opposite* polarity — form a
+// valid 1-cover of size 6 ≤ 7. See TestPaperReductionCounterexample. The
+// NP-hardness of MQDP itself is unaffected: the same-timestamp special case
+// is exactly set cover (§3's opening remark), implemented as SetCoverReduce
+// with a machine-checked equivalence.
+//
+// Labels (for n variables and m clauses):
+//
+//	w_i, u_i, ū_i for each variable x_i, then c_j for each clause C_j.
+//
+// Posts, for each variable i (times are integers 1..2m+3):
+//
+//	(1, {u_i, w_i}), (1, {ū_i, w_i}),
+//	(2m+3, {u_i, w_i}), (2m+3, {ū_i, w_i}),
+//	(2j, {u_i}), (2j, {ū_i})          for j = 1..m+1,
+//	(2j+1, U_ij), (2j+1, Ū_ij)        for j = 1..m,
+//
+// where U_ij = {u_i, c_j} if x_i ∈ C_j else {u_i}, and Ū_ij = {ū_i, c_j} if
+// ¬x_i ∈ C_j else {ū_i}.
+type Reduction struct {
+	Formula   *Formula
+	Posts     []core.Post
+	NumLabels int
+	Lambda    float64
+	Budget    int
+	// post ids encode their role; see postID.
+}
+
+// Label helpers: per-variable labels come first, clause labels after.
+func (r *Reduction) labelW(i int) core.Label { return core.Label(3 * (i - 1)) }
+func (r *Reduction) labelU(i int) core.Label { return core.Label(3*(i-1) + 1) }
+func (r *Reduction) labelUN(i int) core.Label {
+	return core.Label(3*(i-1) + 2)
+}
+func (r *Reduction) labelC(j int) core.Label {
+	return core.Label(3*r.Formula.NumVars + (j - 1))
+}
+
+// post id layout: i*1000 + t*10 + side, where side 0 = the u_i family and
+// side 1 = the ū_i family. Only used to make debugging output readable.
+func postID(i, t, side int) int64 { return int64(i)*100000 + int64(t)*10 + int64(side) }
+
+// Reduce builds the Lemma 1 MQDP instance for f.
+func Reduce(f *Formula) (*Reduction, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	n, m := f.NumVars, len(f.Clauses)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: reduction needs at least one variable", ErrBadFormula)
+	}
+	r := &Reduction{
+		Formula:   f,
+		NumLabels: 3*n + m,
+		Lambda:    1,
+		Budget:    n * (2*m + 3),
+	}
+	// clause membership lookup
+	inClause := func(j, i int, positive bool) bool {
+		for _, l := range f.Clauses[j-1] {
+			if l.Var() == i && l.Positive() == positive {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 1; i <= n; i++ {
+		w, u, un := r.labelW(i), r.labelU(i), r.labelUN(i)
+		last := float64(2*m + 3)
+		r.Posts = append(r.Posts,
+			core.Post{ID: postID(i, 1, 0), Value: 1, Labels: []core.Label{u, w}},
+			core.Post{ID: postID(i, 1, 1), Value: 1, Labels: []core.Label{un, w}},
+			core.Post{ID: postID(i, 2*m+3, 0), Value: last, Labels: []core.Label{u, w}},
+			core.Post{ID: postID(i, 2*m+3, 1), Value: last, Labels: []core.Label{un, w}},
+		)
+		for j := 1; j <= m+1; j++ {
+			r.Posts = append(r.Posts,
+				core.Post{ID: postID(i, 2*j, 0), Value: float64(2 * j), Labels: []core.Label{u}},
+				core.Post{ID: postID(i, 2*j, 1), Value: float64(2 * j), Labels: []core.Label{un}},
+			)
+		}
+		for j := 1; j <= m; j++ {
+			uij := []core.Label{u}
+			if inClause(j, i, true) {
+				uij = append(uij, r.labelC(j))
+			}
+			unij := []core.Label{un}
+			if inClause(j, i, false) {
+				unij = append(unij, r.labelC(j))
+			}
+			r.Posts = append(r.Posts,
+				core.Post{ID: postID(i, 2*j+1, 0), Value: float64(2*j + 1), Labels: uij},
+				core.Post{ID: postID(i, 2*j+1, 1), Value: float64(2*j + 1), Labels: unij},
+			)
+		}
+	}
+	return r, nil
+}
+
+// Instance materializes the reduction's MQDP instance.
+func (r *Reduction) Instance() (*core.Instance, error) {
+	return core.NewInstance(r.Posts, r.NumLabels)
+}
+
+// CoverFromAssignment constructs, per the (⇒) direction of Lemma 1's proof,
+// a λ-cover of exactly Budget posts from a satisfying assignment
+// (assign[v] for variable v, index 0 unused). The cover is returned as post
+// IDs; it verifies against Instance() with FixedLambda(1).
+func (r *Reduction) CoverFromAssignment(assign []bool) ([]int64, error) {
+	n, m := r.Formula.NumVars, len(r.Formula.Clauses)
+	if len(assign) < n+1 {
+		return nil, fmt.Errorf("%w: assignment covers %d variables, need %d", ErrBadFormula, len(assign)-1, n)
+	}
+	if !r.Formula.Eval(assign) {
+		return nil, fmt.Errorf("sat: assignment does not satisfy the formula")
+	}
+	var ids []int64
+	for i := 1; i <= n; i++ {
+		// f(x_i)=1 keeps the ū_i backbone plus the U_ij row (side 0 at odd
+		// times); f(x_i)=0 mirrors it.
+		side := 0
+		backbone := 1
+		if !assign[i] {
+			side = 1
+			backbone = 0
+		}
+		ids = append(ids,
+			postID(i, 1, side),
+			postID(i, 2*m+3, side),
+		)
+		for j := 1; j <= m+1; j++ {
+			ids = append(ids, postID(i, 2*j, backbone))
+		}
+		for j := 1; j <= m; j++ {
+			ids = append(ids, postID(i, 2*j+1, side))
+		}
+	}
+	return ids, nil
+}
+
+// SetCoverReduce encodes a classic set-cover instance as MQDP: one post per
+// candidate set, all at timestamp 0, labeled with the set's elements. With
+// every post at the same time, a λ-cover must cover each (post, element)
+// pair through shared labels alone, so the minimum MQDP cover equals the
+// minimum set cover of ∪sets — the degenerate case behind §3's observation
+// that MQDP inherits set cover's NP-hardness and ln|L| inapproximability.
+// Element ids must be dense in [0, numElements).
+func SetCoverReduce(sets [][]core.Label, numElements int) ([]core.Post, error) {
+	if numElements < 0 {
+		return nil, fmt.Errorf("%w: negative element count", ErrBadFormula)
+	}
+	posts := make([]core.Post, 0, len(sets))
+	for si, set := range sets {
+		for _, e := range set {
+			if e < 0 || int(e) >= numElements {
+				return nil, fmt.Errorf("%w: set %d element %d out of range", ErrBadFormula, si, e)
+			}
+		}
+		posts = append(posts, core.Post{ID: int64(si), Value: 0, Labels: set})
+	}
+	return posts, nil
+}

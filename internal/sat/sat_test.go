@@ -1,0 +1,399 @@
+package sat
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mqdp/internal/core"
+)
+
+// bruteForceSat decides satisfiability by trying all assignments.
+func bruteForceSat(f *Formula) bool {
+	n := f.NumVars
+	assign := make([]bool, n+1)
+	for mask := 0; mask < 1<<n; mask++ {
+		for v := 1; v <= n; v++ {
+			assign[v] = mask&(1<<(v-1)) != 0
+		}
+		if f.Eval(assign) {
+			return true
+		}
+	}
+	return false
+}
+
+// randomCNF generates a random k-CNF formula.
+func randomCNF(rng *rand.Rand, nVars, nClauses, k int) *Formula {
+	f := &Formula{NumVars: nVars}
+	for c := 0; c < nClauses; c++ {
+		clause := make(Clause, 0, k)
+		for len(clause) < k {
+			v := 1 + rng.Intn(nVars)
+			lit := Literal(v)
+			if rng.Intn(2) == 0 {
+				lit = -lit
+			}
+			clause = append(clause, lit)
+		}
+		f.Clauses = append(f.Clauses, clause)
+	}
+	return f
+}
+
+func TestSolveAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + rng.Intn(8)
+		m := 1 + rng.Intn(12)
+		k := 1 + rng.Intn(3)
+		f := randomCNF(rng, n, m, k)
+		assign, sat := Solve(f)
+		if want := bruteForceSat(f); sat != want {
+			t.Fatalf("trial %d: Solve=%v brute=%v for %v", trial, sat, want, f)
+		}
+		if sat && !f.Eval(assign) {
+			t.Fatalf("trial %d: returned assignment does not satisfy %v", trial, f)
+		}
+	}
+}
+
+func TestSolveKnownFormulas(t *testing.T) {
+	cases := []struct {
+		name string
+		f    *Formula
+		sat  bool
+	}{
+		{"single positive", &Formula{NumVars: 1, Clauses: []Clause{{1}}}, true},
+		{"contradiction", &Formula{NumVars: 1, Clauses: []Clause{{1}, {-1}}}, false},
+		{"implication chain", &Formula{NumVars: 3, Clauses: []Clause{{-1, 2}, {-2, 3}, {1}}}, true},
+		{"xor-ish unsat", &Formula{NumVars: 2, Clauses: []Clause{{1, 2}, {-1, 2}, {1, -2}, {-1, -2}}}, false},
+		{"no clauses", &Formula{NumVars: 2}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			assign, sat := Solve(tc.f)
+			if sat != tc.sat {
+				t.Fatalf("Solve = %v, want %v", sat, tc.sat)
+			}
+			if sat && !tc.f.Eval(assign) {
+				t.Error("assignment does not satisfy formula")
+			}
+		})
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*Formula{
+		{NumVars: -1},
+		{NumVars: 1, Clauses: []Clause{{}}},
+		{NumVars: 1, Clauses: []Clause{{2}}},
+		{NumVars: 1, Clauses: []Clause{{0}}},
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("formula %d validated: %+v", i, f)
+		}
+	}
+	if err := (&Formula{NumVars: 2, Clauses: []Clause{{1, -2}}}).Validate(); err != nil {
+		t.Errorf("valid formula rejected: %v", err)
+	}
+}
+
+func TestParseDIMACS(t *testing.T) {
+	src := `c example
+p cnf 3 2
+1 -2 0
+2 3 0
+`
+	f, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ParseDIMACS: %v", err)
+	}
+	if f.NumVars != 3 || len(f.Clauses) != 2 {
+		t.Fatalf("parsed %d vars, %d clauses", f.NumVars, len(f.Clauses))
+	}
+	if f.Clauses[0][1] != -2 {
+		t.Errorf("clause 0 = %v", f.Clauses[0])
+	}
+	for _, bad := range []string{
+		"1 2 0\n",           // clause before header
+		"p cnf 3\n",         // malformed header
+		"p cnf 1 2\n1 0\n",  // clause count mismatch
+		"p cnf 1 1\nx 0\n",  // bad literal
+		"p cnf 1 1\n2 0\n",  // out-of-range literal
+		"c only comments\n", // no header
+		"p cnf -1 0\n",      // negative vars
+	} {
+		if _, err := ParseDIMACS(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseDIMACS accepted %q", bad)
+		}
+	}
+}
+
+func TestFormulaString(t *testing.T) {
+	f := &Formula{NumVars: 2, Clauses: []Clause{{1, -2}, {2}}}
+	want := "(x1 ∨ ¬x2) ∧ (x2)"
+	if got := f.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestReduceStructure(t *testing.T) {
+	// Figure 3's shape: variable x5 appears positively in C1, negatively in
+	// C3, with m = 3 clauses. We build a 1-variable analogue and check post
+	// counts and label placement.
+	f := &Formula{NumVars: 1, Clauses: []Clause{{1}, {1}, {-1}}} // x1∈C1, x1∈C2, ¬x1∈C3
+	r, err := Reduce(f)
+	if err != nil {
+		t.Fatalf("Reduce: %v", err)
+	}
+	n, m := 1, 3
+	if want := n * (4 + 2*(m+1) + 2*m); len(r.Posts) != want {
+		t.Fatalf("posts = %d, want %d", len(r.Posts), want)
+	}
+	if r.NumLabels != 3*n+m {
+		t.Errorf("labels = %d, want %d", r.NumLabels, 3*n+m)
+	}
+	if r.Budget != n*(2*m+3) {
+		t.Errorf("budget = %d, want %d", r.Budget, n*(2*m+3))
+	}
+	// The U_1j post at time 2j+1 carries c_j exactly when x1 ∈ C_j.
+	cj := r.labelC(1)
+	found := false
+	for _, p := range r.Posts {
+		if p.Value == 3 { // time 2·1+1
+			for _, l := range p.Labels {
+				if l == cj {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("c_1 label missing from time-3 posts despite x1 ∈ C1")
+	}
+}
+
+func TestReductionForwardDirection(t *testing.T) {
+	// For satisfiable formulas, the proof's constructed cover must verify
+	// and have exactly Budget posts.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(3)
+		m := 1 + rng.Intn(3)
+		f := randomCNF(rng, n, m, 1+rng.Intn(2))
+		assign, sat := Solve(f)
+		if !sat {
+			continue
+		}
+		r, err := Reduce(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids, err := r.CoverFromAssignment(assign)
+		if err != nil {
+			t.Fatalf("CoverFromAssignment: %v", err)
+		}
+		if len(ids) != r.Budget {
+			t.Fatalf("constructed cover has %d posts, want budget %d", len(ids), r.Budget)
+		}
+		in, err := r.Instance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel := indexesOf(t, in, ids)
+		if err := in.VerifyCover(core.FixedLambda(r.Lambda), sel); err != nil {
+			t.Fatalf("trial %d: constructed cover invalid for %v: %v", trial, f, err)
+		}
+	}
+}
+
+func TestSatisfiableFormulasMeetBudget(t *testing.T) {
+	// The (⇒) half of Lemma 1, checked against the exact solver: every
+	// satisfiable formula's instance has a minimum cover ≤ n(2m+3).
+	cases := []*Formula{
+		{NumVars: 1, Clauses: []Clause{{1}}},
+		{NumVars: 1, Clauses: []Clause{{-1}}},
+		{NumVars: 1, Clauses: []Clause{{1}, {1}}},
+		{NumVars: 2, Clauses: []Clause{{1, 2}}},
+		{NumVars: 2, Clauses: []Clause{{-1, -2}}},
+	}
+	for ci, f := range cases {
+		if _, sat := Solve(f); !sat {
+			t.Fatalf("case %d: formula unexpectedly UNSAT", ci)
+		}
+		r, err := Reduce(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := r.Instance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := in.Exhaustive(core.FixedLambda(r.Lambda))
+		if err != nil {
+			t.Fatalf("case %d: exhaustive: %v", ci, err)
+		}
+		if exact.Size() > r.Budget {
+			t.Errorf("case %d (%v): SAT but min cover %d > budget %d", ci, f, exact.Size(), r.Budget)
+		}
+	}
+}
+
+func TestPaperReductionCounterexample(t *testing.T) {
+	// Documented reproduction finding: Lemma 1's (⇐) direction fails as
+	// published. For the UNSAT formula (x1)∧(¬x1), the reduced instance
+	// admits a 6-post cover (budget is 7) because boundary posts at times 1
+	// and 2m+3 carry u_i/ū_i and can anchor the chains, contradicting the
+	// proof's claim that m+1 chain posts must all sit at even times.
+	f := &Formula{NumVars: 1, Clauses: []Clause{{1}, {-1}}}
+	if _, sat := Solve(f); sat {
+		t.Fatal("formula should be UNSAT")
+	}
+	r, err := Reduce(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := r.Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The explicit 6-cover: u side at times {1, 3, 6}, ū side at {2, 5, 7}.
+	// (3,·,0) is U_11 = {u, c1} (x1 ∈ C1); (5,·,1) is Ū_12 = {ū, c2}
+	// (¬x1 ∈ C2).
+	ids := []int64{
+		postID(1, 1, 0), postID(1, 3, 0), postID(1, 6, 0),
+		postID(1, 2, 1), postID(1, 5, 1), postID(1, 7, 1),
+	}
+	sel := indexesOf(t, in, ids)
+	if err := in.VerifyCover(core.FixedLambda(r.Lambda), sel); err != nil {
+		t.Fatalf("the counterexample cover should be valid: %v", err)
+	}
+	if len(sel) >= r.Budget {
+		t.Fatalf("counterexample cover size %d not below budget %d", len(sel), r.Budget)
+	}
+	// And the exact solver agrees the optimum is 6 ≤ budget despite UNSAT.
+	exact, err := in.Exhaustive(core.FixedLambda(r.Lambda))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Size() != 6 {
+		t.Errorf("exact minimum = %d, want 6", exact.Size())
+	}
+}
+
+func TestSetCoverReductionEquivalence(t *testing.T) {
+	// The degenerate same-timestamp reduction is exactly set cover; check
+	// min MQDP cover == min set cover on random instances.
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 80; trial++ {
+		numElements := 1 + rng.Intn(6)
+		numSets := 1 + rng.Intn(6)
+		sets := make([][]core.Label, numSets)
+		coveredAll := make([]bool, numElements)
+		for s := range sets {
+			for e := 0; e < numElements; e++ {
+				if rng.Intn(2) == 0 {
+					sets[s] = append(sets[s], core.Label(e))
+					coveredAll[e] = true
+				}
+			}
+		}
+		posts, err := SetCoverReduce(sets, numElements)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := core.NewInstance(posts, numElements)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := in.Exhaustive(core.FixedLambda(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute-force minimum set cover of the elements that occur at all.
+		best := numSets + 1
+		for mask := 0; mask < 1<<numSets; mask++ {
+			covered := make([]bool, numElements)
+			size := 0
+			for s := 0; s < numSets; s++ {
+				if mask&(1<<s) != 0 {
+					size++
+					for _, e := range sets[s] {
+						covered[e] = true
+					}
+				}
+			}
+			ok := true
+			for e := 0; e < numElements; e++ {
+				if coveredAll[e] && !covered[e] {
+					ok = false
+					break
+				}
+			}
+			// Every post (set) must also be covered: a selected or
+			// unselected post's labels are covered iff its elements are.
+			if ok && size < best {
+				best = size
+			}
+		}
+		if exact.Size() != best {
+			t.Fatalf("trial %d: MQDP min %d != set-cover min %d (sets=%v)", trial, exact.Size(), best, sets)
+		}
+	}
+}
+
+func TestSetCoverReduceValidation(t *testing.T) {
+	if _, err := SetCoverReduce([][]core.Label{{5}}, 2); err == nil {
+		t.Error("out-of-range element accepted")
+	}
+	if _, err := SetCoverReduce(nil, -1); err == nil {
+		t.Error("negative element count accepted")
+	}
+	posts, err := SetCoverReduce([][]core.Label{{0, 1}, {1}}, 2)
+	if err != nil || len(posts) != 2 {
+		t.Errorf("SetCoverReduce = %v, %v", posts, err)
+	}
+}
+
+func TestReduceRejectsBadInput(t *testing.T) {
+	if _, err := Reduce(&Formula{NumVars: 0, Clauses: []Clause{}}); err == nil {
+		t.Error("Reduce accepted a formula without variables")
+	}
+	if _, err := Reduce(&Formula{NumVars: 1, Clauses: []Clause{{}}}); err == nil {
+		t.Error("Reduce accepted an empty clause")
+	}
+}
+
+func TestCoverFromAssignmentRejectsNonSatisfying(t *testing.T) {
+	f := &Formula{NumVars: 1, Clauses: []Clause{{1}}}
+	r, err := Reduce(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.CoverFromAssignment([]bool{false, false}); err == nil {
+		t.Error("non-satisfying assignment accepted")
+	}
+	if _, err := r.CoverFromAssignment([]bool{false}); err == nil {
+		t.Error("short assignment accepted")
+	}
+}
+
+// indexesOf maps post IDs to instance indexes.
+func indexesOf(t *testing.T, in *core.Instance, ids []int64) []int {
+	t.Helper()
+	byID := make(map[int64]int, in.Len())
+	for i := 0; i < in.Len(); i++ {
+		byID[in.Post(i).ID] = i
+	}
+	sel := make([]int, 0, len(ids))
+	for _, id := range ids {
+		idx, ok := byID[id]
+		if !ok {
+			t.Fatalf("cover references unknown post %d", id)
+		}
+		sel = append(sel, idx)
+	}
+	return sel
+}

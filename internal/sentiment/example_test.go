@@ -1,0 +1,28 @@
+package sentiment_test
+
+import (
+	"fmt"
+
+	"mqdp/internal/sentiment"
+)
+
+func ExampleScore() {
+	for _, text := range []string{
+		"great win for the team tonight :)",
+		"markets crash as recession fears grow",
+		"the meeting is on tuesday",
+	} {
+		switch sentiment.Classify(sentiment.Score(text)) {
+		case sentiment.Positive:
+			fmt.Println("positive")
+		case sentiment.Negative:
+			fmt.Println("negative")
+		default:
+			fmt.Println("neutral")
+		}
+	}
+	// Output:
+	// positive
+	// negative
+	// neutral
+}

@@ -1,0 +1,199 @@
+// Package sentiment scores the polarity of short texts with an embedded
+// lexicon, providing the paper's second diversity dimension: instead of
+// publication time, posts can be diversified over sentiment polarity in
+// [-1, 1] (§2, §6). The scorer handles negation ("not good") and simple
+// intensifiers ("very bad"), which is sufficient signal for ordering posts
+// on a sentiment axis.
+package sentiment
+
+import (
+	"sort"
+	"strings"
+
+	"mqdp/internal/textutil"
+)
+
+// Score rates text in [-1, 1]: negative values lean negative, positive
+// values lean positive, 0 is neutral (or empty). The score is the
+// valence sum of lexicon hits — with negators flipping and intensifiers
+// amplifying the following sentiment word — plus emoticon/emoji valences
+// (which survive in microblog text where words fail), squashed by
+// x/(1+|x|).
+func Score(text string) float64 {
+	words := textutil.Words(text)
+	total := emoticonValence(text)
+	negate := false
+	boost := 1.0
+	for _, w := range words {
+		if _, ok := negators[w]; ok {
+			negate = !negate
+			continue
+		}
+		if mult, ok := intensifiers[w]; ok {
+			boost *= mult
+			continue
+		}
+		if v, ok := lexicon[w]; ok {
+			val := v * boost
+			if negate {
+				val = -val
+			}
+			total += val
+		}
+		// Negation and intensity apply only to the next content word.
+		negate = false
+		boost = 1.0
+	}
+	return total / (1 + abs(total))
+}
+
+// Polarity buckets a score.
+type Polarity int
+
+// Polarity classes.
+const (
+	Negative Polarity = iota - 1
+	Neutral
+	Positive
+)
+
+// Classify buckets a score with a ±0.15 neutral band.
+func Classify(score float64) Polarity {
+	switch {
+	case score > 0.15:
+		return Positive
+	case score < -0.15:
+		return Negative
+	default:
+		return Neutral
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// emoticons maps surface emoticon/emoji strings to valences. Longer forms
+// are listed before their prefixes so counting does not double-count (e.g.
+// ":-(" is removed from the text before ":(" is counted).
+var emoticons = []struct {
+	s string
+	v float64
+}{
+	{":-)", 0.6}, {":)", 0.6}, {":-D", 0.8}, {":D", 0.8}, {";-)", 0.5},
+	{";)", 0.5}, {"<3", 0.7}, {"😀", 0.7}, {"😂", 0.6}, {"🎉", 0.7},
+	{"❤", 0.7}, {"👍", 0.6},
+	{":'(", -0.8}, {":-(", -0.6}, {":(", -0.6}, {":-/", -0.3}, {":/", -0.3},
+	{"😡", -0.7}, {"😢", -0.7}, {"💔", -0.7}, {"👎", -0.6},
+}
+
+// emoticonValence sums emoticon valences in raw text (the tokenizer strips
+// punctuation, so these are matched before tokenization).
+func emoticonValence(text string) float64 {
+	total := 0.0
+	rest := text
+	for _, e := range emoticons {
+		if n := strings.Count(rest, e.s); n > 0 {
+			total += float64(n) * e.v
+			rest = strings.ReplaceAll(rest, e.s, " ")
+		}
+	}
+	return total
+}
+
+// negators flip the valence of the following sentiment word.
+var negators = map[string]struct{}{
+	"not": {}, "no": {}, "never": {}, "n't": {}, "don't": {}, "doesn't": {},
+	"didn't": {}, "won't": {}, "can't": {}, "cannot": {}, "isn't": {},
+	"wasn't": {}, "aren't": {}, "without": {}, "hardly": {}, "barely": {},
+}
+
+// intensifiers scale the valence of the following sentiment word.
+var intensifiers = map[string]float64{
+	"very": 1.5, "really": 1.5, "extremely": 2.0, "so": 1.3, "totally": 1.6,
+	"absolutely": 1.8, "incredibly": 1.8, "super": 1.5, "quite": 1.2,
+	"slightly": 0.6, "somewhat": 0.7, "a-bit": 0.7, "pretty": 1.3,
+	"deeply": 1.6, "highly": 1.5, "utterly": 1.8,
+}
+
+// lexicon maps lowercase words to base valences in [-1, 1].
+var lexicon = map[string]float64{
+	// positive
+	"good": 0.6, "great": 0.8, "excellent": 0.9, "amazing": 0.9,
+	"awesome": 0.9, "fantastic": 0.9, "wonderful": 0.8, "love": 0.8,
+	"loved": 0.8, "loves": 0.8, "like": 0.3, "liked": 0.3, "likes": 0.3,
+	"best": 0.8, "better": 0.4, "win": 0.6, "wins": 0.6, "winning": 0.6,
+	"won": 0.6, "happy": 0.7, "glad": 0.6, "joy": 0.7, "beautiful": 0.7,
+	"brilliant": 0.8, "success": 0.7, "successful": 0.7, "positive": 0.5,
+	"strong": 0.4, "growth": 0.5, "gain": 0.5, "gains": 0.5, "rally": 0.5,
+	"surge": 0.5, "soar": 0.6, "soars": 0.6, "boom": 0.5, "improve": 0.5,
+	"improved": 0.5, "improving": 0.5, "recovery": 0.5, "hope": 0.4,
+	"hopeful": 0.5, "optimistic": 0.6, "celebrate": 0.7, "celebrates": 0.7,
+	"cheer": 0.6, "cheers": 0.6, "thank": 0.5, "thanks": 0.5, "proud": 0.6,
+	"safe": 0.4, "support": 0.3, "supports": 0.3, "agree": 0.3,
+	"breakthrough": 0.7, "record": 0.3, "smart": 0.5, "nice": 0.5,
+	"cool": 0.4, "perfect": 0.8, "solid": 0.4, "impressive": 0.7,
+	// negative
+	"bad": -0.6, "terrible": -0.9, "awful": -0.9, "horrible": -0.9,
+	"worst": -0.9, "worse": -0.5, "hate": -0.8, "hated": -0.8,
+	"hates": -0.8, "fail": -0.6, "fails": -0.6, "failed": -0.6,
+	"failure": -0.7, "lose": -0.5, "loses": -0.5, "losing": -0.5,
+	"lost": -0.5, "loss": -0.5, "losses": -0.5, "sad": -0.6, "angry": -0.7,
+	"anger": -0.6, "fear": -0.6, "afraid": -0.5, "scared": -0.6,
+	"crisis": -0.7, "disaster": -0.8, "crash": -0.7, "crashes": -0.7,
+	"collapse": -0.7, "drop": -0.4, "drops": -0.4, "plunge": -0.6,
+	"plunges": -0.6, "slump": -0.5, "decline": -0.4, "declines": -0.4,
+	"weak": -0.4, "poor": -0.5, "negative": -0.5, "wrong": -0.5,
+	"corrupt": -0.7, "corruption": -0.7, "scandal": -0.7, "fraud": -0.8,
+	"war": -0.6, "attack": -0.6, "attacks": -0.6, "violence": -0.7,
+	"dead": -0.7, "death": -0.7, "deaths": -0.7, "killed": -0.8,
+	"kill": -0.8, "kills": -0.8, "injured": -0.6, "hurt": -0.5,
+	"threat": -0.5, "threats": -0.5, "risk": -0.4, "risks": -0.4,
+	"worry": -0.5, "worried": -0.5, "worries": -0.5, "panic": -0.7,
+	"angst": -0.5, "doubt": -0.4, "doubts": -0.4, "problem": -0.4,
+	"problems": -0.4, "broken": -0.5, "blame": -0.5, "blames": -0.5,
+	"unemployment": -0.5, "recession": -0.7, "deficit": -0.4,
+	"shutdown": -0.5, "cut": -0.3, "cuts": -0.3, "layoff": -0.6,
+	"layoffs": -0.6, "strike": -0.4, "protest": -0.3, "protests": -0.3,
+	"stupid": -0.6, "dumb": -0.6, "ugly": -0.6, "boring": -0.4,
+	"disappointing": -0.6, "disappointed": -0.6, "mess": -0.5,
+}
+
+// LexiconSize reports how many sentiment-bearing words are known; exposed so
+// the synthetic generator can sanity-check its vocabulary overlap.
+func LexiconSize() int { return len(lexicon) }
+
+// Valence returns the base valence of a word and whether it is in the
+// lexicon.
+func Valence(word string) (float64, bool) {
+	v, ok := lexicon[word]
+	return v, ok
+}
+
+// PositiveWords returns lexicon words with valence ≥ min, sorted (so
+// seeded generators sampling from it stay deterministic).
+func PositiveWords(min float64) []string {
+	var out []string
+	for w, v := range lexicon {
+		if v >= min {
+			out = append(out, w)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NegativeWords returns lexicon words with valence ≤ max, sorted.
+func NegativeWords(max float64) []string {
+	var out []string
+	for w, v := range lexicon {
+		if v <= max {
+			out = append(out, w)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,169 @@
+package sentiment
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestScoreSigns(t *testing.T) {
+	cases := []struct {
+		text string
+		sign int // -1, 0, +1
+	}{
+		{"the economy shows strong growth and gains", +1},
+		{"what a great win for the team tonight", +1},
+		{"markets crash as recession fears grow", -1},
+		{"terrible disaster, many killed in the attack", -1},
+		{"the meeting is scheduled for tuesday", 0},
+		{"", 0},
+	}
+	for _, tc := range cases {
+		s := Score(tc.text)
+		switch {
+		case tc.sign > 0 && s <= 0:
+			t.Errorf("Score(%q) = %v, want positive", tc.text, s)
+		case tc.sign < 0 && s >= 0:
+			t.Errorf("Score(%q) = %v, want negative", tc.text, s)
+		case tc.sign == 0 && s != 0:
+			t.Errorf("Score(%q) = %v, want 0", tc.text, s)
+		}
+	}
+}
+
+func TestScoreRange(t *testing.T) {
+	texts := []string{
+		"amazing wonderful fantastic excellent best great good win",
+		"terrible awful horrible worst disaster crash fraud killed",
+		"neutral words only here",
+	}
+	for _, text := range texts {
+		if s := Score(text); s < -1 || s > 1 {
+			t.Errorf("Score(%q) = %v outside [-1, 1]", text, s)
+		}
+	}
+}
+
+func TestNegationFlips(t *testing.T) {
+	pos := Score("the plan is good")
+	neg := Score("the plan is not good")
+	if pos <= 0 {
+		t.Fatalf("baseline positive score = %v", pos)
+	}
+	if neg >= 0 {
+		t.Errorf("negated score = %v, want negative", neg)
+	}
+}
+
+func TestIntensifierAmplifies(t *testing.T) {
+	plain := Score("the results were bad")
+	strong := Score("the results were extremely bad")
+	if !(strong < plain) {
+		t.Errorf("extremely bad (%v) should be more negative than bad (%v)", strong, plain)
+	}
+}
+
+func TestNegationOnlyAppliesToNextWord(t *testing.T) {
+	// "not" flips "bad" but leaves the later "great" positive.
+	s := Score("not bad at all, actually great")
+	if s <= 0 {
+		t.Errorf("Score = %v, want positive (not-bad plus great)", s)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		score float64
+		want  Polarity
+	}{
+		{0.5, Positive}, {0.16, Positive},
+		{0.1, Neutral}, {0, Neutral}, {-0.15, Neutral},
+		{-0.16, Negative}, {-0.9, Negative},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.score); got != tc.want {
+			t.Errorf("Classify(%v) = %v, want %v", tc.score, got, tc.want)
+		}
+	}
+}
+
+func TestLexiconHelpers(t *testing.T) {
+	if LexiconSize() < 100 {
+		t.Errorf("lexicon suspiciously small: %d entries", LexiconSize())
+	}
+	if v, ok := Valence("great"); !ok || v <= 0 {
+		t.Errorf("Valence(great) = %v, %v", v, ok)
+	}
+	if v, ok := Valence("crash"); !ok || v >= 0 {
+		t.Errorf("Valence(crash) = %v, %v", v, ok)
+	}
+	if _, ok := Valence("tuesday"); ok {
+		t.Error("tuesday should not be in the lexicon")
+	}
+	pos := PositiveWords(0.5)
+	neg := NegativeWords(-0.5)
+	if len(pos) == 0 || len(neg) == 0 {
+		t.Fatalf("word lists empty: %d positive, %d negative", len(pos), len(neg))
+	}
+	sort.Strings(pos)
+	for _, w := range pos {
+		if v, _ := Valence(w); v < 0.5 {
+			t.Errorf("PositiveWords(0.5) contains %q with valence %v", w, v)
+		}
+	}
+	for _, w := range neg {
+		if v, _ := Valence(w); v > -0.5 {
+			t.Errorf("NegativeWords(-0.5) contains %q with valence %v", w, v)
+		}
+	}
+}
+
+func TestScoreMonotoneInPositiveContent(t *testing.T) {
+	weak := Score("a good day")
+	strong := Score("a good day with a great win and amazing success")
+	if !(strong > weak) {
+		t.Errorf("more positive content scored lower: %v vs %v", strong, weak)
+	}
+}
+
+func TestEmoticons(t *testing.T) {
+	cases := []struct {
+		text string
+		sign int
+	}{
+		{"waiting for the results :)", +1},
+		{"waiting for the results :(", -1},
+		{"great game :D <3", +1},
+		{"stuck in traffic again :-/", -1},
+		{"love this 😀🎉", +1},
+		{"so sad 😢💔", -1},
+	}
+	for _, tc := range cases {
+		s := Score(tc.text)
+		if tc.sign > 0 && s <= 0 {
+			t.Errorf("Score(%q) = %v, want positive", tc.text, s)
+		}
+		if tc.sign < 0 && s >= 0 {
+			t.Errorf("Score(%q) = %v, want negative", tc.text, s)
+		}
+	}
+}
+
+func TestEmoticonsCombineWithWords(t *testing.T) {
+	// An emoticon strengthens agreeing text and can flip weak text.
+	plain := Score("the game tonight")
+	smiley := Score("the game tonight :)")
+	if !(smiley > plain) {
+		t.Errorf("smiley did not raise score: %v vs %v", smiley, plain)
+	}
+	if s := Score("good :("); s >= Score("good") {
+		t.Errorf("frown did not lower a positive text: %v", s)
+	}
+}
+
+func TestEmoticonNoDoubleCount(t *testing.T) {
+	// ":-(" must not additionally count as ":(".
+	one := Score(":-(")
+	if two := Score(":( :("); !(two < one) {
+		t.Errorf("two frowns (%v) should be more negative than one long frown (%v)", two, one)
+	}
+}

@@ -1,0 +1,55 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"mqdp/internal/match"
+	"mqdp/internal/synth"
+)
+
+// BenchmarkIngestManySubscriptions measures per-post ingest cost with many
+// live profiles — the paper's §7.4 scalability concern ("executed for
+// millions of users") at bench scale.
+func BenchmarkIngestManySubscriptions(b *testing.B) {
+	for _, subs := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			world := synth.NewWorld(synth.WorldConfig{Seed: 1})
+			tweets := synth.TweetStream(world, synth.StreamConfig{Duration: 600, RatePerSec: 4, Seed: 2})
+			s := New(0, 0)
+			rng := newRand(3)
+			for i := 0; i < subs; i++ {
+				topicIdx := world.SampleLabelSet(rng, 3)
+				if _, err := s.Subscribe(SubscriptionConfig{
+					Topics: world.MatchTopics(topicIdx),
+					Lambda: 120,
+					Tau:    30,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tw := tweets[i%len(tweets)]
+				// Replay with a strictly advancing clock to satisfy the
+				// order check across wraps.
+				wrap := float64(i/len(tweets)) * 600
+				_ = s.Ingest(Post{ID: int64(i), Time: tw.Time + wrap, Text: tw.Text})
+			}
+		})
+	}
+}
+
+func BenchmarkMatchOnly(b *testing.B) {
+	world := synth.NewWorld(synth.WorldConfig{Seed: 1})
+	tweets := synth.TweetStream(world, synth.StreamConfig{Duration: 300, RatePerSec: 4, Seed: 2})
+	rng := newRand(3)
+	m, err := match.NewMatcher(world.MatchTopics(world.SampleLabelSet(rng, 5)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Match(tweets[i%len(tweets)].Text)
+	}
+}

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client is a typed HTTP client for a running mqdp-server.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// apiError is a non-2xx response.
+type apiError struct {
+	Status int
+	Body   string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("server: status %d: %s", e.Status, strings.TrimSpace(e.Body))
+}
+
+// StatusCode extracts the HTTP status from a client error, or 0.
+func StatusCode(err error) int {
+	var ae *apiError
+	if ok := asAPIError(err, &ae); ok {
+		return ae.Status
+	}
+	return 0
+}
+
+func asAPIError(err error, target **apiError) bool {
+	for err != nil {
+		if ae, ok := err.(*apiError); ok {
+			*target = ae
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// do runs one request and decodes a JSON response into out (out may be nil).
+func (c *Client) do(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return &apiError{Status: resp.StatusCode, Body: string(msg)}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Subscribe registers a profile and returns its id.
+func (c *Client) Subscribe(cfg SubscriptionConfig) (int64, error) {
+	var created map[string]int64
+	if err := c.do(http.MethodPost, "/subscriptions", cfg, &created); err != nil {
+		return 0, err
+	}
+	return created["id"], nil
+}
+
+// Unsubscribe removes a profile.
+func (c *Client) Unsubscribe(id int64) error {
+	return c.do(http.MethodDelete, fmt.Sprintf("/subscriptions/%d", id), nil, nil)
+}
+
+// Ingest feeds a batch of posts in time order.
+func (c *Client) Ingest(posts ...Post) error {
+	return c.do(http.MethodPost, "/ingest", posts, nil)
+}
+
+// Emissions fetches a profile's emissions with Seq > after (limit ≤ 0 means
+// all).
+func (c *Client) Emissions(id, after int64, limit int) ([]Emission, error) {
+	path := fmt.Sprintf("/subscriptions/%d/emissions?after=%d", id, after)
+	if limit > 0 {
+		path += fmt.Sprintf("&limit=%d", limit)
+	}
+	var out []Emission
+	if err := c.do(http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Flush forces every pending decision out.
+func (c *Client) Flush() error {
+	return c.do(http.MethodPost, "/flush", struct{}{}, nil)
+}
+
+// Stats fetches service counters.
+func (c *Client) Stats() (Stats, error) {
+	var st Stats
+	err := c.do(http.MethodGet, "/stats", nil, &st)
+	return st, err
+}
+
+// SubscriptionStats fetches one profile's counters.
+func (c *Client) SubscriptionStats(id int64) (SubscriptionStats, error) {
+	var st SubscriptionStats
+	err := c.do(http.MethodGet, fmt.Sprintf("/subscriptions/%d/stats", id), nil, &st)
+	return st, err
+}

@@ -1,0 +1,81 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+)
+
+func TestClientEndToEnd(t *testing.T) {
+	ts, _ := newTestServer(t)
+	c := NewClient(ts.URL + "/") // trailing slash is normalized
+
+	id, err := c.Subscribe(SubscriptionConfig{Topics: politicsTopics(), Lambda: 60, Tau: 0, Algorithm: "instant"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ingest(
+		Post{ID: 1, Time: 0, Text: "obama statement"},
+		Post{ID: 2, Time: 100, Text: "senate debate"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	es, err := c.Emissions(id, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 2 {
+		t.Fatalf("emissions = %d, want 2", len(es))
+	}
+	if es[0].PostID != 1 || es[0].Topics[0] != "obama" {
+		t.Errorf("first emission = %+v", es[0])
+	}
+	// Cursor + limit.
+	es, err = c.Emissions(id, es[0].Seq, 1)
+	if err != nil || len(es) != 1 || es[0].PostID != 2 {
+		t.Errorf("cursor fetch = %+v, %v", es, err)
+	}
+	st, err := c.Stats()
+	if err != nil || st.Ingested != 2 || st.Subscriptions != 1 {
+		t.Errorf("stats = %+v, %v", st, err)
+	}
+	ss, err := c.SubscriptionStats(id)
+	if err != nil || ss.Matched != 2 {
+		t.Errorf("sub stats = %+v, %v", ss, err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unsubscribe(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Emissions(id, 0, 0); StatusCode(err) != http.StatusNotFound {
+		t.Errorf("post-unsubscribe fetch error = %v (status %d), want 404", err, StatusCode(err))
+	}
+}
+
+func TestClientErrorSurfacing(t *testing.T) {
+	ts, _ := newTestServer(t)
+	c := NewClient(ts.URL)
+	if _, err := c.Subscribe(SubscriptionConfig{}); err == nil {
+		t.Error("bad subscription accepted")
+	} else if StatusCode(err) != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400", StatusCode(err))
+	}
+	if err := c.Ingest(Post{ID: 1, Time: 100, Text: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Ingest(Post{ID: 2, Time: 50, Text: "y"})
+	if StatusCode(err) != http.StatusConflict {
+		t.Errorf("out-of-order status = %d, want 409", StatusCode(err))
+	}
+	if StatusCode(nil) != 0 {
+		t.Error("StatusCode(nil) != 0")
+	}
+}
+
+func TestClientConnectionError(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1") // nothing listens there
+	if _, err := c.Stats(); err == nil {
+		t.Error("dead endpoint succeeded")
+	}
+}

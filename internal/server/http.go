@@ -1,0 +1,162 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"mqdp/internal/digest"
+)
+
+// Handler exposes the Server over HTTP:
+//
+//	POST   /subscriptions                 {topics, lambda, tau, algorithm} → {"id": N}
+//	DELETE /subscriptions/{id}
+//	GET    /subscriptions/{id}/emissions?after=SEQ&limit=K → [Emission]
+//	GET    /subscriptions/{id}/stats      → SubscriptionStats
+//	POST   /ingest                        Post or [Post]
+//	POST   /flush
+//	GET    /stats                         → Stats
+func Handler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/subscriptions", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var cfg SubscriptionConfig
+		if err := json.NewDecoder(r.Body).Decode(&cfg); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		id, err := s.Subscribe(cfg)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, map[string]int64{"id": id})
+	})
+	mux.HandleFunc("/subscriptions/", func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/subscriptions/")
+		parts := strings.Split(rest, "/")
+		id, err := strconv.ParseInt(parts[0], 10, 64)
+		if err != nil {
+			http.Error(w, "bad subscription id", http.StatusBadRequest)
+			return
+		}
+		switch {
+		case len(parts) == 1 && r.Method == http.MethodDelete:
+			if err := s.Unsubscribe(id); err != nil {
+				httpError(w, err)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		case len(parts) == 2 && parts[1] == "emissions" && r.Method == http.MethodGet:
+			after, _ := strconv.ParseInt(r.URL.Query().Get("after"), 10, 64)
+			limit, _ := strconv.Atoi(r.URL.Query().Get("limit"))
+			es, err := s.Emissions(id, after, limit)
+			if err != nil {
+				httpError(w, err)
+				return
+			}
+			if es == nil {
+				es = []Emission{}
+			}
+			writeJSON(w, es)
+		case len(parts) == 2 && parts[1] == "digest" && r.Method == http.MethodGet:
+			d, err := s.Digest(id)
+			if err != nil {
+				httpError(w, err)
+				return
+			}
+			opts := digest.Options{MaxTextLen: 80, ValueAsClock: true}
+			if r.URL.Query().Get("format") == "md" {
+				w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
+				if err := d.WriteMarkdown(w, opts); err != nil {
+					httpError(w, err)
+				}
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if err := d.WriteText(w, opts); err != nil {
+				httpError(w, err)
+			}
+		case len(parts) == 2 && parts[1] == "stats" && r.Method == http.MethodGet:
+			st, err := s.SubscriptionStats(id)
+			if err != nil {
+				httpError(w, err)
+				return
+			}
+			writeJSON(w, st)
+		default:
+			http.Error(w, "not found", http.StatusNotFound)
+		}
+	})
+	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		dec := json.NewDecoder(r.Body)
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var batch []Post
+		if len(raw) > 0 && raw[0] == '[' {
+			if err := json.Unmarshal(raw, &batch); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+		} else {
+			var one Post
+			if err := json.Unmarshal(raw, &one); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			batch = []Post{one}
+		}
+		for _, p := range batch {
+			if err := s.Ingest(p); err != nil {
+				httpError(w, err)
+				return
+			}
+		}
+		writeJSON(w, map[string]int{"accepted": len(batch)})
+	})
+	mux.HandleFunc("/flush", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		s.Flush()
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, s.Stats())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNoSuchSubscription):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrOutOfOrder):
+		status = http.StatusConflict
+	}
+	http.Error(w, err.Error(), status)
+}

@@ -1,0 +1,324 @@
+// Package server implements the publish/subscribe front of the paper's
+// architecture (Figure 1, §1's subscription scenario): users register
+// profiles — a set of topic queries plus λ, τ and an algorithm choice — and
+// a shared post stream is matched, near-duplicate filtered and diversified
+// *per subscription*, each with its own streaming processor. §7.4 motivates
+// exactly this shape: the per-post work must stay small because the
+// algorithm "has to be executed for millions of users".
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"mqdp"
+	"mqdp/internal/digest"
+	"mqdp/internal/match"
+	"mqdp/internal/simhash"
+)
+
+// Post is one incoming stream item.
+type Post struct {
+	ID   int64   `json:"id"`
+	Time float64 `json:"time"`
+	Text string  `json:"text"`
+}
+
+// Emission is one diversified output item for a subscription.
+type Emission struct {
+	Seq    int64    `json:"seq"`
+	PostID int64    `json:"post_id"`
+	Time   float64  `json:"time"`
+	Text   string   `json:"text"`
+	Topics []string `json:"topics"`
+	EmitAt float64  `json:"emit_at"`
+}
+
+// SubscriptionConfig describes a user profile.
+type SubscriptionConfig struct {
+	// Topics are the user's queries.
+	Topics []match.Topic `json:"topics"`
+	// Lambda is the diversity threshold on the time dimension (seconds).
+	Lambda float64 `json:"lambda"`
+	// Tau is the maximum reporting delay (seconds); ignored by Instant.
+	Tau float64 `json:"tau"`
+	// Algorithm is one of "streamscan", "streamscan+", "streamgreedy",
+	// "streamgreedy+", "instant". Default "streamscan+".
+	Algorithm string `json:"algorithm"`
+}
+
+// subscription is the per-user pipeline state.
+type subscription struct {
+	id      int64
+	cfg     SubscriptionConfig
+	matcher *match.Matcher
+	proc    mqdp.Processor
+	// buffer of emissions with monotonically increasing Seq.
+	emissions []Emission
+	nextSeq   int64
+	matched   int64
+	texts     map[int64]Post // recent matched posts awaiting a decision
+}
+
+// Server is the multi-subscription diversification service. It is safe for
+// concurrent use; ingest is serialized to preserve stream order.
+type Server struct {
+	mu     sync.RWMutex
+	nextID int64
+	subs   map[int64]*subscription
+	dedup  *simhash.Deduper
+	// stats
+	ingested int64
+	dropped  int64
+	lastTime float64
+	started  bool
+}
+
+// New returns a Server that drops near-duplicates within hamming distance
+// dupDistance over a window of dupWindow recent posts before matching.
+// dupWindow ≤ 0 disables deduplication.
+func New(dupDistance, dupWindow int) *Server {
+	s := &Server{subs: make(map[int64]*subscription)}
+	if dupWindow > 0 {
+		s.dedup = simhash.NewDeduper(dupDistance, dupWindow)
+	}
+	return s
+}
+
+// Errors returned by the server.
+var (
+	ErrNoSuchSubscription = errors.New("server: no such subscription")
+	ErrOutOfOrder         = errors.New("server: post arrived out of time order")
+)
+
+// Subscribe registers a profile and returns its id.
+func (s *Server) Subscribe(cfg SubscriptionConfig) (int64, error) {
+	matcher, err := match.NewMatcher(cfg.Topics)
+	if err != nil {
+		return 0, err
+	}
+	algo, err := parseStreamAlgo(cfg.Algorithm)
+	if err != nil {
+		return 0, err
+	}
+	proc, err := mqdp.NewStream(algo, matcher.NumTopics(), cfg.Lambda, cfg.Tau)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	id := s.nextID
+	s.subs[id] = &subscription{
+		id:      id,
+		cfg:     cfg,
+		matcher: matcher,
+		proc:    proc,
+		texts:   make(map[int64]Post),
+	}
+	return id, nil
+}
+
+// Unsubscribe removes a profile.
+func (s *Server) Unsubscribe(id int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.subs[id]; !ok {
+		return ErrNoSuchSubscription
+	}
+	delete(s.subs, id)
+	return nil
+}
+
+// Ingest feeds one post (nondecreasing Time) to every subscription.
+func (s *Server) Ingest(p Post) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started && p.Time < s.lastTime {
+		return fmt.Errorf("%w: %v after %v", ErrOutOfOrder, p.Time, s.lastTime)
+	}
+	s.started = true
+	s.lastTime = p.Time
+	s.ingested++
+	if s.dedup != nil && !s.dedup.Offer(p.Text) {
+		s.dropped++
+		return nil
+	}
+	for _, sub := range s.subs {
+		if err := sub.feed(p); err != nil {
+			return fmt.Errorf("server: subscription %d: %w", sub.id, err)
+		}
+	}
+	return nil
+}
+
+// feed matches and processes one post for a single subscription. The caller
+// holds the server lock.
+func (sub *subscription) feed(p Post) error {
+	labels := sub.matcher.Match(p.Text)
+	if len(labels) == 0 {
+		return nil
+	}
+	sub.matched++
+	sub.texts[p.ID] = p
+	es, err := sub.proc.Process(mqdp.Post{ID: p.ID, Value: p.Time, Labels: labels})
+	if err != nil {
+		return err
+	}
+	sub.deliver(es)
+	sub.gc(p.Time)
+	return nil
+}
+
+// deliver converts processor emissions into client-facing records.
+func (sub *subscription) deliver(es []mqdp.Emission) {
+	for _, e := range es {
+		src := sub.texts[e.Post.ID]
+		names := make([]string, len(e.Post.Labels))
+		for i, a := range e.Post.Labels {
+			names[i] = sub.matcher.Topic(a).Name
+		}
+		sub.nextSeq++
+		sub.emissions = append(sub.emissions, Emission{
+			Seq:    sub.nextSeq,
+			PostID: e.Post.ID,
+			Time:   e.Post.Value,
+			Text:   src.Text,
+			Topics: names,
+			EmitAt: e.EmitAt,
+		})
+	}
+}
+
+// gc drops remembered texts that can no longer be emitted (decision windows
+// passed) and caps the emission buffer.
+func (sub *subscription) gc(now float64) {
+	horizon := now - sub.cfg.Lambda - sub.cfg.Tau - 1
+	if len(sub.texts) > 4096 {
+		for id, p := range sub.texts {
+			if p.Time < horizon {
+				delete(sub.texts, id)
+			}
+		}
+	}
+	const maxBuffer = 65536
+	if len(sub.emissions) > maxBuffer {
+		sub.emissions = append([]Emission(nil), sub.emissions[len(sub.emissions)-maxBuffer:]...)
+	}
+}
+
+// Flush ends the stream, forcing every pending decision out.
+func (s *Server) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sub := range s.subs {
+		sub.deliver(sub.proc.Flush())
+	}
+}
+
+// Emissions returns a subscription's emissions with Seq > after, up to limit
+// (≤ 0 means no limit).
+func (s *Server) Emissions(id, after int64, limit int) ([]Emission, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sub, ok := s.subs[id]
+	if !ok {
+		return nil, ErrNoSuchSubscription
+	}
+	// Seqs are contiguous within the retained buffer; binary search by
+	// position relative to the first retained seq.
+	var out []Emission
+	for _, e := range sub.emissions {
+		if e.Seq > after {
+			out = append(out, e)
+			if limit > 0 && len(out) == limit {
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// Stats is a service snapshot.
+type Stats struct {
+	Ingested      int64 `json:"ingested"`
+	DroppedDups   int64 `json:"dropped_duplicates"`
+	Subscriptions int   `json:"subscriptions"`
+}
+
+// SubscriptionStats is a per-profile snapshot.
+type SubscriptionStats struct {
+	ID        int64   `json:"id"`
+	Matched   int64   `json:"matched"`
+	Emitted   int64   `json:"emitted"`
+	Algorithm string  `json:"algorithm"`
+	Lambda    float64 `json:"lambda"`
+	Tau       float64 `json:"tau"`
+}
+
+// Stats reports service-level counters.
+func (s *Server) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{Ingested: s.ingested, DroppedDups: s.dropped, Subscriptions: len(s.subs)}
+}
+
+// SubscriptionStats reports one profile's counters.
+func (s *Server) SubscriptionStats(id int64) (SubscriptionStats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sub, ok := s.subs[id]
+	if !ok {
+		return SubscriptionStats{}, ErrNoSuchSubscription
+	}
+	return SubscriptionStats{
+		ID:        id,
+		Matched:   sub.matched,
+		Emitted:   sub.nextSeq,
+		Algorithm: sub.proc.Name(),
+		Lambda:    sub.cfg.Lambda,
+		Tau:       sub.cfg.Tau,
+	}, nil
+}
+
+func parseStreamAlgo(name string) (mqdp.StreamAlgorithm, error) {
+	switch name {
+	case "", "streamscan+":
+		return mqdp.StreamScanPlus, nil
+	case "streamscan":
+		return mqdp.StreamScan, nil
+	case "streamgreedy":
+		return mqdp.StreamGreedy, nil
+	case "streamgreedy+":
+		return mqdp.StreamGreedyPlus, nil
+	case "instant":
+		return mqdp.Instant, nil
+	}
+	return 0, fmt.Errorf("server: unknown algorithm %q", name)
+}
+
+// Digest renders a subscription's emissions as a user-facing digest.
+func (s *Server) Digest(id int64) (*digest.Digest, error) {
+	es, err := s.Emissions(id, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	d := &digest.Digest{TopicCounts: make(map[string]int)}
+	for _, e := range es {
+		for _, name := range e.Topics {
+			d.TopicCounts[name]++
+		}
+		d.Entries = append(d.Entries, digest.Entry{
+			PostID: e.PostID,
+			Value:  e.Time,
+			Topics: e.Topics,
+			Text:   e.Text,
+		})
+	}
+	if len(d.Entries) > 0 {
+		d.SpanLo = d.Entries[0].Value
+		d.SpanHi = d.Entries[len(d.Entries)-1].Value
+	}
+	return d, nil
+}

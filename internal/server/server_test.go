@@ -1,0 +1,441 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"mqdp/internal/match"
+)
+
+func politicsTopics() []match.Topic {
+	return []match.Topic{
+		{Name: "obama", Keywords: []match.Keyword{{Text: "obama", Weight: 1}, {Text: "president", Weight: 0.5}}},
+		{Name: "senate", Keywords: []match.Keyword{{Text: "senate", Weight: 1}, {Text: "congress", Weight: 0.5}}},
+	}
+}
+
+func TestSubscribeIngestEmissions(t *testing.T) {
+	s := New(0, 0)
+	id, err := s.Subscribe(SubscriptionConfig{Topics: politicsTopics(), Lambda: 60, Tau: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	posts := []Post{
+		{ID: 1, Time: 0, Text: "obama speaks tonight"},
+		{ID: 2, Time: 5, Text: "irrelevant chatter about lunch"},
+		{ID: 3, Time: 20, Text: "senate votes on the bill"},
+		{ID: 4, Time: 30, Text: "obama responds to the senate"},
+		{ID: 5, Time: 200, Text: "president heads to camp david"},
+	}
+	for _, p := range posts {
+		if err := s.Ingest(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Flush()
+	es, err := s.Emissions(id, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) == 0 {
+		t.Fatal("no emissions")
+	}
+	// Every emission carries the original text and topic names, and seqs
+	// increase.
+	seen := map[int64]bool{}
+	for i, e := range es {
+		if e.Seq != int64(i+1) {
+			t.Errorf("emission %d has seq %d", i, e.Seq)
+		}
+		if e.Text == "" || len(e.Topics) == 0 {
+			t.Errorf("emission %+v missing text/topics", e)
+		}
+		if seen[e.PostID] {
+			t.Errorf("post %d emitted twice", e.PostID)
+		}
+		seen[e.PostID] = true
+		if d := e.EmitAt - e.Time; d < 0 || d > 10+1e-9 {
+			t.Errorf("emission delay %v outside τ", d)
+		}
+	}
+	// Post 5 is >λ from everything earlier and must appear.
+	if !seen[5] {
+		t.Error("isolated post 5 missing from emissions")
+	}
+	// The irrelevant post never matches.
+	if seen[2] {
+		t.Error("non-matching post emitted")
+	}
+	// Cursor-based fetch.
+	tail, err := s.Emissions(id, es[0].Seq, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != len(es)-1 {
+		t.Errorf("after-cursor fetch returned %d, want %d", len(tail), len(es)-1)
+	}
+	limited, err := s.Emissions(id, 0, 1)
+	if err != nil || len(limited) != 1 {
+		t.Errorf("limit fetch = %v, %v", limited, err)
+	}
+}
+
+func TestPerSubscriptionIsolation(t *testing.T) {
+	s := New(0, 0)
+	obamaID, err := s.Subscribe(SubscriptionConfig{
+		Topics: politicsTopics()[:1], Lambda: 1000, Tau: 0, Algorithm: "instant",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	senateID, err := s.Subscribe(SubscriptionConfig{
+		Topics: politicsTopics()[1:], Lambda: 1000, Tau: 0, Algorithm: "instant",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Ingest(Post{ID: 1, Time: 0, Text: "obama press conference"})
+	_ = s.Ingest(Post{ID: 2, Time: 1, Text: "senate hearing today"})
+	s.Flush()
+	obamaEs, _ := s.Emissions(obamaID, 0, 0)
+	senateEs, _ := s.Emissions(senateID, 0, 0)
+	if len(obamaEs) != 1 || obamaEs[0].PostID != 1 {
+		t.Errorf("obama subscription got %+v", obamaEs)
+	}
+	if len(senateEs) != 1 || senateEs[0].PostID != 2 {
+		t.Errorf("senate subscription got %+v", senateEs)
+	}
+}
+
+func TestDeduplicationBeforeMatching(t *testing.T) {
+	s := New(0, 128) // exact-duplicate filtering
+	id, err := s.Subscribe(SubscriptionConfig{Topics: politicsTopics(), Lambda: 0, Tau: 0, Algorithm: "instant"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Ingest(Post{ID: 1, Time: 0, Text: "obama wins again"})
+	_ = s.Ingest(Post{ID: 2, Time: 1, Text: "obama wins again"}) // dropped
+	s.Flush()
+	st := s.Stats()
+	if st.Ingested != 2 || st.DroppedDups != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	es, _ := s.Emissions(id, 0, 0)
+	if len(es) != 1 {
+		t.Errorf("emissions = %d, want 1 (duplicate dropped before matching)", len(es))
+	}
+}
+
+func TestIngestOrderEnforced(t *testing.T) {
+	s := New(0, 0)
+	_ = s.Ingest(Post{ID: 1, Time: 10, Text: "x"})
+	if err := s.Ingest(Post{ID: 2, Time: 5, Text: "y"}); !errors.Is(err, ErrOutOfOrder) {
+		t.Errorf("out-of-order ingest error = %v", err)
+	}
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	s := New(0, 0)
+	if _, err := s.Subscribe(SubscriptionConfig{}); err == nil {
+		t.Error("subscription without topics accepted")
+	}
+	if _, err := s.Subscribe(SubscriptionConfig{Topics: politicsTopics(), Algorithm: "nope"}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := s.Subscribe(SubscriptionConfig{Topics: politicsTopics(), Lambda: -1}); err == nil {
+		t.Error("negative lambda accepted")
+	}
+	if err := s.Unsubscribe(99); !errors.Is(err, ErrNoSuchSubscription) {
+		t.Errorf("unsubscribe missing = %v", err)
+	}
+	if _, err := s.Emissions(99, 0, 0); !errors.Is(err, ErrNoSuchSubscription) {
+		t.Errorf("emissions missing = %v", err)
+	}
+	if _, err := s.SubscriptionStats(99); !errors.Is(err, ErrNoSuchSubscription) {
+		t.Errorf("stats missing = %v", err)
+	}
+}
+
+func TestConcurrentReadsDuringIngest(t *testing.T) {
+	s := New(0, 0)
+	id, err := s.Subscribe(SubscriptionConfig{Topics: politicsTopics(), Lambda: 30, Tau: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			_ = s.Ingest(Post{ID: int64(i), Time: float64(i), Text: fmt.Sprintf("obama item %d", i)})
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				_, _ = s.Emissions(id, 0, 10)
+				_ = s.Stats()
+				_, _ = s.SubscriptionStats(id)
+			}
+		}()
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Ingested != 2000 {
+		t.Errorf("ingested = %d", st.Ingested)
+	}
+}
+
+// --- HTTP layer ---
+
+func newTestServer(t *testing.T) (*httptest.Server, *Server) {
+	t.Helper()
+	core := New(0, 0)
+	ts := httptest.NewServer(Handler(core))
+	t.Cleanup(ts.Close)
+	return ts, core
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestHTTPEndToEnd(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	// Subscribe.
+	resp := postJSON(t, ts.URL+"/subscriptions", SubscriptionConfig{
+		Topics: politicsTopics(), Lambda: 60, Tau: 0, Algorithm: "instant",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("subscribe status %d", resp.StatusCode)
+	}
+	var created map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	id := created["id"]
+
+	// Ingest a batch.
+	resp = postJSON(t, ts.URL+"/ingest", []Post{
+		{ID: 1, Time: 0, Text: "obama statement"},
+		{ID: 2, Time: 100, Text: "senate debate"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Single-object ingest.
+	resp = postJSON(t, ts.URL+"/ingest", Post{ID: 3, Time: 200, Text: "president tours midwest"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single ingest status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Emissions.
+	resp, err := http.Get(fmt.Sprintf("%s/subscriptions/%d/emissions?after=0", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var es []Emission
+	if err := json.NewDecoder(resp.Body).Decode(&es); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(es) != 3 {
+		t.Fatalf("emissions = %d, want 3 (instant, all novel)", len(es))
+	}
+
+	// Per-subscription stats.
+	resp, err = http.Get(fmt.Sprintf("%s/subscriptions/%d/stats", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st SubscriptionStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Matched != 3 || st.Emitted != 3 {
+		t.Errorf("sub stats = %+v", st)
+	}
+
+	// Service stats.
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Ingested != 3 || stats.Subscriptions != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+
+	// Unsubscribe.
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/subscriptions/%d", ts.URL, id), nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Errorf("unsubscribe status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	cases := []struct {
+		method, path string
+		body         string
+		wantStatus   int
+	}{
+		{"GET", "/subscriptions", "", http.StatusMethodNotAllowed},
+		{"POST", "/subscriptions", "{not json", http.StatusBadRequest},
+		{"POST", "/subscriptions", `{"topics":[]}`, http.StatusBadRequest},
+		{"GET", "/subscriptions/abc/emissions", "", http.StatusBadRequest},
+		{"GET", "/subscriptions/42/emissions", "", http.StatusNotFound},
+		{"GET", "/subscriptions/42/stats", "", http.StatusNotFound},
+		{"DELETE", "/subscriptions/42", "", http.StatusNotFound},
+		{"POST", "/ingest", "{not json", http.StatusBadRequest},
+		{"GET", "/ingest", "", http.StatusMethodNotAllowed},
+		{"GET", "/flush", "", http.StatusMethodNotAllowed},
+		{"POST", "/stats", "", http.StatusMethodNotAllowed},
+		{"GET", "/subscriptions/1/unknown", "", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, bytes.NewReader([]byte(tc.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("%s %s → %d, want %d", tc.method, tc.path, resp.StatusCode, tc.wantStatus)
+		}
+	}
+	// Out-of-order ingest maps to 409.
+	_ = postJSON(t, ts.URL+"/ingest", Post{ID: 1, Time: 100, Text: "x"})
+	resp := postJSON(t, ts.URL+"/ingest", Post{ID: 2, Time: 50, Text: "y"})
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("out-of-order ingest status %d, want 409", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestHTTPFlush(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/subscriptions", SubscriptionConfig{
+		Topics: politicsTopics(), Lambda: 1000, Tau: 1000,
+	})
+	var created map[string]int64
+	_ = json.NewDecoder(resp.Body).Decode(&created)
+	resp.Body.Close()
+	id := created["id"]
+	resp = postJSON(t, ts.URL+"/ingest", Post{ID: 1, Time: 0, Text: "obama speech"})
+	resp.Body.Close()
+	// Nothing emitted yet: big τ holds the decision.
+	resp, _ = http.Get(fmt.Sprintf("%s/subscriptions/%d/emissions", ts.URL, id))
+	var es []Emission
+	_ = json.NewDecoder(resp.Body).Decode(&es)
+	resp.Body.Close()
+	if len(es) != 0 {
+		t.Fatalf("premature emissions: %+v", es)
+	}
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/flush", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, _ = http.Get(fmt.Sprintf("%s/subscriptions/%d/emissions", ts.URL, id))
+	_ = json.NewDecoder(resp.Body).Decode(&es)
+	resp.Body.Close()
+	if len(es) != 1 {
+		t.Errorf("post-flush emissions = %d, want 1", len(es))
+	}
+}
+
+// newRand is a test/bench helper mirroring the experiments package.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestDigestEndpoint(t *testing.T) {
+	ts, core := newTestServer(t)
+	id, err := core.Subscribe(SubscriptionConfig{Topics: politicsTopics(), Lambda: 60, Tau: 0, Algorithm: "instant"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = core.Ingest(Post{ID: 1, Time: 0, Text: "obama statement on budget"})
+	_ = core.Ingest(Post{ID: 2, Time: 3700, Text: "senate session opens"})
+
+	resp, err := http.Get(fmt.Sprintf("%s/subscriptions/%d/digest", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	if !strings.Contains(text, "obama statement") || !strings.Contains(text, "01:01:40") {
+		t.Errorf("text digest missing content:\n%s", text)
+	}
+	resp, err = http.Get(fmt.Sprintf("%s/subscriptions/%d/digest?format=md", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.HasPrefix(string(body), "| when | topics | post |") {
+		t.Errorf("markdown digest malformed:\n%s", body)
+	}
+	resp, err = http.Get(ts.URL + "/subscriptions/99/digest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing-subscription digest status %d", resp.StatusCode)
+	}
+}
+
+func TestServerDigestMethod(t *testing.T) {
+	s := New(0, 0)
+	id, err := s.Subscribe(SubscriptionConfig{Topics: politicsTopics(), Lambda: 10, Tau: 0, Algorithm: "instant"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Ingest(Post{ID: 1, Time: 0, Text: "obama and senate together"})
+	d, err := s.Digest(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Entries) != 1 || d.TopicCounts["obama"] != 1 || d.TopicCounts["senate"] != 1 {
+		t.Errorf("digest = %+v", d)
+	}
+}

@@ -1,0 +1,18 @@
+package simhash_test
+
+import (
+	"fmt"
+
+	"mqdp/internal/simhash"
+)
+
+func ExampleDeduper() {
+	d := simhash.NewDeduper(12, 1024)
+	fmt.Println(d.Offer("senate passes the budget deal after a long night"))
+	fmt.Println(d.Offer("senate passes the budget deal after a long night via @cnn"))
+	fmt.Println(d.Offer("lakers win in overtime at the garden"))
+	// Output:
+	// true
+	// false
+	// true
+}

@@ -1,0 +1,26 @@
+package simhash
+
+import "testing"
+
+func FuzzComputeDeterministic(f *testing.F) {
+	f.Add("hello world", "hello world via @x")
+	f.Add("", "x")
+	f.Add("a b c d e f", "a b c d e g")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		ha1, ha2 := Compute(a), Compute(a)
+		if ha1 != ha2 {
+			t.Fatalf("Compute(%q) nondeterministic", a)
+		}
+		hb := Compute(b)
+		d := Distance(ha1, hb)
+		if d < 0 || d > 64 {
+			t.Fatalf("distance %d out of range", d)
+		}
+		if Distance(hb, ha1) != d {
+			t.Fatal("distance not symmetric")
+		}
+		if a == b && d != 0 {
+			t.Fatalf("equal texts at distance %d", d)
+		}
+	})
+}

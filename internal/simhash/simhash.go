@@ -1,0 +1,198 @@
+// Package simhash implements 64-bit SimHash fingerprints (Charikar's
+// rounding scheme as used by Manku et al., WWW'07 — reference [17] of the
+// paper) and a sliding-window near-duplicate filter. The paper's pipeline
+// removes near-duplicate posts with SimHash before diversification, since
+// microblogging posts are too short for text distance functions.
+package simhash
+
+import (
+	"math/bits"
+
+	"mqdp/internal/textutil"
+)
+
+// Hash is a 64-bit SimHash fingerprint.
+type Hash uint64
+
+// fnv1a64 hashes a string with FNV-1a (inlined to avoid allocating a
+// hash.Hash64 per token).
+func fnv1a64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// Compute fingerprints text: each token bigram (shingle) votes its hash bits
+// up or down; the sign of each bit-sum forms the fingerprint. Token bigrams
+// keep short posts with shared vocabulary but different phrasing apart,
+// while near-identical posts (retweets, "via @x" suffixes) collide within a
+// few bits.
+func Compute(text string) Hash {
+	words := textutil.Words(text)
+	return FromFeatures(shingles(words))
+}
+
+// FromFeatures builds a fingerprint from explicit feature strings.
+func FromFeatures(features []string) Hash {
+	var counts [64]int
+	for _, f := range features {
+		h := fnv1a64(f)
+		for b := 0; b < 64; b++ {
+			if h&(1<<uint(b)) != 0 {
+				counts[b]++
+			} else {
+				counts[b]--
+			}
+		}
+	}
+	var out uint64
+	for b := 0; b < 64; b++ {
+		if counts[b] > 0 {
+			out |= 1 << uint(b)
+		}
+	}
+	return Hash(out)
+}
+
+// shingles returns word bigrams (and the lone word for single-word texts).
+func shingles(words []string) []string {
+	if len(words) == 0 {
+		return nil
+	}
+	if len(words) == 1 {
+		return words
+	}
+	out := make([]string, 0, len(words)-1)
+	for i := 0; i+1 < len(words); i++ {
+		out = append(out, words[i]+" "+words[i+1])
+	}
+	return out
+}
+
+// Distance returns the Hamming distance between two fingerprints.
+func Distance(a, b Hash) int {
+	return bits.OnesCount64(uint64(a) ^ uint64(b))
+}
+
+// Deduper filters a stream of texts, dropping near-duplicates: a text whose
+// fingerprint is within MaxDistance bits of any fingerprint seen in the last
+// Window accepted texts. The zero MaxDistance drops only exact fingerprint
+// matches.
+type Deduper struct {
+	maxDistance int
+	window      int
+	recent      []Hash // ring buffer of accepted fingerprints
+	next        int
+	full        bool
+	// buckets indexes the ring by the four 16-bit quarters of each hash,
+	// so candidates share at least one exact quarter — guaranteed for any
+	// pair within distance 3, and a strong prefilter beyond.
+	buckets [4]map[uint16][]int
+	seen    int
+	dropped int
+}
+
+// NewDeduper returns a Deduper keeping window fingerprints and dropping
+// texts within maxDistance bits of any of them. maxDistance above 3 falls
+// back to comparing against the whole window for correctness.
+func NewDeduper(maxDistance, window int) *Deduper {
+	if window < 1 {
+		window = 1
+	}
+	d := &Deduper{maxDistance: maxDistance, window: window, recent: make([]Hash, window)}
+	for q := range d.buckets {
+		d.buckets[q] = make(map[uint16][]int)
+	}
+	return d
+}
+
+// Offer fingerprints text and reports whether it is novel. Novel texts are
+// remembered; duplicates are counted and dropped.
+func (d *Deduper) Offer(text string) bool {
+	return d.OfferHash(Compute(text))
+}
+
+// OfferHash is Offer for a precomputed fingerprint.
+func (d *Deduper) OfferHash(h Hash) bool {
+	d.seen++
+	if d.isDuplicate(h) {
+		d.dropped++
+		return false
+	}
+	d.remember(h)
+	return true
+}
+
+func (d *Deduper) isDuplicate(h Hash) bool {
+	if d.maxDistance <= 3 {
+		// Any hash within 3 bits differs in at most 3 of the 4 quarters,
+		// so at least one quarter matches exactly.
+		cand := map[int]struct{}{}
+		for q := 0; q < 4; q++ {
+			key := uint16(uint64(h) >> (16 * q))
+			for _, idx := range d.buckets[q][key] {
+				cand[idx] = struct{}{}
+			}
+		}
+		for idx := range cand {
+			if Distance(d.recent[idx], h) <= d.maxDistance {
+				return true
+			}
+		}
+		return false
+	}
+	limit := len(d.recent)
+	if !d.full {
+		limit = d.next
+	}
+	for i := 0; i < limit; i++ {
+		if Distance(d.recent[i], h) <= d.maxDistance {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *Deduper) remember(h Hash) {
+	idx := d.next
+	if d.full {
+		// Evict the fingerprint previously stored at idx from buckets.
+		old := d.recent[idx]
+		for q := 0; q < 4; q++ {
+			key := uint16(uint64(old) >> (16 * q))
+			lst := d.buckets[q][key]
+			for i, v := range lst {
+				if v == idx {
+					lst[i] = lst[len(lst)-1]
+					lst = lst[:len(lst)-1]
+					break
+				}
+			}
+			if len(lst) == 0 {
+				delete(d.buckets[q], key)
+			} else {
+				d.buckets[q][key] = lst
+			}
+		}
+	}
+	d.recent[idx] = h
+	for q := 0; q < 4; q++ {
+		key := uint16(uint64(h) >> (16 * q))
+		d.buckets[q][key] = append(d.buckets[q][key], idx)
+	}
+	d.next++
+	if d.next == len(d.recent) {
+		d.next = 0
+		d.full = true
+	}
+}
+
+// Stats reports how many texts were offered and dropped.
+func (d *Deduper) Stats() (seen, dropped int) { return d.seen, d.dropped }

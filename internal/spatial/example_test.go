@@ -1,0 +1,27 @@
+package spatial_test
+
+import (
+	"fmt"
+
+	"mqdp/internal/core"
+	"mqdp/internal/spatial"
+)
+
+func Example() {
+	posts := []spatial.Post{
+		{ID: 1, Time: 0, Lat: 40.71, Lon: -74.00, Labels: []core.Label{0}},   // NYC
+		{ID: 2, Time: 30, Lat: 40.72, Lon: -74.01, Labels: []core.Label{0}},  // NYC, nearby
+		{ID: 3, Time: 30, Lat: 34.05, Lon: -118.24, Labels: []core.Label{0}}, // LA
+	}
+	in, err := spatial.NewInstance(posts, 1)
+	if err != nil {
+		panic(err)
+	}
+	cover, err := in.GreedySC(spatial.Thresholds{TimeSec: 120, DistKm: 50})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(cover.Size(), "representatives: one per metro")
+	// Output:
+	// 2 representatives: one per metro
+}

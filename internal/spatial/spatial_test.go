@@ -1,0 +1,209 @@
+package spatial
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mqdp/internal/core"
+)
+
+func TestHaversineKnownDistances(t *testing.T) {
+	cases := []struct {
+		name                   string
+		lat1, lon1, lat2, lon2 float64
+		wantKm, tol            float64
+	}{
+		{"same point", 40, -75, 40, -75, 0, 0.001},
+		{"NYC to LA", 40.7128, -74.0060, 34.0522, -118.2437, 3936, 40},
+		{"London to Paris", 51.5074, -0.1278, 48.8566, 2.3522, 344, 5},
+		{"equator degree", 0, 0, 0, 1, 111.2, 1},
+		{"antipodal-ish", 0, 0, 0, 180, math.Pi * EarthRadiusKm, 1},
+	}
+	for _, tc := range cases {
+		if got := Haversine(tc.lat1, tc.lon1, tc.lat2, tc.lon2); math.Abs(got-tc.wantKm) > tc.tol {
+			t.Errorf("%s: %v km, want %v ± %v", tc.name, got, tc.wantKm, tc.tol)
+		}
+	}
+}
+
+func TestHaversineSymmetric(t *testing.T) {
+	check := func(lat1, lon1, lat2, lon2 float64) bool {
+		clamp := func(v, lo, hi float64) float64 { return math.Mod(math.Abs(v), hi-lo) + lo }
+		a1, o1 := clamp(lat1, -90, 90), clamp(lon1, -180, 180)
+		a2, o2 := clamp(lat2, -90, 90), clamp(lon2, -180, 180)
+		d1 := Haversine(a1, o1, a2, o2)
+		d2 := Haversine(a2, o2, a1, o1)
+		return math.Abs(d1-d2) < 1e-9 && d1 >= 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// mkPost builds a geotagged post.
+func mkPost(id int64, t, lat, lon float64, labels ...core.Label) Post {
+	return Post{ID: id, Time: t, Lat: lat, Lon: lon, Labels: labels}
+}
+
+func TestNewInstanceValidation(t *testing.T) {
+	bad := []Post{
+		mkPost(1, math.NaN(), 0, 0, 0),
+		mkPost(1, 0, 91, 0, 0),
+		mkPost(1, 0, 0, 181, 0),
+		mkPost(1, 0, 0, 0, 5),
+	}
+	for i, p := range bad {
+		if _, err := NewInstance([]Post{p}, 1); err == nil {
+			t.Errorf("bad post %d accepted", i)
+		}
+	}
+}
+
+func TestCoversNeedsBothRadii(t *testing.T) {
+	in, err := NewInstance([]Post{
+		mkPost(1, 0, 40.0, -75.0, 0),
+		mkPost(2, 10, 40.0, -75.01, 0),  // ~0.85 km away, 10s later
+		mkPost(3, 10, 40.0, -80.0, 0),   // ~425 km away, 10s later
+		mkPost(4, 5000, 40.0, -75.0, 0), // same place, 5000s later
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := Thresholds{TimeSec: 60, DistKm: 5}
+	if !in.Covers(th, 0, 1) {
+		t.Error("nearby-in-both post not covered")
+	}
+	if in.Covers(th, 0, 2) {
+		t.Error("geographically distant post covered")
+	}
+	if in.Covers(th, 0, 3) {
+		t.Error("temporally distant post covered")
+	}
+}
+
+func TestVerifyAndSolversOnCityScenario(t *testing.T) {
+	// Two cities, one label: a selection in city A cannot cover city B even
+	// at the same instant, so any cover needs posts from both cities.
+	var posts []Post
+	id := int64(0)
+	for i := 0; i < 6; i++ {
+		posts = append(posts, mkPost(id, float64(i*30), 40.71, -74.00, 0)) // NYC
+		id++
+	}
+	for i := 0; i < 6; i++ {
+		posts = append(posts, mkPost(id, float64(i*30), 34.05, -118.24, 0)) // LA
+		id++
+	}
+	in, err := NewInstance(posts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := Thresholds{TimeSec: 100, DistKm: 50}
+	greedy, err := in.GreedySC(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, err := in.TimeScan(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := in.Exhaustive(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []*Cover{greedy, scan, exact} {
+		if err := in.VerifyCover(th, c.Selected); err != nil {
+			t.Fatalf("%s invalid: %v", c.Algorithm, err)
+		}
+	}
+	// 6 posts per city spanning 150s with 100s radius → 1 per city suffices
+	// temporally, so the optimum is 2 (one per city).
+	if exact.Size() != 2 {
+		t.Errorf("optimal = %d, want 2 (one per city)", exact.Size())
+	}
+	if greedy.Size() < exact.Size() || scan.Size() < exact.Size() {
+		t.Error("approximation beat the optimum")
+	}
+	// With an intercontinental radius, one post covers everything.
+	wide := Thresholds{TimeSec: 1000, DistKm: 10000}
+	exactWide, err := in.Exhaustive(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exactWide.Size() != 1 {
+		t.Errorf("wide-radius optimal = %d, want 1", exactWide.Size())
+	}
+}
+
+func TestSpatialSolversRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(20)
+		L := 1 + rng.Intn(3)
+		posts := make([]Post, n)
+		for i := range posts {
+			labels := []core.Label{core.Label(rng.Intn(L))}
+			if rng.Intn(3) == 0 {
+				labels = append(labels, core.Label(rng.Intn(L)))
+			}
+			posts[i] = mkPost(int64(i),
+				float64(rng.Intn(300)),
+				35+rng.Float64()*10,
+				-120+rng.Float64()*40,
+				labels...)
+		}
+		in, err := NewInstance(posts, L)
+		if err != nil {
+			t.Fatal(err)
+		}
+		th := Thresholds{TimeSec: float64(10 + rng.Intn(100)), DistKm: 100 + rng.Float64()*1000}
+		exact, err := in.Exhaustive(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, solve := range []func(Thresholds) (*Cover, error){in.GreedySC, in.TimeScan} {
+			c, err := solve(th)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := in.VerifyCover(th, c.Selected); err != nil {
+				t.Fatalf("trial %d: %s invalid: %v", trial, c.Algorithm, err)
+			}
+			if c.Size() < exact.Size() {
+				t.Fatalf("trial %d: %s=%d < optimal %d", trial, c.Algorithm, c.Size(), exact.Size())
+			}
+		}
+	}
+}
+
+func TestThresholdValidation(t *testing.T) {
+	in, err := NewInstance([]Post{mkPost(1, 0, 0, 0, 0)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.GreedySC(Thresholds{TimeSec: -1, DistKm: 1}); err == nil {
+		t.Error("negative time radius accepted")
+	}
+	if _, err := in.TimeScan(Thresholds{TimeSec: 1, DistKm: -1}); err == nil {
+		t.Error("negative distance radius accepted")
+	}
+	if err := in.VerifyCover(Thresholds{TimeSec: -1}, nil); err == nil {
+		t.Error("VerifyCover accepted negative thresholds")
+	}
+}
+
+func TestExhaustiveRejectsLarge(t *testing.T) {
+	posts := make([]Post, 49)
+	for i := range posts {
+		posts[i] = mkPost(int64(i), float64(i), 0, 0, 0)
+	}
+	in, err := NewInstance(posts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Exhaustive(Thresholds{TimeSec: 1, DistKm: 1}); err == nil {
+		t.Error("oversized exhaustive accepted")
+	}
+}

@@ -1,0 +1,191 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mqdp/internal/core"
+)
+
+// verifyAdaptive checks that every input (post, label) pair is covered by
+// some emitted post within that emission's recorded Equation 2 radius.
+func verifyAdaptive(t *testing.T, s *AdaptiveScan, posts []core.Post, es []Emission) {
+	t.Helper()
+	type labeled struct {
+		value  float64
+		radius float64
+	}
+	byLabel := map[core.Label][]labeled{}
+	for _, e := range es {
+		for _, a := range e.Post.Labels {
+			r, ok := s.EmittedRadius(e.Post.ID, a)
+			if !ok {
+				// The post was emitted via another label; it still covers
+				// label a with the radius recorded at its own decision, or
+				// not at all if a's backlog never selected it.
+				continue
+			}
+			byLabel[a] = append(byLabel[a], labeled{value: e.Post.Value, radius: r})
+		}
+	}
+	for _, p := range posts {
+		for _, a := range p.Labels {
+			covered := false
+			for _, l := range byLabel[a] {
+				if math.Abs(l.value-p.Value) <= l.radius {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("post %d uncovered on label %d", p.ID, a)
+			}
+		}
+	}
+}
+
+func TestAdaptiveScanCoversStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		numLabels := 1 + rng.Intn(3)
+		n := 5 + rng.Intn(80)
+		posts := make([]core.Post, n)
+		v := 0.0
+		for i := range posts {
+			v += rng.Float64() * 3
+			labels := []core.Label{core.Label(rng.Intn(numLabels))}
+			posts[i] = mk(int64(i), v, labels...)
+		}
+		lambda0 := 2 + rng.Float64()*6
+		tau := rng.Float64() * 10
+		s, err := NewAdaptiveScan(numLabels, lambda0, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		es, err := Run(posts, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range es {
+			if d := e.EmitAt - e.Post.Value; d < -1e-9 || d > tau+1e-9 {
+				t.Fatalf("trial %d: delay %v outside [0, τ=%v]", trial, d, tau)
+			}
+		}
+		verifyAdaptive(t, s, posts, es)
+	}
+}
+
+func TestAdaptiveScanProportionality(t *testing.T) {
+	// Dense burst then sparse tail: the adaptive processor should keep a
+	// larger fraction of the dense region than fixed-λ StreamScan at the
+	// same base threshold.
+	var posts []core.Post
+	id := int64(0)
+	for i := 0; i < 300; i++ { // dense: 1 post per unit
+		posts = append(posts, mk(id, float64(i), 0))
+		id++
+	}
+	for i := 0; i < 10; i++ { // sparse: 1 post per 60 units
+		posts = append(posts, mk(id, 300+float64(i)*60, 0))
+		id++
+	}
+	lambda0, tau := 15.0, 10.0
+	adaptive, err := NewAdaptiveScan(1, lambda0, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	esA, err := Run(posts, adaptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := NewScan(1, lambda0, tau, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	esF, err := Run(posts, fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	denseShare := func(es []Emission) float64 {
+		dense := 0
+		for _, e := range es {
+			if e.Post.Value < 300 {
+				dense++
+			}
+		}
+		if len(es) == 0 {
+			return 0
+		}
+		return float64(dense) / float64(len(es))
+	}
+	if a, f := denseShare(esA), denseShare(esF); a <= f {
+		t.Errorf("adaptive dense share %.3f ≤ fixed %.3f; Equation 2 should favor the dense region", a, f)
+	}
+	verifyAdaptive(t, adaptive, posts, esA)
+}
+
+func TestAdaptiveScanRejectsBadParams(t *testing.T) {
+	if _, err := NewAdaptiveScan(1, 0, 1); err == nil {
+		t.Error("lambda0 = 0 accepted")
+	}
+	if _, err := NewAdaptiveScan(1, 1, -1); err == nil {
+		t.Error("negative tau accepted")
+	}
+}
+
+func TestAdaptiveScanOutOfOrder(t *testing.T) {
+	s, err := NewAdaptiveScan(1, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Process(mk(1, 10, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Process(mk(2, 5, 0)); err == nil {
+		t.Error("out-of-order arrival accepted")
+	}
+}
+
+func TestAdaptiveScanNoDuplicateEmissions(t *testing.T) {
+	// A post carrying two labels may be selected by both backlogs but must
+	// be reported once.
+	posts := []core.Post{
+		mk(1, 0, 0), mk(2, 1, 1), mk(3, 2, 0, 1),
+	}
+	s, err := NewAdaptiveScan(2, 5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := Run(posts, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int64]bool{}
+	for _, e := range es {
+		if seen[e.Post.ID] {
+			t.Fatalf("post %d emitted twice", e.Post.ID)
+		}
+		seen[e.Post.ID] = true
+	}
+}
+
+func TestAdaptiveScanEmittedRadiusLookup(t *testing.T) {
+	s, err := NewAdaptiveScan(1, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := Run([]core.Post{mk(1, 0, 0)}, s)
+	if err != nil || len(es) != 1 {
+		t.Fatalf("emissions = %v, %v", es, err)
+	}
+	if r, ok := s.EmittedRadius(1, 0); !ok || r <= 0 {
+		t.Errorf("EmittedRadius = %v, %v", r, ok)
+	}
+	if _, ok := s.EmittedRadius(99, 0); ok {
+		t.Error("radius reported for unknown post")
+	}
+	if _, ok := s.EmittedRadius(1, 5); ok {
+		t.Error("radius reported for unknown label")
+	}
+}

@@ -1,0 +1,141 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mqdp/internal/core"
+)
+
+// quickStream derives a random, time-ordered post stream from a seed.
+func quickStream(seed int64, maxPosts, numLabels int) []core.Post {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 + rng.Intn(maxPosts)
+	posts := make([]core.Post, n)
+	v := 0.0
+	for i := range posts {
+		v += rng.Float64() * 4
+		var labels []core.Label
+		for a := 0; a < numLabels; a++ {
+			if rng.Intn(3) == 0 {
+				labels = append(labels, core.Label(a))
+			}
+		}
+		if len(labels) == 0 {
+			labels = append(labels, core.Label(rng.Intn(numLabels)))
+		}
+		posts[i] = core.Post{ID: int64(i), Value: v, Labels: labels}
+	}
+	return posts
+}
+
+func TestQuickEmissionsAlwaysCoverAndRespectDelay(t *testing.T) {
+	check := func(seed int64, lambdaRaw, tauRaw uint8) bool {
+		const numLabels = 3
+		posts := quickStream(seed, 50, numLabels)
+		lambda := float64(lambdaRaw%12) + 1
+		tau := float64(tauRaw % 12)
+		procs := []Processor{}
+		for _, plus := range []bool{false, true} {
+			sc, _ := NewScan(numLabels, lambda, tau, plus)
+			gr, _ := NewGreedy(numLabels, lambda, tau, plus)
+			procs = append(procs, sc, gr)
+		}
+		inst, _ := NewInstant(numLabels, lambda)
+		procs = append(procs, inst)
+		in, err := core.NewInstance(posts, numLabels)
+		if err != nil {
+			return false
+		}
+		byID := make(map[int64]int)
+		for i := 0; i < in.Len(); i++ {
+			byID[in.Post(i).ID] = i
+		}
+		for _, p := range procs {
+			es, err := Run(posts, p)
+			if err != nil {
+				t.Logf("seed=%d: %s: %v", seed, p.Name(), err)
+				return false
+			}
+			bound := tau
+			if p.Name() == "Instant" {
+				bound = 0
+			}
+			var sel []int
+			for _, e := range es {
+				sel = append(sel, byID[e.Post.ID])
+				if d := e.EmitAt - e.Post.Value; d < -1e-9 || d > bound+1e-9 {
+					t.Logf("seed=%d: %s delay %v outside [0,%v]", seed, p.Name(), d, bound)
+					return false
+				}
+			}
+			if err := in.VerifyCover(core.FixedLambda(lambda), sel); err != nil {
+				t.Logf("seed=%d: %s: %v", seed, p.Name(), err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStreamingDeterministic(t *testing.T) {
+	check := func(seed int64) bool {
+		posts := quickStream(seed, 40, 2)
+		for _, build := range []func() Processor{
+			func() Processor { p, _ := NewScan(2, 5, 3, true); return p },
+			func() Processor { p, _ := NewGreedy(2, 5, 3, false); return p },
+			func() Processor { p, _ := NewInstant(2, 5); return p },
+		} {
+			a, errA := Run(posts, build())
+			b, errB := Run(posts, build())
+			if errA != nil || errB != nil || len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i].Post.ID != b[i].Post.ID || a[i].EmitAt != b[i].EmitAt {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickInstantNeverBeatsHalfOptimalPerLabel(t *testing.T) {
+	// Instant's per-label guarantee (§5.1): consecutive emissions for one
+	// label are > λ apart, hence ≤ 2·OPT emissions per label.
+	check := func(seed int64, lambdaRaw uint8) bool {
+		posts := quickStream(seed, 20, 1)
+		lambda := float64(lambdaRaw%8) + 1
+		p, _ := NewInstant(1, lambda)
+		es, err := Run(posts, p)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(es); i++ {
+			if es[i].Post.Value-es[i-1].Post.Value <= lambda {
+				t.Logf("seed=%d: consecutive instant emissions within λ", seed)
+				return false
+			}
+		}
+		in, err := core.NewInstance(posts, 1)
+		if err != nil {
+			return false
+		}
+		opt, err := in.OPT(lambda, nil)
+		if err != nil {
+			return false
+		}
+		return len(es) <= 2*opt.Size()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+// Package stream implements the Streaming Multi-Query Diversification
+// Problem (StreamMQDP, Problem 2 of the paper): posts arrive in timestamp
+// order and a small λ-covering substream must be emitted, with every emitted
+// post reported within delay τ of its own timestamp.
+//
+// Processors are driven by event time — the timestamps carried by the posts
+// themselves — never by the wall clock, so replaying a day of traffic is
+// deterministic and takes milliseconds, exactly like the paper's replays of
+// a recorded Twitter day. Four processors mirror §5: StreamScan and
+// StreamScan+ (per-label deadline scans, approximation factor s for τ ≥ λ),
+// StreamGreedySC and StreamGreedySC+ (windowed greedy set cover), and the
+// Instant processor (τ = 0, approximation factor 2s).
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"mqdp/internal/core"
+)
+
+// Emission is one output decision: the emitted post and the event time at
+// which the processor decided to emit it. EmitAt − Post.Value is the
+// reporting delay and never exceeds the processor's τ.
+type Emission struct {
+	Post   core.Post
+	EmitAt float64
+}
+
+// Processor consumes a post stream in nondecreasing Value order and emits a
+// λ-covering substream with bounded delay.
+type Processor interface {
+	// Name identifies the algorithm, e.g. "StreamScan+".
+	Name() string
+	// Process feeds the next post. Posts must arrive in nondecreasing
+	// Value order; ErrOutOfOrder is returned otherwise. The returned
+	// emissions are decisions whose deadlines elapsed at or before this
+	// post's timestamp (plus, for τ=0 processors, the post itself).
+	Process(p core.Post) ([]Emission, error)
+	// Flush ends the stream, firing every outstanding deadline.
+	Flush() []Emission
+}
+
+// ErrOutOfOrder reports a post whose timestamp precedes an earlier one.
+var ErrOutOfOrder = errors.New("stream: post arrived out of timestamp order")
+
+// Run replays posts (sorted by Value ascending) through p and returns every
+// emission in decision order.
+func Run(posts []core.Post, p Processor) ([]Emission, error) {
+	var out []Emission
+	for i := range posts {
+		es, err := p.Process(posts[i])
+		if err != nil {
+			return nil, fmt.Errorf("stream: post %d (id %d): %w", i, posts[i].ID, err)
+		}
+		out = append(out, es...)
+	}
+	return append(out, p.Flush()...), nil
+}
+
+// clock tracks stream progress and rejects regressions.
+type clock struct {
+	now     float64
+	started bool
+}
+
+func (c *clock) advance(t float64) error {
+	if c.started && t < c.now {
+		return fmt.Errorf("%w: %v after %v", ErrOutOfOrder, t, c.now)
+	}
+	c.now = t
+	c.started = true
+	return nil
+}
+
+// sortEmissions orders a decision batch by (EmitAt, post value, post ID) so
+// batches are deterministic.
+func sortEmissions(es []Emission) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].EmitAt != es[j].EmitAt {
+			return es[i].EmitAt < es[j].EmitAt
+		}
+		if es[i].Post.Value != es[j].Post.Value {
+			return es[i].Post.Value < es[j].Post.Value
+		}
+		return es[i].Post.ID < es[j].Post.ID
+	})
+}
+
+// Summary aggregates an emission batch for reporting: output size and the
+// decision-delay distribution, the two sides of the paper's §5 tradeoff.
+type Summary struct {
+	Count     int
+	MeanDelay float64
+	MaxDelay  float64
+	// P95Delay is the 95th-percentile decision delay.
+	P95Delay float64
+}
+
+// Summarize computes a Summary over emissions.
+func Summarize(es []Emission) Summary {
+	s := Summary{Count: len(es)}
+	if len(es) == 0 {
+		return s
+	}
+	delays := make([]float64, len(es))
+	total := 0.0
+	for i, e := range es {
+		d := e.EmitAt - e.Post.Value
+		delays[i] = d
+		total += d
+		if d > s.MaxDelay {
+			s.MaxDelay = d
+		}
+	}
+	s.MeanDelay = total / float64(len(es))
+	sort.Float64s(delays)
+	idx := (len(delays)*95 + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	s.P95Delay = delays[idx]
+	return s
+}

@@ -1,0 +1,141 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"mqdp/internal/spatial"
+)
+
+// City is a population center emitting geotagged posts.
+type City struct {
+	Name     string
+	Lat, Lon float64
+	// Weight is the relative share of posts from this city.
+	Weight float64
+	// SpreadKm is the 1-σ scatter of post locations around the center.
+	SpreadKm float64
+}
+
+// DefaultCities is a small US-centric city set for the spatiotemporal
+// extension experiments.
+func DefaultCities() []City {
+	return []City{
+		{Name: "new-york", Lat: 40.7128, Lon: -74.0060, Weight: 4, SpreadKm: 15},
+		{Name: "los-angeles", Lat: 34.0522, Lon: -118.2437, Weight: 3, SpreadKm: 20},
+		{Name: "chicago", Lat: 41.8781, Lon: -87.6298, Weight: 2, SpreadKm: 12},
+		{Name: "houston", Lat: 29.7604, Lon: -95.3698, Weight: 1.5, SpreadKm: 15},
+		{Name: "seattle", Lat: 47.6062, Lon: -122.3321, Weight: 1, SpreadKm: 10},
+	}
+}
+
+// GeoStreamConfig shapes a geotagged post stream.
+type GeoStreamConfig struct {
+	Duration   float64 // seconds; default 3600
+	RatePerSec float64 // default 0.5
+	NumLabels  int     // default 2
+	Overlap    float64 // mean labels per post; default 1.3
+	Cities     []City  // default DefaultCities()
+	Seed       int64
+}
+
+func (c GeoStreamConfig) withDefaults() GeoStreamConfig {
+	if c.Duration <= 0 {
+		c.Duration = 3600
+	}
+	if c.RatePerSec <= 0 {
+		c.RatePerSec = 0.5
+	}
+	if c.NumLabels <= 0 {
+		c.NumLabels = 2
+	}
+	if c.Overlap < 1 {
+		c.Overlap = 1.3
+	}
+	if len(c.Cities) == 0 {
+		c.Cities = DefaultCities()
+	}
+	return c
+}
+
+// GenerateGeoPosts produces a time-ordered geotagged stream: arrivals are
+// Poisson, each post is placed near a weight-sampled city with Gaussian
+// scatter and labeled like GeneratePosts.
+func GenerateGeoPosts(cfg GeoStreamConfig) []spatial.Post {
+	c := cfg.withDefaults()
+	rng := rand.New(rand.NewSource(c.Seed))
+	totalW := 0.0
+	for _, city := range c.Cities {
+		totalW += city.Weight
+	}
+	pickCity := func() City {
+		u := rng.Float64() * totalW
+		for _, city := range c.Cities {
+			if u -= city.Weight; u <= 0 {
+				return city
+			}
+		}
+		return c.Cities[len(c.Cities)-1]
+	}
+	pop := NewZipf(c.NumLabels, 0.7)
+	pcfg := PostStreamConfig{NumLabels: c.NumLabels, Overlap: c.Overlap}
+	var posts []spatial.Post
+	id := int64(0)
+	for sec := 0.0; sec < c.Duration; sec++ {
+		n := poisson(rng, c.RatePerSec)
+		for k := 0; k < n; k++ {
+			t := sec + rng.Float64()
+			if t >= c.Duration {
+				t = c.Duration - 1e-6
+			}
+			city := pickCity()
+			// ~111 km per degree latitude; longitude shrinks by cos(lat).
+			dLat := rng.NormFloat64() * city.SpreadKm / 111.0
+			dLon := rng.NormFloat64() * city.SpreadKm / 111.0 / cosDeg(city.Lat)
+			posts = append(posts, spatial.Post{
+				ID:     id,
+				Time:   t,
+				Lat:    clampLat(city.Lat + dLat),
+				Lon:    wrapLon(city.Lon + dLon),
+				Labels: drawLabels(rng, pop, pcfg),
+			})
+			id++
+		}
+	}
+	sort.Slice(posts, func(i, j int) bool {
+		if posts[i].Time != posts[j].Time {
+			return posts[i].Time < posts[j].Time
+		}
+		return posts[i].ID < posts[j].ID
+	})
+	return posts
+}
+
+func cosDeg(deg float64) float64 {
+	c := math.Cos(deg * math.Pi / 180)
+	if c < 0.1 {
+		c = 0.1 // avoid polar blow-ups
+	}
+	return c
+}
+
+func clampLat(lat float64) float64 {
+	if lat > 90 {
+		return 90
+	}
+	if lat < -90 {
+		return -90
+	}
+	return lat
+}
+
+func wrapLon(lon float64) float64 {
+	for lon > 180 {
+		lon -= 360
+	}
+	for lon < -180 {
+		lon += 360
+	}
+	return lon
+}

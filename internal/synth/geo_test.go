@@ -1,0 +1,73 @@
+package synth
+
+import (
+	"testing"
+
+	"mqdp/internal/spatial"
+)
+
+func TestGenerateGeoPostsShape(t *testing.T) {
+	posts := GenerateGeoPosts(GeoStreamConfig{Duration: 1200, RatePerSec: 0.5, NumLabels: 3, Seed: 1})
+	if len(posts) < 400 || len(posts) > 800 {
+		t.Fatalf("posts = %d, want ≈600", len(posts))
+	}
+	for i, p := range posts {
+		if i > 0 && p.Time < posts[i-1].Time {
+			t.Fatal("geo posts out of time order")
+		}
+		if p.Lat < -90 || p.Lat > 90 || p.Lon < -180 || p.Lon > 180 {
+			t.Fatalf("post %d at invalid coordinates (%v, %v)", p.ID, p.Lat, p.Lon)
+		}
+		if len(p.Labels) == 0 {
+			t.Fatal("geo post without labels")
+		}
+	}
+	if _, err := spatial.NewInstance(posts, 3); err != nil {
+		t.Fatalf("generated geo posts rejected: %v", err)
+	}
+}
+
+func TestGenerateGeoPostsNearCities(t *testing.T) {
+	posts := GenerateGeoPosts(GeoStreamConfig{Duration: 600, RatePerSec: 0.5, Seed: 2})
+	cities := DefaultCities()
+	for _, p := range posts {
+		near := false
+		for _, c := range cities {
+			if spatial.Haversine(p.Lat, p.Lon, c.Lat, c.Lon) < 6*c.SpreadKm {
+				near = true
+				break
+			}
+		}
+		if !near {
+			t.Fatalf("post %d at (%v, %v) is far from every city", p.ID, p.Lat, p.Lon)
+		}
+	}
+}
+
+func TestGenerateGeoPostsDeterministic(t *testing.T) {
+	a := GenerateGeoPosts(GeoStreamConfig{Duration: 300, Seed: 3})
+	b := GenerateGeoPosts(GeoStreamConfig{Duration: 300, Seed: 3})
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].Lat != b[i].Lat || a[i].Time != b[i].Time {
+			t.Fatal("same seed produced different geo streams")
+		}
+	}
+}
+
+func TestWrapAndClampHelpers(t *testing.T) {
+	if got := wrapLon(190); got != -170 {
+		t.Errorf("wrapLon(190) = %v", got)
+	}
+	if got := wrapLon(-190); got != 170 {
+		t.Errorf("wrapLon(-190) = %v", got)
+	}
+	if clampLat(95) != 90 || clampLat(-95) != -90 || clampLat(45) != 45 {
+		t.Error("clampLat misbehaved")
+	}
+	if cosDeg(89.999) < 0.1 {
+		t.Error("cosDeg should floor near the poles")
+	}
+}

@@ -1,0 +1,113 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"mqdp/internal/core"
+)
+
+// PostStreamConfig shapes an abstract post stream: timestamps plus label
+// sets, no text. The evaluation's hardness knobs are explicit: per-label
+// arrival rate (via RatePerSec and label skew) and the post-overlap rate
+// (mean labels per post), which Figures 6, 7 and 11 sweep directly.
+type PostStreamConfig struct {
+	Duration float64 // seconds; default 600 (the paper's 10-minute slice)
+	// RatePerSec is the mean arrival rate of matching posts. The paper's
+	// Table 2 reports ~2.3/s matching posts for |L|=2 on the full stream;
+	// the default of 1.0 matches our ~10× scaled-down stream.
+	RatePerSec float64
+	NumLabels  int // default 2
+	// Overlap is the target mean number of labels per post (≥ 1).
+	// Default 1.3.
+	Overlap float64
+	// LabelSkew is the Zipf exponent of label popularity (0 = uniform).
+	// Default 0.7.
+	LabelSkew float64
+	// Diurnal modulates the rate over a 24h cycle.
+	Diurnal bool
+	Seed    int64
+}
+
+func (c PostStreamConfig) withDefaults() PostStreamConfig {
+	if c.Duration <= 0 {
+		c.Duration = 600
+	}
+	if c.RatePerSec <= 0 {
+		c.RatePerSec = 1.0
+	}
+	if c.NumLabels <= 0 {
+		c.NumLabels = 2
+	}
+	if c.Overlap < 1 {
+		c.Overlap = 1.3
+	}
+	if c.LabelSkew < 0 {
+		c.LabelSkew = 0
+	} else if c.LabelSkew == 0 {
+		c.LabelSkew = 0.7
+	}
+	return c
+}
+
+// GeneratePosts produces a time-ordered post stream per cfg. Post values are
+// timestamps in [0, Duration).
+func GeneratePosts(cfg PostStreamConfig) []core.Post {
+	c := cfg.withDefaults()
+	rng := rand.New(rand.NewSource(c.Seed))
+	pop := NewZipf(c.NumLabels, c.LabelSkew)
+	var posts []core.Post
+	id := int64(0)
+	for sec := 0.0; sec < c.Duration; sec++ {
+		r := c.RatePerSec
+		if c.Diurnal {
+			r *= 1 + 0.6*math.Sin(2*math.Pi*(sec/86400)-2.2)
+			if r < 0.01*c.RatePerSec {
+				r = 0.01 * c.RatePerSec
+			}
+		}
+		n := poisson(rng, r)
+		for k := 0; k < n; k++ {
+			t := sec + rng.Float64()
+			if t >= c.Duration {
+				t = c.Duration - 1e-6
+			}
+			posts = append(posts, core.Post{ID: id, Value: t, Labels: drawLabels(rng, pop, c)})
+			id++
+		}
+	}
+	sort.Slice(posts, func(i, j int) bool {
+		if posts[i].Value != posts[j].Value {
+			return posts[i].Value < posts[j].Value
+		}
+		return posts[i].ID < posts[j].ID
+	})
+	return posts
+}
+
+// drawLabels samples a post's label set: 1 + Poisson(Overlap−1) distinct
+// labels (capped at NumLabels), drawn by popularity.
+func drawLabels(rng *rand.Rand, pop *Zipf, c PostStreamConfig) []core.Label {
+	k := 1 + poisson(rng, c.Overlap-1)
+	if k > c.NumLabels {
+		k = c.NumLabels
+	}
+	seen := make(map[int]bool, k)
+	labels := make([]core.Label, 0, k)
+	for len(labels) < k {
+		a := pop.Sample(rng)
+		if seen[a] {
+			// Fall back to a uniform draw to terminate quickly under
+			// heavy skew.
+			a = rng.Intn(c.NumLabels)
+			if seen[a] {
+				continue
+			}
+		}
+		seen[a] = true
+		labels = append(labels, core.Label(a))
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	return labels
+}

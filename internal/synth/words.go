@@ -1,0 +1,110 @@
+// Package synth generates the synthetic datasets that stand in for the
+// paper's collected data (§7.1): a topical news corpus (→ LDA → query
+// topics), a 24-hour diurnal tweet stream with bursts and near-duplicates,
+// and an abstract post stream (timestamps + labels only) whose arrival rate,
+// label skew and post-overlap rate are directly controllable — the knobs the
+// evaluation sweeps. All generators are deterministic per seed.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// syllables for pronounceable synthetic vocabulary.
+var (
+	onsets = []string{"b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z", "br", "ch", "cl", "dr", "fl", "gr", "pl", "pr", "sh", "sl", "st", "th", "tr"}
+	nuclei = []string{"a", "e", "i", "o", "u", "ai", "ea", "ee", "io", "ou"}
+	codas  = []string{"", "", "", "l", "m", "n", "r", "s", "t", "x", "nd", "nt", "rk", "st"}
+)
+
+// word builds one pronounceable fake word of 2-3 syllables.
+func word(rng *rand.Rand) string {
+	var b strings.Builder
+	n := 2 + rng.Intn(2)
+	for i := 0; i < n; i++ {
+		b.WriteString(onsets[rng.Intn(len(onsets))])
+		b.WriteString(nuclei[rng.Intn(len(nuclei))])
+		if i == n-1 {
+			b.WriteString(codas[rng.Intn(len(codas))])
+		}
+	}
+	return b.String()
+}
+
+// Vocabulary is a set of distinct synthetic words.
+func vocabulary(rng *rand.Rand, n int) []string {
+	seen := make(map[string]bool, n)
+	out := make([]string, 0, n)
+	for len(out) < n {
+		w := word(rng)
+		if seen[w] {
+			w = fmt.Sprintf("%s%d", w, len(out))
+		}
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		out = append(out, w)
+	}
+	return out
+}
+
+// Zipf draws indexes in [0, n) with P(i) ∝ 1/(i+1)^s. It precomputes the
+// CDF, so sampling is a binary search.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf returns a sampler over n items with exponent s ≥ 0 (s = 0 is
+// uniform).
+func NewZipf(n int, s float64) *Zipf {
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Zipf{cdf: cdf}
+}
+
+// Sample draws one index using rng.
+func (z *Zipf) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// anchor words give each broad topic a recognizable core vocabulary, so
+// Table 1 reproductions read like the paper's examples.
+var broadAnchors = map[string][]string{
+	"politics":      {"president", "senate", "congress", "election", "vote", "campaign", "policy", "governor", "debate", "bill"},
+	"sports":        {"game", "team", "season", "coach", "playoff", "score", "league", "championship", "player", "finals"},
+	"business":      {"market", "stocks", "earnings", "shares", "investor", "trading", "profit", "merger", "economy", "bank"},
+	"technology":    {"software", "startup", "device", "launch", "data", "mobile", "platform", "chip", "cloud", "app"},
+	"entertainment": {"movie", "album", "premiere", "celebrity", "trailer", "concert", "award", "studio", "actor", "song"},
+	"health":        {"study", "patients", "disease", "vaccine", "hospital", "treatment", "drug", "doctors", "outbreak", "clinical"},
+	"science":       {"research", "telescope", "species", "climate", "energy", "physics", "mission", "discovery", "experiment", "genome"},
+	"world":         {"minister", "border", "treaty", "embassy", "summit", "sanctions", "refugees", "ceasefire", "diplomat", "parliament"},
+	"weather":       {"storm", "forecast", "hurricane", "flood", "temperature", "drought", "snowfall", "tornado", "rainfall", "heatwave"},
+	"crime":         {"police", "arrest", "trial", "verdict", "investigation", "suspect", "charges", "court", "sentence", "fraud"},
+}
+
+// BroadTopicNames returns the available broad-topic names in a fixed order.
+func BroadTopicNames() []string {
+	return []string{"politics", "sports", "business", "technology", "entertainment",
+		"health", "science", "world", "weather", "crime"}
+}

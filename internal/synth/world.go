@@ -1,0 +1,141 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mqdp/internal/match"
+)
+
+// Topic is one planted topic: a named keyword set inside a broad topic.
+type Topic struct {
+	Name     string
+	Broad    int // index into World.Broad
+	Keywords []string
+}
+
+// World is the planted topic universe shared by the news corpus and the
+// tweet stream, mirroring §7.1's setup: topics grouped into broad topics
+// (politics, sports, ...), each topic a set of keywords.
+type World struct {
+	Broad      []string // broad topic names
+	Topics     []Topic
+	Background []string // non-topical filler vocabulary
+	// ByBroad[g] lists the topic indexes of broad topic g.
+	ByBroad [][]int
+}
+
+// WorldConfig sizes a World. Zero values select defaults matching a scaled-
+// down version of the paper (10 broad topics, ~22 topics each ≈ 215 usable
+// topics, 40 keywords per topic).
+type WorldConfig struct {
+	BroadTopics      int // default 10 (max 10: the anchored ones)
+	TopicsPerBroad   int // default 8
+	KeywordsPerTopic int // default 40
+	BackgroundWords  int // default 2000
+	Seed             int64
+}
+
+func (c WorldConfig) withDefaults() WorldConfig {
+	if c.BroadTopics <= 0 {
+		c.BroadTopics = 10
+	}
+	if c.BroadTopics > len(broadAnchors) {
+		c.BroadTopics = len(broadAnchors)
+	}
+	if c.TopicsPerBroad <= 0 {
+		c.TopicsPerBroad = 8
+	}
+	if c.KeywordsPerTopic <= 0 {
+		c.KeywordsPerTopic = 40
+	}
+	if c.BackgroundWords <= 0 {
+		c.BackgroundWords = 2000
+	}
+	return c
+}
+
+// NewWorld plants a topic universe. Each topic mixes a couple of its broad
+// topic's anchor words with its own synthetic vocabulary; topics within a
+// broad topic share the anchors, giving realistic keyword overlap between
+// related queries.
+func NewWorld(cfg WorldConfig) *World {
+	c := cfg.withDefaults()
+	rng := rand.New(rand.NewSource(c.Seed))
+	w := &World{
+		Broad:      BroadTopicNames()[:c.BroadTopics],
+		Background: vocabulary(rng, c.BackgroundWords),
+		ByBroad:    make([][]int, c.BroadTopics),
+	}
+	for g, broad := range w.Broad {
+		anchors := broadAnchors[broad]
+		for t := 0; t < c.TopicsPerBroad; t++ {
+			// 3 anchors + unique synthetic words.
+			kws := make([]string, 0, c.KeywordsPerTopic)
+			for k := 0; k < 3 && k < len(anchors); k++ {
+				kws = append(kws, anchors[(t+k)%len(anchors)])
+			}
+			own := vocabulary(rng, c.KeywordsPerTopic-len(kws))
+			for i, kw := range own {
+				// Prefix with a topic tag to keep cross-broad vocabularies
+				// disjoint while staying pronounceable.
+				own[i] = fmt.Sprintf("%s%s", kw, suffix(g, t))
+			}
+			kws = append(kws, own...)
+			idx := len(w.Topics)
+			w.Topics = append(w.Topics, Topic{
+				Name:     fmt.Sprintf("%s-%d", broad, t),
+				Broad:    g,
+				Keywords: kws,
+			})
+			w.ByBroad[g] = append(w.ByBroad[g], idx)
+		}
+	}
+	return w
+}
+
+// suffix distinguishes topic vocabularies without breaking tokenization.
+func suffix(g, t int) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	return string([]byte{letters[g%26], letters[t%26]})
+}
+
+// MatchTopics converts a subset of world topics (by index) into match.Topic
+// queries with uniform keyword weights, the shape the matcher consumes.
+func (w *World) MatchTopics(topicIdx []int) []match.Topic {
+	out := make([]match.Topic, 0, len(topicIdx))
+	for _, ti := range topicIdx {
+		t := w.Topics[ti]
+		kws := make([]match.Keyword, len(t.Keywords))
+		for i, k := range t.Keywords {
+			kws[i] = match.Keyword{Text: k, Weight: 1 / float64(i+1)}
+		}
+		out = append(out, match.Topic{Name: t.Name, Keywords: kws})
+	}
+	return out
+}
+
+// SampleLabelSet draws a user profile exactly as §7.1: first a broad topic
+// uniformly at random, then size distinct topics within it. If the broad
+// topic has fewer topics than size, it is padded from other broad topics.
+func (w *World) SampleLabelSet(rng *rand.Rand, size int) []int {
+	g := rng.Intn(len(w.Broad))
+	pool := append([]int(nil), w.ByBroad[g]...)
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	if len(pool) >= size {
+		return pool[:size]
+	}
+	// Pad with topics from other broad topics (rare: size > topics/broad).
+	extra := make([]int, 0, size-len(pool))
+	for ti := range w.Topics {
+		if w.Topics[ti].Broad != g {
+			extra = append(extra, ti)
+		}
+	}
+	rng.Shuffle(len(extra), func(i, j int) { extra[i], extra[j] = extra[j], extra[i] })
+	need := size - len(pool)
+	if need > len(extra) {
+		need = len(extra)
+	}
+	return append(pool, extra[:need]...)
+}

@@ -1,0 +1,49 @@
+package textutil
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+func FuzzTokenize(f *testing.F) {
+	for _, seed := range []string{
+		"", "hello world", "#tag @user $tick", "http://x.com foo",
+		"Ça coûte 10€", "### @@@", "a#b@c$d", "don't",
+		"\x00\xff binary", "emoji 🎉 mixed",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		tokens := Tokenize(text) // must not panic
+		for _, tok := range tokens {
+			if tok.Text == "" {
+				t.Fatalf("empty token from %q", text)
+			}
+			for _, r := range tok.Text {
+				if unicode.IsUpper(r) {
+					t.Fatalf("token %q not lowercased (input %q)", tok.Text, text)
+				}
+			}
+			switch tok.Kind {
+			case Hashtag:
+				if !strings.HasPrefix(tok.Text, "#") {
+					t.Fatalf("hashtag %q missing sigil", tok.Text)
+				}
+			case Mention:
+				if !strings.HasPrefix(tok.Text, "@") {
+					t.Fatalf("mention %q missing sigil", tok.Text)
+				}
+			case Cashtag:
+				if !strings.HasPrefix(tok.Text, "$") {
+					t.Fatalf("cashtag %q missing sigil", tok.Text)
+				}
+			}
+		}
+		// Tokenization is deterministic.
+		again := Tokenize(text)
+		if len(again) != len(tokens) {
+			t.Fatalf("nondeterministic tokenization of %q", text)
+		}
+	})
+}

@@ -1,0 +1,129 @@
+// Package textutil provides the tokenization shared by the inverted index,
+// the topic matcher, the LDA trainer, SimHash and the sentiment scorer:
+// a lowercase unicode word tokenizer that understands hashtags, @-mentions
+// and cashtags, plus a small English stopword list.
+package textutil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is one normalized token extracted from post or article text.
+type Token struct {
+	// Text is the lowercase token, including any #, @ or $ sigil.
+	Text string
+	// Kind classifies the token.
+	Kind Kind
+}
+
+// Kind classifies tokens.
+type Kind int
+
+// Token kinds.
+const (
+	Word Kind = iota
+	Hashtag
+	Mention
+	Cashtag
+)
+
+// Tokenize splits text into normalized tokens. Letters and digits form
+// words; a leading '#', '@' or '$' attaches to the following word as a
+// hashtag, mention or cashtag. Everything is lowercased. URLs
+// (http/https schemes) are dropped entirely.
+func Tokenize(text string) []Token {
+	var tokens []Token
+	runes := []rune(text)
+	i := 0
+	for i < len(runes) {
+		r := runes[i]
+		switch {
+		case r == '#' || r == '@' || r == '$':
+			j := i + 1
+			for j < len(runes) && isWordRune(runes[j]) {
+				j++
+			}
+			if j > i+1 {
+				word := strings.ToLower(string(runes[i:j]))
+				kind := Hashtag
+				if r == '@' {
+					kind = Mention
+				} else if r == '$' {
+					kind = Cashtag
+				}
+				tokens = append(tokens, Token{Text: word, Kind: kind})
+			}
+			i = j // j ≥ i+1: a bare sigil advances one rune
+		case isWordRune(r):
+			j := i
+			for j < len(runes) && isWordRune(runes[j]) {
+				j++
+			}
+			word := strings.ToLower(string(runes[i:j]))
+			if word == "http" || word == "https" {
+				// Skip the rest of the URL: advance past non-space runes.
+				for j < len(runes) && !unicode.IsSpace(runes[j]) {
+					j++
+				}
+			} else {
+				tokens = append(tokens, Token{Text: word, Kind: Word})
+			}
+			i = j
+		default:
+			i++
+		}
+	}
+	return tokens
+}
+
+// Words returns only the token texts, in order.
+func Words(text string) []string {
+	tokens := Tokenize(text)
+	out := make([]string, len(tokens))
+	for i, t := range tokens {
+		out[i] = t.Text
+	}
+	return out
+}
+
+// ContentWords returns lowercase word tokens with stopwords removed; this is
+// the feed for LDA and topic matching.
+func ContentWords(text string) []string {
+	var out []string
+	for _, t := range Tokenize(text) {
+		if t.Kind == Word && !IsStopword(t.Text) {
+			out = append(out, t.Text)
+		}
+	}
+	return out
+}
+
+func isWordRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '\''
+}
+
+// stopwords is a compact English function-word list; enough to keep topic
+// keywords and sentiment contexts clean without external data.
+var stopwords = map[string]struct{}{}
+
+func init() {
+	for _, w := range []string{
+		"a", "an", "and", "are", "as", "at", "be", "been", "but", "by",
+		"can", "could", "did", "do", "does", "for", "from", "had", "has",
+		"have", "he", "her", "hers", "him", "his", "i", "if", "in", "into",
+		"is", "it", "its", "just", "me", "my", "no", "not", "of", "on",
+		"or", "our", "s", "she", "so", "t", "that", "the", "their", "them",
+		"then", "there", "these", "they", "this", "to", "up", "was", "we",
+		"were", "what", "when", "which", "who", "will", "with", "would",
+		"you", "your", "rt", "via", "amp", "don't", "it's", "i'm",
+	} {
+		stopwords[w] = struct{}{}
+	}
+}
+
+// IsStopword reports whether the lowercase word is a stopword.
+func IsStopword(w string) bool {
+	_, ok := stopwords[w]
+	return ok
+}

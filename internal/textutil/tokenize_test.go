@@ -1,0 +1,101 @@
+package textutil
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTokenizeWords(t *testing.T) {
+	got := Words("Obama meets Senate leaders")
+	want := []string{"obama", "meets", "senate", "leaders"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Words = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeSigils(t *testing.T) {
+	tokens := Tokenize("#Obama and @WhiteHouse on $GOOG today")
+	var hashtags, mentions, cashtags, words []string
+	for _, tok := range tokens {
+		switch tok.Kind {
+		case Hashtag:
+			hashtags = append(hashtags, tok.Text)
+		case Mention:
+			mentions = append(mentions, tok.Text)
+		case Cashtag:
+			cashtags = append(cashtags, tok.Text)
+		case Word:
+			words = append(words, tok.Text)
+		}
+	}
+	if !reflect.DeepEqual(hashtags, []string{"#obama"}) {
+		t.Errorf("hashtags = %v", hashtags)
+	}
+	if !reflect.DeepEqual(mentions, []string{"@whitehouse"}) {
+		t.Errorf("mentions = %v", mentions)
+	}
+	if !reflect.DeepEqual(cashtags, []string{"$goog"}) {
+		t.Errorf("cashtags = %v", cashtags)
+	}
+	if !reflect.DeepEqual(words, []string{"and", "on", "today"}) {
+		t.Errorf("words = %v", words)
+	}
+}
+
+func TestTokenizeDropsURLs(t *testing.T) {
+	got := Words("breaking news http://t.co/abc123 more at https://example.com/x?y=1 tonight")
+	want := []string{"breaking", "news", "more", "at", "tonight"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Words = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeBareSigils(t *testing.T) {
+	got := Words("# @ $ done")
+	want := []string{"done"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Words = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeUnicode(t *testing.T) {
+	got := Words("Ça coûte 10€ à Zürich")
+	want := []string{"ça", "coûte", "10", "à", "zürich"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Words = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeApostrophes(t *testing.T) {
+	got := Words("don't stop")
+	want := []string{"don't", "stop"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Words = %v, want %v", got, want)
+	}
+}
+
+func TestContentWordsFiltersStopwords(t *testing.T) {
+	got := ContentWords("RT the market is up and #bullish on $AAPL today")
+	want := []string{"market", "today"} // sigil tokens and stopwords removed
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ContentWords = %v, want %v", got, want)
+	}
+}
+
+func TestIsStopword(t *testing.T) {
+	if !IsStopword("the") || !IsStopword("rt") {
+		t.Error("expected stopwords not recognized")
+	}
+	if IsStopword("senate") {
+		t.Error("senate misclassified as stopword")
+	}
+}
+
+func TestTokenizeEmpty(t *testing.T) {
+	if got := Tokenize(""); len(got) != 0 {
+		t.Errorf("Tokenize(\"\") = %v", got)
+	}
+	if got := Tokenize("   ...!!!   "); len(got) != 0 {
+		t.Errorf("punctuation-only input tokenized to %v", got)
+	}
+}

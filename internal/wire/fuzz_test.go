@@ -1,0 +1,37 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+
+	"mqdp/internal/core"
+)
+
+func FuzzReadPosts(f *testing.F) {
+	f.Add(`{"id":1,"value":10,"labels":["a"]}`)
+	f.Add(`{"id":1,"value":10,"labels":["a","a","b"]}` + "\n" + `{"id":2,"value":-3,"labels":[]}`)
+	f.Add(`{"id":1e99,"value":1e308,"labels":["x"]}`)
+	f.Add("not json")
+	f.Add("")
+	f.Add(`{"id":1,"value":null,"labels":null}`)
+	f.Fuzz(func(t *testing.T, src string) {
+		var dict core.Dictionary
+		posts, err := ReadPosts(strings.NewReader(src), &dict) // must not panic
+		if err != nil {
+			return
+		}
+		// Every decoded post must satisfy core's label invariants.
+		for _, p := range posts {
+			for i := 1; i < len(p.Labels); i++ {
+				if p.Labels[i] <= p.Labels[i-1] {
+					t.Fatalf("labels not sorted/deduplicated: %v (src %q)", p.Labels, src)
+				}
+			}
+			for _, a := range p.Labels {
+				if a < 0 || int(a) >= dict.Len() {
+					t.Fatalf("label %d outside dictionary (len %d)", a, dict.Len())
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,97 @@
+// Package wire defines the JSON-lines interchange format shared by the
+// command-line tools: one post per line with a dimension value and string
+// label names, interned to dense core labels on read.
+//
+//	{"id": 17, "value": 1370000000, "labels": ["obama", "economy"]}
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"mqdp/internal/core"
+)
+
+// Post is the JSONL schema.
+type Post struct {
+	ID     int64    `json:"id"`
+	Value  float64  `json:"value"`
+	Labels []string `json:"labels"`
+}
+
+// maxLineBytes bounds a single input line.
+const maxLineBytes = 1 << 20
+
+// ReadPosts decodes JSONL posts from r, interning label names into dict
+// (which may already hold labels). Blank lines are skipped. Labels on each
+// post are sorted and deduplicated, as core requires.
+func ReadPosts(r io.Reader, dict *core.Dictionary) ([]core.Post, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
+	var posts []core.Post
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		p, err := decodePost(line, dict)
+		if err != nil {
+			return nil, fmt.Errorf("wire: line %d: %w", lineNo, err)
+		}
+		posts = append(posts, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("wire: %w", err)
+	}
+	return posts, nil
+}
+
+func decodePost(line string, dict *core.Dictionary) (core.Post, error) {
+	var wp Post
+	if err := json.Unmarshal([]byte(line), &wp); err != nil {
+		return core.Post{}, err
+	}
+	labels := make([]core.Label, len(wp.Labels))
+	for i, name := range wp.Labels {
+		labels[i] = dict.Intern(name)
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	dedup := labels[:0]
+	for i, a := range labels {
+		if i == 0 || labels[i-1] != a {
+			dedup = append(dedup, a)
+		}
+	}
+	return core.Post{ID: wp.ID, Value: wp.Value, Labels: dedup}, nil
+}
+
+// Writer streams posts back out as JSONL.
+type Writer struct {
+	w    *bufio.Writer
+	enc  *json.Encoder
+	dict *core.Dictionary
+}
+
+// NewWriter wraps w; label names come from dict.
+func NewWriter(w io.Writer, dict *core.Dictionary) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{w: bw, enc: json.NewEncoder(bw), dict: dict}
+}
+
+// Write emits one post.
+func (wr *Writer) Write(p core.Post) error {
+	names := make([]string, len(p.Labels))
+	for i, a := range p.Labels {
+		names[i] = wr.dict.Name(a)
+	}
+	return wr.enc.Encode(Post{ID: p.ID, Value: p.Value, Labels: names})
+}
+
+// Flush drains the buffer; call before exiting.
+func (wr *Writer) Flush() error { return wr.w.Flush() }

@@ -1,0 +1,96 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mqdp/internal/core"
+)
+
+func TestReadPostsBasic(t *testing.T) {
+	src := `
+{"id":1,"value":10,"labels":["obama"]}
+
+{"id":2,"value":20,"labels":["economy","obama","obama"]}
+`
+	var dict core.Dictionary
+	posts, err := ReadPosts(strings.NewReader(src), &dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(posts) != 2 {
+		t.Fatalf("posts = %d", len(posts))
+	}
+	if dict.Len() != 2 {
+		t.Errorf("dict = %d labels", dict.Len())
+	}
+	if len(posts[1].Labels) != 2 {
+		t.Errorf("post 2 labels = %v (want deduplicated pair)", posts[1].Labels)
+	}
+	for i := 1; i < len(posts[1].Labels); i++ {
+		if posts[1].Labels[i] <= posts[1].Labels[i-1] {
+			t.Error("labels not sorted")
+		}
+	}
+}
+
+func TestReadPostsErrors(t *testing.T) {
+	var dict core.Dictionary
+	if _, err := ReadPosts(strings.NewReader("{bad json"), &dict); err == nil {
+		t.Error("bad json accepted")
+	}
+	if posts, err := ReadPosts(strings.NewReader(""), &dict); err != nil || posts != nil {
+		t.Errorf("empty input = %v, %v", posts, err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var dict core.Dictionary
+	a, b := dict.Intern("alpha"), dict.Intern("beta")
+	in := []core.Post{
+		{ID: 1, Value: 1.5, Labels: []core.Label{a}},
+		{ID: 2, Value: 2.5, Labels: []core.Label{a, b}},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf, &dict)
+	for _, p := range in {
+		if err := w.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var dict2 core.Dictionary
+	out, err := ReadPosts(&buf, &dict2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip lost posts: %d vs %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].ID != in[i].ID || out[i].Value != in[i].Value || len(out[i].Labels) != len(in[i].Labels) {
+			t.Errorf("post %d mismatch: %+v vs %+v", i, out[i], in[i])
+		}
+	}
+	if dict2.Name(out[1].Labels[1]) != "beta" {
+		t.Error("label names lost in round trip")
+	}
+}
+
+func TestReadPostsSharedDictionary(t *testing.T) {
+	var dict core.Dictionary
+	pre := dict.Intern("existing")
+	posts, err := ReadPosts(strings.NewReader(`{"id":1,"value":0,"labels":["existing","new"]}`), &dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if posts[0].Labels[0] != pre {
+		t.Error("existing label not reused")
+	}
+	if dict.Len() != 2 {
+		t.Errorf("dict grew to %d", dict.Len())
+	}
+}

@@ -1,0 +1,143 @@
+package mqdp_test
+
+import (
+	"errors"
+	"testing"
+
+	"mqdp"
+)
+
+// figure2Posts is the paper's running example (Figure 2) through the public
+// API: labels a=0, c=1, four posts Δt=1 apart.
+func figure2Posts() ([]mqdp.Post, int) {
+	return []mqdp.Post{
+		{ID: 1, Value: 1, Labels: []mqdp.Label{0}},
+		{ID: 2, Value: 2, Labels: []mqdp.Label{0}},
+		{ID: 3, Value: 3, Labels: []mqdp.Label{0, 1}},
+		{ID: 4, Value: 4, Labels: []mqdp.Label{1}},
+	}, 2
+}
+
+func TestSolveAllAlgorithms(t *testing.T) {
+	posts, numLabels := figure2Posts()
+	inst, err := mqdp.NewInstance(posts, numLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []mqdp.Algorithm{mqdp.Scan, mqdp.ScanPlus, mqdp.GreedySC, mqdp.OPT, mqdp.Exhaustive} {
+		cover, err := mqdp.Solve(inst, mqdp.Options{Lambda: 1, Algorithm: algo})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if cover.Size() < 2 || cover.Size() > 3 {
+			t.Errorf("%s size = %d, want 2..3", algo, cover.Size())
+		}
+		if algo == mqdp.OPT || algo == mqdp.Exhaustive {
+			if cover.Size() != 2 {
+				t.Errorf("%s size = %d, want exactly 2", algo, cover.Size())
+			}
+			if !cover.Optimal {
+				t.Errorf("%s cover not flagged optimal", algo)
+			}
+		}
+	}
+}
+
+func TestSolveWithDictionary(t *testing.T) {
+	var dict mqdp.Dictionary
+	obama, economy := dict.Intern("obama"), dict.Intern("economy")
+	posts := []mqdp.Post{
+		{ID: 1, Value: 0, Labels: []mqdp.Label{obama}},
+		{ID: 2, Value: 30, Labels: []mqdp.Label{obama, economy}},
+		{ID: 3, Value: 65, Labels: []mqdp.Label{economy}},
+	}
+	inst, err := mqdp.NewInstance(posts, dict.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cover, err := mqdp.Solve(inst, mqdp.Options{Lambda: 40, Algorithm: mqdp.GreedySC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cover.Size() != 1 {
+		t.Errorf("cover = %v, want just post 2", cover.IDs(inst))
+	}
+	if dict.Name(obama) != "obama" {
+		t.Errorf("dictionary round-trip failed")
+	}
+}
+
+func TestSolveProportional(t *testing.T) {
+	posts, numLabels := figure2Posts()
+	inst, err := mqdp.NewInstance(posts, numLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cover, err := mqdp.Solve(inst, mqdp.Options{Lambda: 1, Algorithm: mqdp.Scan, Proportional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cover.Size() == 0 {
+		t.Error("empty proportional cover")
+	}
+	if _, err := mqdp.Solve(inst, mqdp.Options{Lambda: 1, Algorithm: mqdp.OPT, Proportional: true}); !errors.Is(err, mqdp.ErrUnsupported) {
+		t.Errorf("OPT+Proportional error = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestSolveRejectsBadOptions(t *testing.T) {
+	posts, numLabels := figure2Posts()
+	inst, _ := mqdp.NewInstance(posts, numLabels)
+	if _, err := mqdp.Solve(inst, mqdp.Options{Lambda: -1}); err == nil {
+		t.Error("negative lambda accepted")
+	}
+	if _, err := mqdp.Solve(inst, mqdp.Options{Lambda: 1, Algorithm: mqdp.Algorithm(99)}); !errors.Is(err, mqdp.ErrUnsupported) {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestStreamingThroughFacade(t *testing.T) {
+	posts, numLabels := figure2Posts()
+	for _, algo := range []mqdp.StreamAlgorithm{
+		mqdp.StreamScan, mqdp.StreamScanPlus, mqdp.StreamGreedy, mqdp.StreamGreedyPlus, mqdp.Instant,
+	} {
+		p, err := mqdp.NewStream(algo, numLabels, 1, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if p.Name() == "" {
+			t.Errorf("%s: empty processor name", algo)
+		}
+		emissions, err := mqdp.RunStream(posts, p)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		inst, _ := mqdp.NewInstance(posts, numLabels)
+		var sel []int
+		for _, e := range emissions {
+			for i := 0; i < inst.Len(); i++ {
+				if inst.Post(i).ID == e.Post.ID {
+					sel = append(sel, i)
+				}
+			}
+		}
+		if err := mqdp.Verify(inst, 1, sel); err != nil {
+			t.Errorf("%s emissions don't cover: %v", algo, err)
+		}
+	}
+	if _, err := mqdp.NewStream(mqdp.StreamAlgorithm(42), 1, 1, 1); !errors.Is(err, mqdp.ErrUnsupported) {
+		t.Error("unknown streaming algorithm accepted")
+	}
+}
+
+func TestAlgorithmStrings(t *testing.T) {
+	if mqdp.ScanPlus.String() != "Scan+" || mqdp.GreedySC.String() != "GreedySC" {
+		t.Error("offline algorithm names wrong")
+	}
+	if mqdp.StreamGreedyPlus.String() != "StreamGreedySC+" || mqdp.Instant.String() != "Instant" {
+		t.Error("streaming algorithm names wrong")
+	}
+	if mqdp.Algorithm(99).String() == "" || mqdp.StreamAlgorithm(99).String() == "" {
+		t.Error("unknown values should still stringify")
+	}
+}

@@ -1,0 +1,52 @@
+package mqdp
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SolvePortfolio runs several algorithms concurrently on the same instance
+// and returns the smallest verified cover. §7.4's takeaway is that the best
+// algorithm depends on the workload (Scan at low overlap, GreedySC at high
+// overlap or many labels); a portfolio sidesteps choosing when the instance
+// is worth a few parallel solves. Exact solvers that fail (ErrOPTTooLarge,
+// oversized exhaustive) are skipped as long as one algorithm succeeds.
+func SolvePortfolio(inst *Instance, opts Options, algorithms ...Algorithm) (*Cover, error) {
+	if len(algorithms) == 0 {
+		algorithms = []Algorithm{Scan, ScanPlus, GreedySC}
+	}
+	type result struct {
+		cover *Cover
+		err   error
+	}
+	results := make([]result, len(algorithms))
+	var wg sync.WaitGroup
+	for k, algo := range algorithms {
+		wg.Add(1)
+		go func(k int, algo Algorithm) {
+			defer wg.Done()
+			o := opts
+			o.Algorithm = algo
+			c, err := Solve(inst, o)
+			results[k] = result{cover: c, err: err}
+		}(k, algo)
+	}
+	wg.Wait()
+	var best *Cover
+	var firstErr error
+	for _, r := range results {
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		if best == nil || r.cover.Size() < best.Size() {
+			best = r.cover
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("mqdp: every portfolio member failed: %w", firstErr)
+	}
+	return best, nil
+}

@@ -1,0 +1,77 @@
+package mqdp_test
+
+import (
+	"testing"
+
+	"mqdp"
+	"mqdp/internal/synth"
+)
+
+func TestSolvePortfolioDefaultsToBestApproximation(t *testing.T) {
+	posts := synth.GeneratePosts(synth.PostStreamConfig{
+		Duration: 600, RatePerSec: 1.5, NumLabels: 4, Overlap: 1.8, Seed: 13,
+	})
+	inst, err := mqdp.NewInstance(posts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := mqdp.Options{Lambda: 30}
+	best, err := mqdp.SolvePortfolio(inst, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []mqdp.Algorithm{mqdp.Scan, mqdp.ScanPlus, mqdp.GreedySC} {
+		o := opts
+		o.Algorithm = algo
+		c, err := mqdp.Solve(inst, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best.Size() > c.Size() {
+			t.Errorf("portfolio (%d via %s) beaten by %s (%d)", best.Size(), best.Algorithm, algo, c.Size())
+		}
+	}
+	if err := mqdp.Verify(inst, 30, best.Selected); err != nil {
+		t.Errorf("portfolio winner invalid: %v", err)
+	}
+}
+
+func TestSolvePortfolioSkipsFailingExactSolver(t *testing.T) {
+	// OPT with a tiny work budget fails; the portfolio must still return
+	// the surviving approximation.
+	posts := synth.GeneratePosts(synth.PostStreamConfig{
+		Duration: 300, RatePerSec: 2, NumLabels: 3, Seed: 14,
+	})
+	inst, err := mqdp.NewInstance(posts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := mqdp.Options{Lambda: 20, OPT: &mqdp.OPTOptions{MaxWork: 1}}
+	best, err := mqdp.SolvePortfolio(inst, opts, mqdp.OPT, mqdp.GreedySC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Algorithm != "GreedySC" {
+		t.Errorf("winner = %s, want GreedySC (OPT budget-limited)", best.Algorithm)
+	}
+}
+
+func TestSolvePortfolioAllFail(t *testing.T) {
+	posts, numLabels := figure2Posts()
+	inst, _ := mqdp.NewInstance(posts, numLabels)
+	if _, err := mqdp.SolvePortfolio(inst, mqdp.Options{Lambda: 1, OPT: &mqdp.OPTOptions{MaxWork: 1}}, mqdp.OPT); err == nil {
+		t.Error("all-failed portfolio returned a cover")
+	}
+}
+
+func TestSolvePortfolioPrefersExactWhenFeasible(t *testing.T) {
+	posts, numLabels := figure2Posts()
+	inst, _ := mqdp.NewInstance(posts, numLabels)
+	best, err := mqdp.SolvePortfolio(inst, mqdp.Options{Lambda: 1}, mqdp.Scan, mqdp.OPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Size() != 2 {
+		t.Errorf("portfolio size = %d, want the optimum 2", best.Size())
+	}
+}

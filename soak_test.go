@@ -1,0 +1,101 @@
+package mqdp_test
+
+import (
+	"testing"
+
+	"mqdp"
+	"mqdp/internal/core"
+	"mqdp/internal/stream"
+	"mqdp/internal/synth"
+)
+
+// TestDayScaleSoak replays a full synthetic day (the paper's evaluation
+// scale, ÷10 rate) through every offline algorithm and streaming processor,
+// asserting the cross-cutting invariants: all covers verify, exact ordering
+// relations hold, and every emission respects its delay bound. Skipped under
+// -short.
+func TestDayScaleSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("day-scale soak skipped in -short mode")
+	}
+	const numLabels = 10
+	posts := synth.GeneratePosts(synth.PostStreamConfig{
+		Duration:   86400,
+		RatePerSec: 0.105 * numLabels,
+		NumLabels:  numLabels,
+		Overlap:    1.4,
+		Diurnal:    true,
+		Seed:       77,
+	})
+	inst, err := mqdp.NewInstance(posts, numLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("soak: %d posts over 24h, %d labels", inst.Len(), numLabels)
+
+	lambda := 600.0
+	sizes := map[mqdp.Algorithm]int{}
+	for _, algo := range []mqdp.Algorithm{mqdp.Scan, mqdp.ScanPlus, mqdp.GreedySC} {
+		cover, err := mqdp.Solve(inst, mqdp.Options{Lambda: lambda, Algorithm: algo})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		sizes[algo] = cover.Size()
+		st, err := inst.Stats(core.FixedLambda(lambda), cover.Selected)
+		if err != nil {
+			t.Fatalf("%s stats: %v", algo, err)
+		}
+		if st.MaxPairDistance > lambda {
+			t.Errorf("%s: pair distance %v exceeds λ", algo, st.MaxPairDistance)
+		}
+		if st.CompressionRatio > 0.2 {
+			t.Errorf("%s: compression ratio %v suspiciously weak at λ=10min", algo, st.CompressionRatio)
+		}
+	}
+	if sizes[mqdp.ScanPlus] > sizes[mqdp.Scan] {
+		t.Errorf("Scan+ (%d) worse than Scan (%d)", sizes[mqdp.ScanPlus], sizes[mqdp.Scan])
+	}
+
+	tau := 30.0
+	for _, algo := range []mqdp.StreamAlgorithm{
+		mqdp.StreamScan, mqdp.StreamScanPlus, mqdp.StreamGreedy, mqdp.StreamGreedyPlus,
+	} {
+		proc, err := mqdp.NewStream(algo, numLabels, lambda, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		es, err := mqdp.RunStream(posts, proc)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		byID := make(map[int64]int, inst.Len())
+		for i := 0; i < inst.Len(); i++ {
+			byID[inst.Post(i).ID] = i
+		}
+		sel := make([]int, 0, len(es))
+		for _, e := range es {
+			sel = append(sel, byID[e.Post.ID])
+			if d := e.EmitAt - e.Post.Value; d < -1e-9 || d > tau+1e-9 {
+				t.Fatalf("%s: delay %v outside [0, %v]", algo, d, tau)
+			}
+		}
+		if err := mqdp.Verify(inst, lambda, sel); err != nil {
+			t.Fatalf("%s emissions do not cover the day: %v", algo, err)
+		}
+		// Streaming can't beat the best offline solution on this data by
+		// definition (offline optimum ≤ any online one is not guaranteed
+		// per-algorithm, but staying within 5× of GreedySC flags blowups).
+		if len(es) > 5*sizes[mqdp.GreedySC] {
+			t.Errorf("%s emitted %d posts, > 5× offline GreedySC (%d)", algo, len(es), sizes[mqdp.GreedySC])
+		}
+	}
+
+	// The adaptive processor also survives the day.
+	adaptive, err := stream.NewAdaptiveScan(numLabels, lambda, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stream.Run(posts, adaptive); err != nil {
+		t.Fatalf("adaptive: %v", err)
+	}
+}
