@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench experiments smoke fuzz lint clean
+.PHONY: all build test test-race bench bench-json experiments smoke fuzz lint clean
 
 all: build test
 
@@ -18,6 +18,10 @@ test-race:
 # One benchmark per paper table/figure plus solver micro-benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the machine-readable serial-vs-parallel solver timing baseline.
+bench-json:
+	$(GO) run ./cmd/mqdp-bench -json > BENCH_baseline.json
 
 # Regenerate every table and figure at full scale (see EXPERIMENTS.md).
 experiments:

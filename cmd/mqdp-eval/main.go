@@ -23,6 +23,7 @@ func main() {
 	lambda := flag.Float64("lambda", 60, "coverage threshold λ")
 	tau := flag.Float64("tau", 30, "streaming decision delay τ")
 	withOPT := flag.Bool("opt", false, "also run the exact DP (small instances only)")
+	par := flag.Int("parallel", 1, "offline solver worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	r := io.Reader(os.Stdin)
@@ -35,14 +36,16 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	if err := run(r, os.Stdout, *lambda, *tau, *withOPT); err != nil {
+	if err := run(r, os.Stdout, *lambda, *tau, *withOPT, *par); err != nil {
 		fmt.Fprintf(os.Stderr, "mqdp-eval: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 // run evaluates all algorithms on the dataset from r, reporting to w.
-func run(r io.Reader, w io.Writer, lambda, tau float64, withOPT bool) error {
+// parallelism feeds Options.Parallelism for the offline solvers (covers are
+// identical to serial; only the timing column reacts).
+func run(r io.Reader, w io.Writer, lambda, tau float64, withOPT bool, parallelism int) error {
 	var dict core.Dictionary
 	posts, err := wire.ReadPosts(r, &dict)
 	if err != nil {
@@ -69,7 +72,7 @@ func run(r io.Reader, w io.Writer, lambda, tau float64, withOPT bool) error {
 	fmt.Fprintln(w, "offline:")
 	fmt.Fprintf(w, "  %-16s %8s %14s %10s\n", "algorithm", "size", "ns/post", "rel.err")
 	for _, algo := range []mqdp.Algorithm{mqdp.Thinning, mqdp.Scan, mqdp.ScanPlus, mqdp.GreedySC} {
-		cover, err := mqdp.Solve(inst, mqdp.Options{Lambda: lambda, Algorithm: algo})
+		cover, err := mqdp.Solve(inst, mqdp.Options{Lambda: lambda, Algorithm: algo, Parallelism: parallelism})
 		if err != nil {
 			return fmt.Errorf("%s: %w", algo, err)
 		}

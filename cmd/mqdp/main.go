@@ -30,6 +30,7 @@ func main() {
 	algo := flag.String("algo", "scan", "algorithm: scan, scan+, greedysc, opt, exhaustive")
 	proportional := flag.Bool("proportional", false, "use §6 density-adaptive thresholds (λ is λ0)")
 	stats := flag.Bool("stats", false, "print cover analytics to stderr")
+	parallelism := flag.Int("parallelism", 1, "solver worker goroutines (0 = GOMAXPROCS, 1 = serial); the cover is identical either way")
 	flag.Parse()
 
 	r := io.Reader(os.Stdin)
@@ -42,7 +43,7 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	if err := run(r, os.Stdout, os.Stderr, *lambda, *algo, *proportional, *stats); err != nil {
+	if err := run(r, os.Stdout, os.Stderr, *lambda, *algo, *proportional, *stats, *parallelism); err != nil {
 		fmt.Fprintf(os.Stderr, "mqdp: %v\n", err)
 		os.Exit(1)
 	}
@@ -50,7 +51,7 @@ func main() {
 
 // run reads JSONL posts from r, solves, and writes the cover to out and a
 // summary line to errw.
-func run(r io.Reader, out, errw io.Writer, lambda float64, algoName string, proportional, withStats bool) error {
+func run(r io.Reader, out, errw io.Writer, lambda float64, algoName string, proportional, withStats bool, parallelism int) error {
 	var dict core.Dictionary
 	posts, err := wire.ReadPosts(r, &dict)
 	if err != nil {
@@ -68,6 +69,7 @@ func run(r io.Reader, out, errw io.Writer, lambda float64, algoName string, prop
 		Lambda:       lambda,
 		Algorithm:    algo,
 		Proportional: proportional,
+		Parallelism:  parallelism,
 	})
 	if err != nil {
 		return err

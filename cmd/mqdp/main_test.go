@@ -15,7 +15,7 @@ const sampleInput = `{"id":1,"value":0,"labels":["a"]}
 func TestRunAllAlgorithms(t *testing.T) {
 	for _, algo := range []string{"scan", "scan+", "greedysc", "opt", "exhaustive"} {
 		var out, errw bytes.Buffer
-		if err := run(strings.NewReader(sampleInput), &out, &errw, 1, algo, false, false); err != nil {
+		if err := run(strings.NewReader(sampleInput), &out, &errw, 1, algo, false, false, 1); err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
 		lines := strings.Count(out.String(), "\n")
@@ -30,7 +30,7 @@ func TestRunAllAlgorithms(t *testing.T) {
 
 func TestRunProportional(t *testing.T) {
 	var out, errw bytes.Buffer
-	if err := run(strings.NewReader(sampleInput), &out, &errw, 1, "scan", true, false); err != nil {
+	if err := run(strings.NewReader(sampleInput), &out, &errw, 1, "scan", true, false, 1); err != nil {
 		t.Fatal(err)
 	}
 	if out.Len() == 0 {
@@ -40,13 +40,13 @@ func TestRunProportional(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out, errw bytes.Buffer
-	if err := run(strings.NewReader(sampleInput), &out, &errw, 1, "bogus", false, false); err == nil {
+	if err := run(strings.NewReader(sampleInput), &out, &errw, 1, "bogus", false, false, 1); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
-	if err := run(strings.NewReader("{broken"), &out, &errw, 1, "scan", false, false); err == nil {
+	if err := run(strings.NewReader("{broken"), &out, &errw, 1, "scan", false, false, 1); err == nil {
 		t.Error("broken input accepted")
 	}
-	if err := run(strings.NewReader(sampleInput), &out, &errw, -5, "scan", false, false); err == nil {
+	if err := run(strings.NewReader(sampleInput), &out, &errw, -5, "scan", false, false, 1); err == nil {
 		t.Error("negative lambda accepted")
 	}
 }
@@ -70,7 +70,7 @@ func TestParseAlgo(t *testing.T) {
 
 func TestRunStatsFlag(t *testing.T) {
 	var out, errw bytes.Buffer
-	if err := run(strings.NewReader(sampleInput), &out, &errw, 1, "greedysc", false, true); err != nil {
+	if err := run(strings.NewReader(sampleInput), &out, &errw, 1, "greedysc", false, true, 1); err != nil {
 		t.Fatal(err)
 	}
 	report := errw.String()

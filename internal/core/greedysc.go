@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mqdp/internal/fenwick"
+	"mqdp/internal/parallel"
 )
 
 // GreedySC implements Algorithm 2: MQDP is transformed into a set-cover
@@ -19,18 +20,28 @@ import (
 // rescanning every set each round. Laziness is sound because gains only
 // shrink as pairs get covered (submodularity), so a popped entry whose
 // recomputed gain still beats the runner-up is the true argmax.
-func (in *Instance) GreedySC(m LambdaModel) *Cover {
+func (in *Instance) GreedySC(m LambdaModel) *Cover { return in.GreedySCParallel(m, 1) }
+
+// GreedySCParallel is GreedySC with the O(|P|) initial gain sweep — the
+// dominant cost before the lazy heap takes over — sharded across up to
+// workers goroutines (0 = GOMAXPROCS, 1 = serial). Gain evaluation is
+// read-only, and the heap is built from the gains in post order, so the
+// selection sequence is identical to the serial run for any worker count.
+func (in *Instance) GreedySCParallel(m LambdaModel, workers int) *Cover {
 	start := time.Now()
-	sel := in.greedySC(m, true)
+	sel := in.greedySC(m, true, parallel.Workers(workers))
 	return &Cover{Selected: sel, Algorithm: "GreedySC", Elapsed: time.Since(start)}
 }
 
 // GreedySCNaive runs the literal Algorithm 2 loop, rescanning all candidate
 // gains on every round. It exists to cross-check GreedySC in tests and as the
-// reference point for the efficiency ablation; prefer GreedySC.
+// reference point for the efficiency ablation; prefer GreedySC. The only
+// deviation from a full rescan is a sound skip: a post whose gain upper bound
+// (its last computed gain, which submodularity keeps valid) cannot beat the
+// round's current best is not re-evaluated, which changes no selection.
 func (in *Instance) GreedySCNaive(m LambdaModel) *Cover {
 	start := time.Now()
-	sel := in.greedySC(m, false)
+	sel := in.greedySC(m, false, 1)
 	return &Cover{Selected: sel, Algorithm: "GreedySC-naive", Elapsed: time.Since(start)}
 }
 
@@ -122,14 +133,29 @@ func (h *gainHeap) Pop() any {
 	return e
 }
 
-func (in *Instance) greedySC(m LambdaModel, lazy bool) []int {
+func (in *Instance) greedySC(m LambdaModel, lazy bool, workers int) []int {
 	g := newGreedyState(in, m)
 	var sel []int
 	if !lazy {
+		// ub[i] upper-bounds post i's current gain. Gains only shrink as
+		// pairs get covered (submodularity), so the initial gain — and later
+		// the last recomputed one — stays a valid bound until refreshed.
+		// Skipping i when ub[i] ≤ bestGain cannot change the argmax or its
+		// lowest-index tie-break: gain(i) ≤ ub[i] ≤ bestGain is never
+		// strictly better.
+		ub := make([]int, len(in.posts))
+		for i := range in.posts {
+			ub[i] = g.gain(i)
+		}
 		for g.remaining > 0 {
 			best, bestGain := -1, 0
 			for i := range in.posts {
-				if gain := g.gain(i); gain > bestGain {
+				if ub[i] <= bestGain {
+					continue
+				}
+				gain := g.gain(i)
+				ub[i] = gain
+				if gain > bestGain {
 					best, bestGain = i, gain
 				}
 			}
@@ -145,10 +171,23 @@ func (in *Instance) greedySC(m LambdaModel, lazy bool) []int {
 		gains:   make([]int, 0, len(in.posts)),
 		indexes: make([]int, 0, len(in.posts)),
 	}
-	for i := range in.posts {
-		if gain := g.gain(i); gain > 0 {
-			h.gains = append(h.gains, gain)
-			h.indexes = append(h.indexes, i)
+	if workers > 1 {
+		// The initial sweep evaluates every post against the fully uncovered
+		// state; gain() only reads the instance and the Fenwick counts, so
+		// the sweep shards freely. Appending in post order afterwards keeps
+		// the heap contents — and thus every selection — identical.
+		for i, gain := range parallel.Map(workers, len(in.posts), g.gain) {
+			if gain > 0 {
+				h.gains = append(h.gains, gain)
+				h.indexes = append(h.indexes, i)
+			}
+		}
+	} else {
+		for i := range in.posts {
+			if gain := g.gain(i); gain > 0 {
+				h.gains = append(h.gains, gain)
+				h.indexes = append(h.indexes, i)
+			}
 		}
 	}
 	heap.Init(h)

@@ -5,6 +5,17 @@ import (
 	"time"
 )
 
+// coverFromBitmap converts a selected bitmap to a Cover.
+func coverFromBitmap(name string, start time.Time, selected []bool) *Cover {
+	sel := make([]int, 0, 16)
+	for i, ok := range selected {
+		if ok {
+			sel = append(sel, i)
+		}
+	}
+	return &Cover{Selected: sel, Algorithm: name, Elapsed: time.Since(start)}
+}
+
 // BucketThinning is the naive baseline the paper's algorithms implicitly
 // compete with: partition the diversity dimension into aligned buckets of
 // width λ and keep one post per (label, non-empty bucket). Any two posts in
@@ -22,7 +33,7 @@ func (in *Instance) BucketThinning(lambda float64) *Cover {
 				selected[i] = true
 			}
 		}
-		return finishScanCover("BucketThinning", start, selected)
+		return coverFromBitmap("BucketThinning", start, selected)
 	}
 	for a := 0; a < in.numLabels; a++ {
 		lastBucket := int64(math.MinInt64)
@@ -34,5 +45,5 @@ func (in *Instance) BucketThinning(lambda float64) *Cover {
 			}
 		}
 	}
-	return finishScanCover("BucketThinning", start, selected)
+	return coverFromBitmap("BucketThinning", start, selected)
 }

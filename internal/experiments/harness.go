@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"time"
+
+	"mqdp/internal/parallel"
+)
+
+// Result is one experiment outcome from RunConcurrent: the experiment, its
+// buffered output, its wall-clock running time, and its error, if any.
+type Result struct {
+	Experiment Experiment
+	Output     []byte
+	Elapsed    time.Duration
+	Err        error
+}
+
+// RunConcurrent executes es at scale sc using up to parallelism worker
+// goroutines (0 = GOMAXPROCS, 1 = serial). Every experiment writes into its
+// own buffer — experiments never share a writer — and results are delivered
+// strictly in input order, each as soon as it and all predecessors have
+// finished. Because experiment workloads are seeded and self-contained, the
+// delivered byte stream is identical to a serial run for any worker count;
+// only Elapsed (and total wall-clock) varies.
+func RunConcurrent(es []Experiment, sc Scale, parallelism int, markdown bool) <-chan Result {
+	return parallel.OrderedResults(parallelism, len(es), func(i int) Result {
+		var buf bytes.Buffer
+		var w io.Writer = &buf
+		if markdown {
+			w = Markdown(&buf)
+		}
+		start := time.Now()
+		err := es[i].Run(w, sc)
+		return Result{
+			Experiment: es[i],
+			Output:     buf.Bytes(),
+			Elapsed:    time.Since(start),
+			Err:        err,
+		}
+	})
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+)
+
+// goldenHarnessIDs is the deterministic (timing-free) experiment subset; see
+// goldenIDs in golden_test.go.
+func goldenHarnessExperiments(t *testing.T) []Experiment {
+	t.Helper()
+	es := make([]Experiment, 0, len(goldenIDs))
+	for _, id := range goldenIDs {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %q missing", id)
+		}
+		es = append(es, e)
+	}
+	return es
+}
+
+// renderHarness formats results exactly as cmd/mqdp-bench does, minus the
+// wall-clock footer (which varies between any two runs, serial or not).
+func renderHarness(t *testing.T, es []Experiment, parallelism int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for r := range RunConcurrent(es, Smoke, parallelism, false) {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Experiment.ID, r.Err)
+		}
+		fmt.Fprintf(&buf, "=== %s — %s\n", r.Experiment.ID, r.Experiment.Title)
+		buf.Write(r.Output)
+		fmt.Fprintf(&buf, "--- %s done\n\n", r.Experiment.ID)
+	}
+	return buf.Bytes()
+}
+
+// TestHarnessParallelOutputMatchesSerialByteForByte is the golden contract
+// from the issue: the -parallel 4 harness must emit byte-identical output to
+// the serial harness over the deterministic experiment set.
+func TestHarnessParallelOutputMatchesSerialByteForByte(t *testing.T) {
+	es := goldenHarnessExperiments(t)
+	serial := renderHarness(t, es, 1)
+	if len(serial) == 0 {
+		t.Fatal("serial harness produced no output")
+	}
+	for _, workers := range []int{2, 4} {
+		par := renderHarness(t, es, workers)
+		if !bytes.Equal(serial, par) {
+			t.Fatalf("parallel=%d output differs from serial\n--- serial ---\n%s\n--- parallel ---\n%s",
+				workers, serial, par)
+		}
+	}
+}
+
+// TestRunConcurrentPreservesRegistrationOrder checks ordering and per-result
+// metadata on the full registry at smoke scale.
+func TestRunConcurrentPreservesRegistrationOrder(t *testing.T) {
+	es := All()
+	i := 0
+	for r := range RunConcurrent(es, Smoke, 4, false) {
+		if r.Experiment.ID != es[i].ID {
+			t.Fatalf("result %d is %q, want %q", i, r.Experiment.ID, es[i].ID)
+		}
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Experiment.ID, r.Err)
+		}
+		if len(r.Output) == 0 {
+			t.Fatalf("%s produced no output", r.Experiment.ID)
+		}
+		if r.Elapsed <= 0 {
+			t.Fatalf("%s reported non-positive elapsed %v", r.Experiment.ID, r.Elapsed)
+		}
+		i++
+	}
+	if i != len(es) {
+		t.Fatalf("received %d results, want %d", i, len(es))
+	}
+}
+
+// TestRunConcurrentReportsErrors verifies a failing experiment surfaces its
+// error in order without disturbing its neighbours.
+func TestRunConcurrentReportsErrors(t *testing.T) {
+	boom := errors.New("boom")
+	es := []Experiment{
+		{ID: "a", Title: "ok", Run: func(w io.Writer, sc Scale) error { fmt.Fprintln(w, "A"); return nil }},
+		{ID: "b", Title: "fails", Run: func(w io.Writer, sc Scale) error { return boom }},
+		{ID: "c", Title: "ok", Run: func(w io.Writer, sc Scale) error { fmt.Fprintln(w, "C"); return nil }},
+	}
+	var got []Result
+	for r := range RunConcurrent(es, Smoke, 3, false) {
+		got = append(got, r)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d results", len(got))
+	}
+	if got[0].Err != nil || string(got[0].Output) != "A\n" {
+		t.Errorf("result a = (%q, %v)", got[0].Output, got[0].Err)
+	}
+	if !errors.Is(got[1].Err, boom) {
+		t.Errorf("result b error = %v, want boom", got[1].Err)
+	}
+	if got[2].Err != nil || string(got[2].Output) != "C\n" {
+		t.Errorf("result c = (%q, %v)", got[2].Output, got[2].Err)
+	}
+}
+
+// TestRunConcurrentMarkdown checks the markdown wrapper is applied per
+// buffer.
+func TestRunConcurrentMarkdown(t *testing.T) {
+	es := []Experiment{{ID: "t", Title: "table", Run: func(w io.Writer, sc Scale) error {
+		tb := newTable("x")
+		tb.add(1)
+		return tb.write(w)
+	}}}
+	r := <-RunConcurrent(es, Smoke, 1, true)
+	if want := "| x |\n| --- |\n| 1 |\n"; string(r.Output) != want {
+		t.Errorf("markdown output = %q, want %q", r.Output, want)
+	}
+}

@@ -115,6 +115,13 @@ type Options struct {
 	OPT *OPTOptions
 	// SkipVerify disables the built-in independent feasibility check.
 	SkipVerify bool
+	// Parallelism bounds the solver's worker goroutines: 0 means
+	// GOMAXPROCS, 1 (and any serial-only algorithm) preserves the classic
+	// single-goroutine behavior. Parallel and serial runs return identical
+	// covers — Scan shards per label, ScanPlus per label-graph component,
+	// GreedySC parallelizes its initial gain sweep; OPT, Exhaustive and
+	// Thinning always run serially.
+	Parallelism int
 }
 
 // ErrUnsupported reports an invalid solver/option combination.
@@ -141,13 +148,16 @@ func Solve(inst *Instance, opts Options) (*Cover, error) {
 		cover *Cover
 		err   error
 	)
+	if opts.Parallelism < 0 {
+		return nil, fmt.Errorf("mqdp: negative parallelism %d", opts.Parallelism)
+	}
 	switch opts.Algorithm {
 	case Scan:
-		cover = inst.Scan(model)
+		cover = inst.ScanParallel(model, opts.Parallelism)
 	case ScanPlus:
-		cover = inst.ScanPlus(model, opts.ScanOrder)
+		cover = inst.ScanPlusParallel(model, opts.ScanOrder, opts.Parallelism)
 	case GreedySC:
-		cover = inst.GreedySC(model)
+		cover = inst.GreedySCParallel(model, opts.Parallelism)
 	case OPT:
 		cover, err = inst.OPT(opts.Lambda, opts.OPT)
 	case Exhaustive:

@@ -1,0 +1,117 @@
+package mqdp_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mqdp"
+	"mqdp/internal/synth"
+)
+
+// randomFacadePosts builds a seeded random post set over numLabels labels.
+func randomFacadePosts(seed int64, n, numLabels int) []mqdp.Post {
+	rng := rand.New(rand.NewSource(seed))
+	posts := make([]mqdp.Post, n)
+	for i := range posts {
+		var labels []mqdp.Label
+		for a := 0; a < numLabels; a++ {
+			if rng.Intn(3) == 0 {
+				labels = append(labels, mqdp.Label(a))
+			}
+		}
+		if len(labels) == 0 {
+			labels = append(labels, mqdp.Label(rng.Intn(numLabels)))
+		}
+		posts[i] = mqdp.Post{ID: int64(i), Value: float64(rng.Intn(80)), Labels: labels}
+	}
+	return posts
+}
+
+// TestQuickParallelismEightMatchesSerial is the facade-level determinism
+// contract from the issue: Scan, ScanPlus and GreedySC with Parallelism: 8
+// must return covers identical to Parallelism: 1 on seeded random instances.
+func TestQuickParallelismEightMatchesSerial(t *testing.T) {
+	check := func(seed int64, lambdaRaw uint8, proportional bool) bool {
+		numLabels := 2 + int(uint(seed)%7)
+		posts := randomFacadePosts(seed, 10+int(uint(seed)%50), numLabels)
+		inst, err := mqdp.NewInstance(posts, numLabels)
+		if err != nil {
+			return false
+		}
+		lambda := float64(lambdaRaw%16) + 1
+		for _, algo := range []mqdp.Algorithm{mqdp.Scan, mqdp.ScanPlus, mqdp.GreedySC} {
+			serial, err := mqdp.Solve(inst, mqdp.Options{
+				Lambda: lambda, Algorithm: algo, Proportional: proportional, Parallelism: 1,
+			})
+			if err != nil {
+				t.Logf("seed=%d %s serial: %v", seed, algo, err)
+				return false
+			}
+			par, err := mqdp.Solve(inst, mqdp.Options{
+				Lambda: lambda, Algorithm: algo, Proportional: proportional, Parallelism: 8,
+			})
+			if err != nil {
+				t.Logf("seed=%d %s parallel: %v", seed, algo, err)
+				return false
+			}
+			if len(serial.Selected) != len(par.Selected) {
+				t.Logf("seed=%d λ=%v %s: serial %v parallel %v", seed, lambda, algo, serial.Selected, par.Selected)
+				return false
+			}
+			for k := range serial.Selected {
+				if serial.Selected[k] != par.Selected[k] {
+					t.Logf("seed=%d λ=%v %s: serial %v parallel %v", seed, lambda, algo, serial.Selected, par.Selected)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParallelismOnSynthWorkload repeats the contract on a realistic
+// multi-label synthetic stream (the shape the benchmarks use).
+func TestParallelismOnSynthWorkload(t *testing.T) {
+	posts := synth.GeneratePosts(synth.PostStreamConfig{
+		Duration: 900, RatePerSec: 2, NumLabels: 8, Overlap: 1.6, Seed: 1234,
+	})
+	inst, err := mqdp.NewInstance(posts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []mqdp.Algorithm{mqdp.Scan, mqdp.ScanPlus, mqdp.GreedySC} {
+		serial, err := mqdp.Solve(inst, mqdp.Options{Lambda: 45, Algorithm: algo, Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []int{0, 2, 4, 16} {
+			par, err := mqdp.Solve(inst, mqdp.Options{Lambda: 45, Algorithm: algo, Parallelism: p})
+			if err != nil {
+				t.Fatalf("%s parallelism %d: %v", algo, p, err)
+			}
+			if len(par.Selected) != len(serial.Selected) {
+				t.Fatalf("%s parallelism %d: size %d != serial %d", algo, p, par.Size(), serial.Size())
+			}
+			for k := range serial.Selected {
+				if par.Selected[k] != serial.Selected[k] {
+					t.Fatalf("%s parallelism %d: cover diverged at element %d", algo, p, k)
+				}
+			}
+		}
+	}
+}
+
+func TestSolveRejectsNegativeParallelism(t *testing.T) {
+	posts, numLabels := figure2Posts()
+	inst, err := mqdp.NewInstance(posts, numLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mqdp.Solve(inst, mqdp.Options{Lambda: 1, Parallelism: -2}); err == nil {
+		t.Error("negative parallelism accepted")
+	}
+}
