@@ -2,22 +2,33 @@
 // clients register topic profiles and poll per-profile diversified feeds
 // while a shared post stream is ingested.
 //
-//	mqdp-server -addr :8080 -dedup 10
+//	mqdp-server -addr :8080 -dedup 10 -parallelism 0
 //
 // API (JSON):
 //
 //	POST   /subscriptions   {"topics":[{"Name":"obama","Keywords":[{"Text":"obama","Weight":1}]}],
 //	                         "lambda":3600, "tau":30, "algorithm":"streamscan+"} → {"id":1}
 //	POST   /ingest          {"id":1,"time":1370000000,"text":"..."} or a JSON array of posts
+//	                        → {"accepted":N} ({"accepted":N,"error":...} on a mid-batch failure)
 //	GET    /subscriptions/1/emissions?after=0&limit=100
-//	GET    /subscriptions/1/stats · GET /stats · POST /flush · DELETE /subscriptions/1
+//	GET    /subscriptions/1/stats · GET /stats · GET /metrics · GET /healthz
+//	POST   /flush · DELETE /subscriptions/1
+//
+// On SIGINT/SIGTERM the server stops accepting connections, drains
+// in-flight requests, flushes every subscription's pending decisions and
+// logs the final counters before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"mqdp/internal/server"
@@ -27,14 +38,44 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	dedupDist := flag.Int("dedup", 10, "SimHash hamming threshold for near-duplicate dropping")
 	dedupWindow := flag.Int("dedup-window", 8192, "recent posts remembered for deduplication (0 disables)")
+	parallelism := flag.Int("parallelism", 0, "ingest fan-out workers across subscriptions (0 = GOMAXPROCS, 1 = serial)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "maximum time to drain in-flight requests on shutdown")
 	flag.Parse()
 
 	s := server.New(*dedupDist, *dedupWindow)
+	s.SetParallelism(*parallelism)
 	h := &http.Server{
 		Addr:              *addr,
 		Handler:           server.Handler(s),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	fmt.Printf("mqdp-server listening on %s (dedup distance %d, window %d)\n", *addr, *dedupDist, *dedupWindow)
-	log.Fatal(h.ListenAndServe())
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("mqdp-server listening on %s (dedup distance %d, window %d, %d ingest workers)\n",
+			*addr, *dedupDist, *dedupWindow, s.Parallelism())
+		errc <- h.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+
+	log.Print("shutting down: draining connections")
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := h.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("drain: %v", err)
+	}
+	// Final flush: force every subscription's pending decisions out so the
+	// last pollers (and the log line below) see the complete feed.
+	s.Flush()
+	m := s.Metrics()
+	log.Printf("final: ingested=%d dropped_duplicates=%d subscriptions=%d emitted=%d text_misses=%d",
+		m.Ingested, m.DroppedDups, m.Subscriptions, m.EmittedTotal, m.TextMisses)
 }

@@ -90,6 +90,21 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 	return out
 }
 
+// FirstErr invokes fn(i) for every i in [0, n) with ForEach and returns the
+// error produced at the lowest index, or nil if every call succeeded. All
+// calls run to completion (no cancellation on first failure), so the result
+// is the same error a serial loop that remembers only its first failure
+// would report — deterministic for any worker count.
+func FirstErr(workers, n int, fn func(i int) error) error {
+	errs := Map(workers, n, fn)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // OrderedResults runs fn over [0, n) on up to workers goroutines and delivers
 // each result strictly in index order, as soon as it and every earlier result
 // are ready. The returned channel is closed after result n-1. This is the

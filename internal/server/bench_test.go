@@ -40,6 +40,68 @@ func BenchmarkIngestManySubscriptions(b *testing.B) {
 	}
 }
 
+// BenchmarkIngestWorkers measures how per-post ingest cost scales with the
+// fan-out worker count at a fixed, production-shaped subscription load —
+// the tentpole claim: O(|subs|/workers) per post instead of O(|subs|).
+func BenchmarkIngestWorkers(b *testing.B) {
+	const subs = 64
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("subs=%d/workers=%d", subs, workers), func(b *testing.B) {
+			world := synth.NewWorld(synth.WorldConfig{Seed: 1})
+			tweets := synth.TweetStream(world, synth.StreamConfig{Duration: 600, RatePerSec: 4, Seed: 2})
+			s := New(0, 0)
+			s.SetParallelism(workers)
+			rng := newRand(3)
+			for i := 0; i < subs; i++ {
+				topicIdx := world.SampleLabelSet(rng, 3)
+				if _, err := s.Subscribe(SubscriptionConfig{
+					Topics: world.MatchTopics(topicIdx),
+					Lambda: 120,
+					Tau:    30,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tw := tweets[i%len(tweets)]
+				wrap := float64(i/len(tweets)) * 600
+				_ = s.Ingest(Post{ID: int64(i), Time: tw.Time + wrap, Text: tw.Text})
+			}
+		})
+	}
+}
+
+// BenchmarkEmissionsPoll measures a tail poll against a full retained
+// buffer. The cursor offset is computed in O(1) from the first retained
+// Seq, so cost tracks the page size, not the 65,536-entry buffer.
+func BenchmarkEmissionsPoll(b *testing.B) {
+	s := New(0, 0)
+	id, err := s.Subscribe(SubscriptionConfig{Topics: politicsTopics(), Lambda: 0, Tau: 0, Algorithm: "instant"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Synthesize a full buffer directly; ingesting 65k posts is setup noise.
+	sub, _ := s.lookup(id)
+	n := maxEmissionBuffer
+	sub.emissions = make([]Emission, n)
+	for i := 0; i < n; i++ {
+		sub.emissions[i] = Emission{
+			Seq: int64(i + 1), PostID: int64(i + 1), Time: float64(i),
+			Text: "obama update", Topics: []string{"obama"}, EmitAt: float64(i),
+		}
+	}
+	sub.nextSeq.Store(int64(n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		es, err := s.Emissions(id, int64(n-10), 10)
+		if err != nil || len(es) != 10 {
+			b.Fatalf("poll = %d emissions, %v", len(es), err)
+		}
+	}
+}
+
 func BenchmarkMatchOnly(b *testing.B) {
 	world := synth.NewWorld(synth.WorldConfig{Seed: 1})
 	tweets := synth.TweetStream(world, synth.StreamConfig{Duration: 300, RatePerSec: 4, Seed: 2})

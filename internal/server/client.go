@@ -111,7 +111,29 @@ func (c *Client) Unsubscribe(id int64) error {
 
 // Ingest feeds a batch of posts in time order.
 func (c *Client) Ingest(posts ...Post) error {
-	return c.do(http.MethodPost, "/ingest", posts, nil)
+	_, err := c.IngestAccepted(posts...)
+	return err
+}
+
+// IngestAccepted feeds a batch of posts in time order and returns how many
+// were accepted. On a mid-batch failure the server has already ingested
+// the first accepted posts; resume the batch at posts[accepted] after
+// fixing the failing item — do not resend the whole batch.
+func (c *Client) IngestAccepted(posts ...Post) (accepted int, err error) {
+	var res IngestResult
+	err = c.do(http.MethodPost, "/ingest", posts, &res)
+	if err != nil {
+		// A non-2xx body still carries the accepted prefix count.
+		var ae *apiError
+		if asAPIError(err, &ae) {
+			var partial IngestResult
+			if jsonErr := json.Unmarshal([]byte(ae.Body), &partial); jsonErr == nil {
+				return partial.Accepted, err
+			}
+		}
+		return 0, err
+	}
+	return res.Accepted, nil
 }
 
 // Emissions fetches a profile's emissions with Seq > after (limit ≤ 0 means
@@ -145,4 +167,19 @@ func (c *Client) SubscriptionStats(id int64) (SubscriptionStats, error) {
 	var st SubscriptionStats
 	err := c.do(http.MethodGet, fmt.Sprintf("/subscriptions/%d/stats", id), nil, &st)
 	return st, err
+}
+
+// Metrics fetches the full observability snapshot (service counters plus
+// every profile's stats and delay summary).
+func (c *Client) Metrics() (Metrics, error) {
+	var m Metrics
+	err := c.do(http.MethodGet, "/metrics", nil, &m)
+	return m, err
+}
+
+// Health fetches the liveness snapshot.
+func (c *Client) Health() (Health, error) {
+	var h Health
+	err := c.do(http.MethodGet, "/healthz", nil, &h)
+	return h, err
 }

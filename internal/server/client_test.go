@@ -73,6 +73,48 @@ func TestClientErrorSurfacing(t *testing.T) {
 	}
 }
 
+func TestClientIngestAccepted(t *testing.T) {
+	ts, _ := newTestServer(t)
+	c := NewClient(ts.URL)
+	n, err := c.IngestAccepted(
+		Post{ID: 1, Time: 0, Text: "obama a"},
+		Post{ID: 2, Time: 10, Text: "obama b"},
+	)
+	if err != nil || n != 2 {
+		t.Fatalf("IngestAccepted = %d, %v", n, err)
+	}
+	// Mid-batch failure surfaces the accepted prefix alongside the error.
+	n, err = c.IngestAccepted(
+		Post{ID: 3, Time: 20, Text: "obama c"},
+		Post{ID: 4, Time: 5, Text: "obama d"}, // out of order
+		Post{ID: 5, Time: 30, Text: "obama e"},
+	)
+	if StatusCode(err) != http.StatusConflict {
+		t.Fatalf("partial batch error = %v, want 409", err)
+	}
+	if n != 1 {
+		t.Errorf("partial batch accepted = %d, want 1", n)
+	}
+	// Metrics and health are reachable through the client too.
+	m, err := c.Metrics()
+	if err != nil || m.Ingested != 3 {
+		t.Errorf("metrics = %+v, %v", m, err)
+	}
+	h, err := c.Health()
+	if err != nil || h.Status != "ok" {
+		t.Errorf("health = %+v, %v", h, err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.IngestAccepted(Post{ID: 6, Time: 40, Text: "late"}); StatusCode(err) != http.StatusConflict {
+		t.Errorf("ingest-after-flush error = %v, want 409", err)
+	}
+	if h, _ := c.Health(); h.Status != "flushed" {
+		t.Errorf("health after flush = %+v", h)
+	}
+}
+
 func TestClientConnectionError(t *testing.T) {
 	c := NewClient("http://127.0.0.1:1") // nothing listens there
 	if _, err := c.Stats(); err == nil {

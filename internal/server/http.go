@@ -16,9 +16,13 @@ import (
 //	DELETE /subscriptions/{id}
 //	GET    /subscriptions/{id}/emissions?after=SEQ&limit=K → [Emission]
 //	GET    /subscriptions/{id}/stats      → SubscriptionStats
-//	POST   /ingest                        Post or [Post]
+//	POST   /ingest                        Post or [Post] → {"accepted": N} (on a
+//	                                      mid-batch error: {"accepted": N, "error": ...}
+//	                                      with N = posts ingested before the failure)
 //	POST   /flush
 //	GET    /stats                         → Stats
+//	GET    /metrics                       → Metrics (service + per-profile counters)
+//	GET    /healthz                       → Health
 func Handler(s *Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/subscriptions", func(w http.ResponseWriter, r *http.Request) {
@@ -119,13 +123,19 @@ func Handler(s *Server) http.Handler {
 			}
 			batch = []Post{one}
 		}
+		accepted := 0
 		for _, p := range batch {
 			if err := s.Ingest(p); err != nil {
-				httpError(w, err)
+				// Report how much of the batch landed so clients can resume
+				// at the failed item instead of double-ingesting the prefix.
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(statusFor(err))
+				_ = json.NewEncoder(w).Encode(IngestResult{Accepted: accepted, Error: err.Error()})
 				return
 			}
+			accepted++
 		}
-		writeJSON(w, map[string]int{"accepted": len(batch)})
+		writeJSON(w, IngestResult{Accepted: accepted})
 	})
 	mux.HandleFunc("/flush", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -142,7 +152,29 @@ func Handler(s *Server) http.Handler {
 		}
 		writeJSON(w, s.Stats())
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, s.Metrics())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, s.Health())
+	})
 	return mux
+}
+
+// IngestResult is the POST /ingest response body. On success Accepted is
+// the full batch size; on failure it is the number of posts ingested
+// before the failing item and Error describes the failure.
+type IngestResult struct {
+	Accepted int    `json:"accepted"`
+	Error    string `json:"error,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -151,12 +183,15 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 func httpError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
+	http.Error(w, err.Error(), statusFor(err))
+}
+
+func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrNoSuchSubscription):
-		status = http.StatusNotFound
-	case errors.Is(err, ErrOutOfOrder):
-		status = http.StatusConflict
+		return http.StatusNotFound
+	case errors.Is(err, ErrOutOfOrder), errors.Is(err, ErrClosed):
+		return http.StatusConflict
 	}
-	http.Error(w, err.Error(), status)
+	return http.StatusInternalServerError
 }

@@ -5,17 +5,30 @@
 // *per subscription*, each with its own streaming processor. §7.4 motivates
 // exactly this shape: the per-post work must stay small because the
 // algorithm "has to be executed for millions of users".
+//
+// Concurrency model: the Server's RWMutex guards only the subscription
+// registry. All per-subscription state (matcher, processor, emission
+// buffer, text cache) lives behind that subscription's own mutex, so
+// ingest fans each post out to the subscriptions in parallel via
+// internal/parallel while readers poll other subscriptions unblocked.
+// Ingest admission (order check, dedup, counters) is serialized by a
+// separate mutex, which also guarantees every subscription sees posts in
+// timestamp order: per-subscription emission sequences are identical for
+// any worker count.
 package server
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"mqdp"
 	"mqdp/internal/digest"
 	"mqdp/internal/match"
+	"mqdp/internal/parallel"
 	"mqdp/internal/simhash"
+	"mqdp/internal/stream"
 )
 
 // Post is one incoming stream item.
@@ -48,36 +61,68 @@ type SubscriptionConfig struct {
 	Algorithm string `json:"algorithm"`
 }
 
-// subscription is the per-user pipeline state.
+// maxEmissionBuffer caps each subscription's retained emission history.
+// A variable so tests can exercise the trim path cheaply.
+var maxEmissionBuffer = 65536
+
+// pendingText queues a matched post for horizon-based text eviction.
+type pendingText struct {
+	id   int64
+	time float64
+}
+
+// subscription is the per-user pipeline state. Everything below mu is
+// guarded by it; the atomic counters are updated under mu but may be read
+// lock-free by stats endpoints.
 type subscription struct {
-	id      int64
-	cfg     SubscriptionConfig
+	id  int64
+	cfg SubscriptionConfig
+
+	mu      sync.Mutex
 	matcher *match.Matcher
 	proc    mqdp.Processor
-	// buffer of emissions with monotonically increasing Seq.
+	// buffer of emissions with monotonically increasing, contiguous Seq.
 	emissions []Emission
-	nextSeq   int64
-	matched   int64
 	texts     map[int64]Post // recent matched posts awaiting a decision
+	// pending[head:] mirrors texts insertion order for O(1) amortized
+	// horizon eviction (posts arrive in time order).
+	pending []pendingText
+	head    int
+
+	nextSeq    atomic.Int64
+	matched    atomic.Int64
+	textMisses atomic.Int64 // decisions whose text was gc'd before they landed
 }
 
 // Server is the multi-subscription diversification service. It is safe for
-// concurrent use; ingest is serialized to preserve stream order.
+// concurrent use: ingest admission is serialized to preserve stream order,
+// then each post is fanned out to the subscriptions in parallel.
 type Server struct {
+	// mu guards only the registry (subs, order, nextID).
 	mu     sync.RWMutex
 	nextID int64
 	subs   map[int64]*subscription
-	dedup  *simhash.Deduper
-	// stats
-	ingested int64
-	dropped  int64
+	// order is a copy-on-write snapshot of subs sorted by id: Ingest reads
+	// it without holding mu while Subscribe/Unsubscribe install new slices.
+	order []*subscription
+
+	// ingestMu serializes Ingest and Flush: the order check, dedup and the
+	// fan-out itself, so every subscription sees posts in timestamp order.
+	ingestMu sync.Mutex
+	dedup    *simhash.Deduper
 	lastTime float64
 	started  bool
+
+	workers  atomic.Int64 // fan-out parallelism; 0 = GOMAXPROCS
+	closed   atomic.Bool  // latched by the first Flush
+	ingested atomic.Int64
+	dropped  atomic.Int64
 }
 
 // New returns a Server that drops near-duplicates within hamming distance
 // dupDistance over a window of dupWindow recent posts before matching.
-// dupWindow ≤ 0 disables deduplication.
+// dupWindow ≤ 0 disables deduplication. Ingest fan-out defaults to
+// GOMAXPROCS workers; see SetParallelism.
 func New(dupDistance, dupWindow int) *Server {
 	s := &Server{subs: make(map[int64]*subscription)}
 	if dupWindow > 0 {
@@ -86,10 +131,19 @@ func New(dupDistance, dupWindow int) *Server {
 	return s
 }
 
+// SetParallelism sets the worker count used to fan each ingested post out
+// across subscriptions: 0 (the default) means GOMAXPROCS, 1 is serial.
+// Emission sequences per subscription are identical for any value.
+func (s *Server) SetParallelism(n int) { s.workers.Store(int64(n)) }
+
+// Parallelism reports the resolved fan-out worker count.
+func (s *Server) Parallelism() int { return parallel.Workers(int(s.workers.Load())) }
+
 // Errors returned by the server.
 var (
 	ErrNoSuchSubscription = errors.New("server: no such subscription")
 	ErrOutOfOrder         = errors.New("server: post arrived out of time order")
+	ErrClosed             = errors.New("server: stream flushed, no longer accepting posts")
 )
 
 // Subscribe registers a profile and returns its id.
@@ -109,15 +163,20 @@ func (s *Server) Subscribe(cfg SubscriptionConfig) (int64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
-	id := s.nextID
-	s.subs[id] = &subscription{
-		id:      id,
+	sub := &subscription{
+		id:      s.nextID,
 		cfg:     cfg,
 		matcher: matcher,
 		proc:    proc,
 		texts:   make(map[int64]Post),
 	}
-	return id, nil
+	s.subs[sub.id] = sub
+	// Copy-on-write: in-flight fan-outs keep their snapshot. Ids only grow,
+	// so appending preserves the sorted order.
+	order := make([]*subscription, len(s.order), len(s.order)+1)
+	copy(order, s.order)
+	s.order = append(order, sub)
+	return sub.id, nil
 }
 
 // Unsubscribe removes a profile.
@@ -128,40 +187,58 @@ func (s *Server) Unsubscribe(id int64) error {
 		return ErrNoSuchSubscription
 	}
 	delete(s.subs, id)
+	order := make([]*subscription, 0, len(s.order)-1)
+	for _, sub := range s.order {
+		if sub.id != id {
+			order = append(order, sub)
+		}
+	}
+	s.order = order
 	return nil
 }
 
-// Ingest feeds one post (nondecreasing Time) to every subscription.
+// Ingest feeds one post (nondecreasing Time) to every subscription. The
+// per-subscription work — matching, processing, delivery — runs on up to
+// Parallelism() workers, one subscription per worker at a time, so the
+// cost per post is O(|subs|/workers) instead of O(|subs|) serialized.
 func (s *Server) Ingest(p Post) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	if s.closed.Load() {
+		return ErrClosed
+	}
 	if s.started && p.Time < s.lastTime {
 		return fmt.Errorf("%w: %v after %v", ErrOutOfOrder, p.Time, s.lastTime)
 	}
 	s.started = true
 	s.lastTime = p.Time
-	s.ingested++
+	s.ingested.Add(1)
 	if s.dedup != nil && !s.dedup.Offer(p.Text) {
-		s.dropped++
+		s.dropped.Add(1)
 		return nil
 	}
-	for _, sub := range s.subs {
-		if err := sub.feed(p); err != nil {
-			return fmt.Errorf("server: subscription %d: %w", sub.id, err)
+	s.mu.RLock()
+	shards := s.order
+	s.mu.RUnlock()
+	return parallel.FirstErr(int(s.workers.Load()), len(shards), func(i int) error {
+		if err := shards[i].feed(p); err != nil {
+			return fmt.Errorf("server: subscription %d: %w", shards[i].id, err)
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
-// feed matches and processes one post for a single subscription. The caller
-// holds the server lock.
+// feed matches and processes one post for a single subscription.
 func (sub *subscription) feed(p Post) error {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
 	labels := sub.matcher.Match(p.Text)
 	if len(labels) == 0 {
 		return nil
 	}
-	sub.matched++
+	sub.matched.Add(1)
 	sub.texts[p.ID] = p
+	sub.pending = append(sub.pending, pendingText{id: p.ID, time: p.Time})
 	es, err := sub.proc.Process(mqdp.Post{ID: p.ID, Value: p.Time, Labels: labels})
 	if err != nil {
 		return err
@@ -171,17 +248,25 @@ func (sub *subscription) feed(p Post) error {
 	return nil
 }
 
-// deliver converts processor emissions into client-facing records.
+// deliver converts processor emissions into client-facing records. A
+// decision consumes its cached text; a decision whose text was already
+// evicted is counted in textMisses and skipped rather than emitted blank.
+// Caller holds sub.mu.
 func (sub *subscription) deliver(es []mqdp.Emission) {
 	for _, e := range es {
-		src := sub.texts[e.Post.ID]
+		src, ok := sub.texts[e.Post.ID]
+		if !ok {
+			sub.textMisses.Add(1)
+			continue
+		}
+		delete(sub.texts, e.Post.ID)
 		names := make([]string, len(e.Post.Labels))
 		for i, a := range e.Post.Labels {
 			names[i] = sub.matcher.Topic(a).Name
 		}
-		sub.nextSeq++
+		seq := sub.nextSeq.Add(1)
 		sub.emissions = append(sub.emissions, Emission{
-			Seq:    sub.nextSeq,
+			Seq:    seq,
 			PostID: e.Post.ID,
 			Time:   e.Post.Value,
 			Text:   src.Text,
@@ -191,52 +276,86 @@ func (sub *subscription) deliver(es []mqdp.Emission) {
 	}
 }
 
-// gc drops remembered texts that can no longer be emitted (decision windows
-// passed) and caps the emission buffer.
+// gc drops remembered texts whose decision windows have passed and caps the
+// emission buffer. The pending queue mirrors insertion (= time) order, so
+// eviction is O(1) amortized per post. Caller holds sub.mu.
 func (sub *subscription) gc(now float64) {
 	horizon := now - sub.cfg.Lambda - sub.cfg.Tau - 1
-	if len(sub.texts) > 4096 {
-		for id, p := range sub.texts {
-			if p.Time < horizon {
-				delete(sub.texts, id)
-			}
-		}
+	for sub.head < len(sub.pending) && sub.pending[sub.head].time < horizon {
+		delete(sub.texts, sub.pending[sub.head].id) // no-op if already decided
+		sub.head++
 	}
-	const maxBuffer = 65536
-	if len(sub.emissions) > maxBuffer {
-		sub.emissions = append([]Emission(nil), sub.emissions[len(sub.emissions)-maxBuffer:]...)
+	if sub.head > 64 && sub.head*2 >= len(sub.pending) {
+		sub.pending = append(sub.pending[:0], sub.pending[sub.head:]...)
+		sub.head = 0
+	}
+	if len(sub.emissions) > maxEmissionBuffer {
+		sub.emissions = append([]Emission(nil), sub.emissions[len(sub.emissions)-maxEmissionBuffer:]...)
 	}
 }
 
-// Flush ends the stream, forcing every pending decision out.
+// Flush ends the stream, forcing every pending decision out, and latches
+// the server closed: further Ingest calls fail with ErrClosed and further
+// Flush calls are no-ops (processor streams end exactly once).
 func (s *Server) Flush() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, sub := range s.subs {
-		sub.deliver(sub.proc.Flush())
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	if s.closed.Swap(true) {
+		return
 	}
+	s.mu.RLock()
+	shards := s.order
+	s.mu.RUnlock()
+	parallel.ForEach(int(s.workers.Load()), len(shards), func(i int) {
+		sub := shards[i]
+		sub.mu.Lock()
+		defer sub.mu.Unlock()
+		sub.deliver(sub.proc.Flush())
+		// Every decision has landed; whatever text remains was rejected.
+		clear(sub.texts)
+		sub.pending, sub.head = nil, 0
+	})
 }
 
-// Emissions returns a subscription's emissions with Seq > after, up to limit
-// (≤ 0 means no limit).
-func (s *Server) Emissions(id, after int64, limit int) ([]Emission, error) {
+// Closed reports whether Flush has ended the stream.
+func (s *Server) Closed() bool { return s.closed.Load() }
+
+// lookup fetches a subscription from the registry.
+func (s *Server) lookup(id int64) (*subscription, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	sub, ok := s.subs[id]
+	return sub, ok
+}
+
+// Emissions returns a copy of a subscription's emissions with Seq > after,
+// up to limit (≤ 0 means no limit). Seqs are contiguous within the
+// retained buffer, so the starting index is computed in O(1) from the
+// first retained Seq — no scan of the buffer.
+func (s *Server) Emissions(id, after int64, limit int) ([]Emission, error) {
+	sub, ok := s.lookup(id)
 	if !ok {
 		return nil, ErrNoSuchSubscription
 	}
-	// Seqs are contiguous within the retained buffer; binary search by
-	// position relative to the first retained seq.
-	var out []Emission
-	for _, e := range sub.emissions {
-		if e.Seq > after {
-			out = append(out, e)
-			if limit > 0 && len(out) == limit {
-				break
-			}
-		}
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if len(sub.emissions) == 0 {
+		return nil, nil
 	}
+	start := 0
+	if first := sub.emissions[0].Seq; after >= first {
+		// Seq k lives at index k - first.
+		start = int(after - first + 1)
+	}
+	if start >= len(sub.emissions) {
+		return nil, nil
+	}
+	tail := sub.emissions[start:]
+	if limit > 0 && limit < len(tail) {
+		tail = tail[:limit]
+	}
+	out := make([]Emission, len(tail))
+	copy(out, tail)
 	return out, nil
 }
 
@@ -247,39 +366,125 @@ type Stats struct {
 	Subscriptions int   `json:"subscriptions"`
 }
 
+// DelaySummary is the decision-delay distribution over a subscription's
+// retained emissions (stream.Summarize over the buffer).
+type DelaySummary struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	Max   float64 `json:"max"`
+	P95   float64 `json:"p95"`
+}
+
 // SubscriptionStats is a per-profile snapshot.
 type SubscriptionStats struct {
-	ID        int64   `json:"id"`
-	Matched   int64   `json:"matched"`
-	Emitted   int64   `json:"emitted"`
-	Algorithm string  `json:"algorithm"`
-	Lambda    float64 `json:"lambda"`
-	Tau       float64 `json:"tau"`
+	ID      int64 `json:"id"`
+	Matched int64 `json:"matched"`
+	Emitted int64 `json:"emitted"`
+	// TextMisses counts decisions whose cached text had been gc'd before
+	// the decision landed (the emission is dropped, not emitted blank).
+	TextMisses int64        `json:"text_misses"`
+	Algorithm  string       `json:"algorithm"`
+	Lambda     float64      `json:"lambda"`
+	Tau        float64      `json:"tau"`
+	Delay      DelaySummary `json:"delay"`
 }
 
 // Stats reports service-level counters.
 func (s *Server) Stats() Stats {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return Stats{Ingested: s.ingested, DroppedDups: s.dropped, Subscriptions: len(s.subs)}
+	n := len(s.subs)
+	s.mu.RUnlock()
+	return Stats{
+		Ingested:      s.ingested.Load(),
+		DroppedDups:   s.dropped.Load(),
+		Subscriptions: n,
+	}
 }
 
-// SubscriptionStats reports one profile's counters.
+// SubscriptionStats reports one profile's counters, including the
+// decision-delay distribution over its retained emission buffer.
 func (s *Server) SubscriptionStats(id int64) (SubscriptionStats, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	sub, ok := s.subs[id]
+	sub, ok := s.lookup(id)
 	if !ok {
 		return SubscriptionStats{}, ErrNoSuchSubscription
 	}
+	return sub.stats(), nil
+}
+
+func (sub *subscription) stats() SubscriptionStats {
+	sub.mu.Lock()
+	delays := make([]float64, len(sub.emissions))
+	for i, e := range sub.emissions {
+		delays[i] = e.EmitAt - e.Time
+	}
+	sub.mu.Unlock()
+	d := stream.SummarizeDelays(delays)
 	return SubscriptionStats{
-		ID:        id,
-		Matched:   sub.matched,
-		Emitted:   sub.nextSeq,
-		Algorithm: sub.proc.Name(),
-		Lambda:    sub.cfg.Lambda,
-		Tau:       sub.cfg.Tau,
-	}, nil
+		ID:         sub.id,
+		Matched:    sub.matched.Load(),
+		Emitted:    sub.nextSeq.Load(),
+		TextMisses: sub.textMisses.Load(),
+		Algorithm:  sub.proc.Name(),
+		Lambda:     sub.cfg.Lambda,
+		Tau:        sub.cfg.Tau,
+		Delay:      DelaySummary{Count: d.Count, Mean: d.MeanDelay, Max: d.MaxDelay, P95: d.P95Delay},
+	}
+}
+
+// Metrics is the full observability snapshot served at GET /metrics.
+type Metrics struct {
+	Ingested      int64               `json:"ingested"`
+	DroppedDups   int64               `json:"dropped_duplicates"`
+	Subscriptions int                 `json:"subscriptions"`
+	MatchedTotal  int64               `json:"matched_total"`
+	EmittedTotal  int64               `json:"emitted_total"`
+	TextMisses    int64               `json:"text_misses"`
+	Flushed       bool                `json:"flushed"`
+	Workers       int                 `json:"workers"`
+	Profiles      []SubscriptionStats `json:"profiles"`
+}
+
+// Metrics aggregates service counters and every profile's snapshot.
+func (s *Server) Metrics() Metrics {
+	s.mu.RLock()
+	shards := s.order
+	s.mu.RUnlock()
+	m := Metrics{
+		Ingested:      s.ingested.Load(),
+		DroppedDups:   s.dropped.Load(),
+		Subscriptions: len(shards),
+		Flushed:       s.closed.Load(),
+		Workers:       s.Parallelism(),
+		Profiles:      make([]SubscriptionStats, 0, len(shards)),
+	}
+	for _, sub := range shards {
+		st := sub.stats()
+		m.MatchedTotal += st.Matched
+		m.EmittedTotal += st.Emitted
+		m.TextMisses += st.TextMisses
+		m.Profiles = append(m.Profiles, st)
+	}
+	return m
+}
+
+// Health is the liveness snapshot served at GET /healthz.
+type Health struct {
+	// Status is "ok" while ingest is open, "flushed" after Flush.
+	Status        string `json:"status"`
+	Subscriptions int    `json:"subscriptions"`
+	Ingested      int64  `json:"ingested"`
+}
+
+// Health reports liveness.
+func (s *Server) Health() Health {
+	h := Health{Status: "ok", Ingested: s.ingested.Load()}
+	if s.closed.Load() {
+		h.Status = "flushed"
+	}
+	s.mu.RLock()
+	h.Subscriptions = len(s.subs)
+	s.mu.RUnlock()
+	return h
 }
 
 func parseStreamAlgo(name string) (mqdp.StreamAlgorithm, error) {

@@ -100,21 +100,29 @@ type Summary struct {
 
 // Summarize computes a Summary over emissions.
 func Summarize(es []Emission) Summary {
-	s := Summary{Count: len(es)}
-	if len(es) == 0 {
+	delays := make([]float64, len(es))
+	for i, e := range es {
+		delays[i] = e.EmitAt - e.Post.Value
+	}
+	return SummarizeDelays(delays)
+}
+
+// SummarizeDelays computes a Summary from raw decision delays. It is the
+// core of Summarize, split out for callers (the pub/sub server) that hold
+// emissions in their own record type. delays is sorted in place.
+func SummarizeDelays(delays []float64) Summary {
+	s := Summary{Count: len(delays)}
+	if len(delays) == 0 {
 		return s
 	}
-	delays := make([]float64, len(es))
 	total := 0.0
-	for i, e := range es {
-		d := e.EmitAt - e.Post.Value
-		delays[i] = d
+	for _, d := range delays {
 		total += d
 		if d > s.MaxDelay {
 			s.MaxDelay = d
 		}
 	}
-	s.MeanDelay = total / float64(len(es))
+	s.MeanDelay = total / float64(len(delays))
 	sort.Float64s(delays)
 	idx := (len(delays)*95 + 99) / 100
 	if idx > 0 {

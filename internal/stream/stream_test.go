@@ -431,4 +431,11 @@ func TestSummarize(t *testing.T) {
 	if zero.Count != 0 || zero.MaxDelay != 0 {
 		t.Errorf("empty summary = %+v", zero)
 	}
+	// SummarizeDelays is the same computation over raw delays.
+	if d := SummarizeDelays([]float64{1, 2, 3, 4}); d != s {
+		t.Errorf("SummarizeDelays = %+v, want %+v", d, s)
+	}
+	if d := SummarizeDelays(nil); d.Count != 0 || d.P95Delay != 0 {
+		t.Errorf("empty SummarizeDelays = %+v", d)
+	}
 }
