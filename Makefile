@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-json experiments smoke fuzz lint clean
+.PHONY: all build test test-race bench bench-json bench-obs experiments smoke fuzz vet lint check clean
 
 all: build test
+
+# The default verification gate: build, tests, static checks and the
+# instrumented-vs-disabled solver overhead comparison.
+check: build test vet bench-obs
 
 build:
 	$(GO) build ./...
@@ -23,6 +27,11 @@ bench:
 bench-json:
 	$(GO) run ./cmd/mqdp-bench -json > BENCH_baseline.json
 
+# Compare BenchmarkScan with instrumentation disabled vs enabled: the
+# disabled path must sit within noise of the pre-obs solver.
+bench-obs:
+	$(GO) test -run NONE -bench 'ScanObs' -benchtime 300x ./internal/core
+
 # Regenerate every table and figure at full scale (see EXPERIMENTS.md).
 experiments:
 	$(GO) run ./cmd/mqdp-bench -run all -scale full | tee experiments_full.txt
@@ -37,9 +46,12 @@ fuzz:
 	$(GO) test -fuzz=FuzzComputeDeterministic -fuzztime=10s ./internal/simhash
 	$(GO) test -fuzz=FuzzReadPosts -fuzztime=10s ./internal/wire
 
-lint:
+# vet fails the build on any vet finding or unformatted file.
+vet:
 	$(GO) vet ./...
-	gofmt -l .
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+lint: vet
 
 clean:
 	$(GO) clean ./...

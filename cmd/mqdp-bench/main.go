@@ -13,7 +13,10 @@
 // experiments execute concurrently but their outputs are buffered and flushed
 // in registration order, so the tables are byte-identical to a serial run
 // (only the wall-clock footers differ). -json ignores -run and emits the
-// serial-vs-parallel solver timing baseline tracked in BENCH_baseline.json.
+// serial-vs-parallel solver timing baseline tracked in BENCH_baseline.json,
+// including a "counters" section of obs work counters (posts scanned, gains
+// recomputed, heap operations). -trace-dump FILE wires the span tracer and
+// writes the bounded span journal to FILE after the run ("-" for stderr).
 package main
 
 import (
@@ -27,9 +30,15 @@ import (
 
 	"mqdp/internal/core"
 	"mqdp/internal/experiments"
+	"mqdp/internal/obs"
 	"mqdp/internal/parallel"
+	"mqdp/internal/stream"
 	"mqdp/internal/synth"
 )
+
+// traceCapacity bounds the in-memory span journal; older spans are dropped
+// once it wraps (the Dump trailer reports how many).
+const traceCapacity = 4096
 
 func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
@@ -38,6 +47,7 @@ func main() {
 	format := flag.String("format", "text", "table format: text or md")
 	par := flag.Int("parallel", 1, "experiments in flight at once (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit the solver timing baseline as JSON and exit")
+	traceDump := flag.String("trace-dump", "", "write the solver span journal to this file after the run (- for stderr); empty disables tracing")
 	flag.Parse()
 
 	if *list {
@@ -46,11 +56,34 @@ func main() {
 		}
 		return
 	}
+	// Instrumentation is wired only when a flag asks for it, so the plain
+	// table runs keep the solvers on their no-op fast path.
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	if *jsonOut || *traceDump != "" {
+		reg = obs.NewRegistry()
+		if *traceDump != "" {
+			tracer = obs.NewTracer(traceCapacity)
+			reg.SetTracer(tracer) // attach before wiring: packages capture it at SetObs
+		}
+		core.SetObs(reg)
+		stream.SetObs(reg)
+	}
+	dumpTrace := func() {
+		if tracer == nil {
+			return
+		}
+		if err := writeTrace(*traceDump, tracer); err != nil {
+			fmt.Fprintf(os.Stderr, "mqdp-bench: trace dump: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *jsonOut {
-		if err := writeBaseline(os.Stdout); err != nil {
+		if err := writeBaseline(os.Stdout, reg); err != nil {
 			fmt.Fprintf(os.Stderr, "mqdp-bench: %v\n", err)
 			os.Exit(1)
 		}
+		dumpTrace()
 		return
 	}
 	sc := experiments.Full
@@ -99,12 +132,33 @@ func main() {
 		}
 		fmt.Printf("--- %s done in %v\n\n", r.Experiment.ID, r.Elapsed.Round(time.Millisecond))
 	}
+	dumpTrace()
+}
+
+// writeTrace dumps the span journal to path ("-" means stderr).
+func writeTrace(path string, tr *obs.Tracer) error {
+	if path == "-" {
+		return tr.Dump(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.Dump(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // Baseline is the machine-readable timing record emitted by -json and
 // checked in as BENCH_baseline.json (regenerate with `make bench-json`).
 // Timings are medians over Runs solves; Speedup maps each solver to
-// serial-median / parallel-median on this machine.
+// serial-median / parallel-median on this machine. Counters are the obs
+// work counters accumulated over every timed solve (schema 2): unlike the
+// timings they are machine-independent, so they double as a cheap
+// regression check on algorithmic work (posts scanned, gains recomputed,
+// heap operations).
 type Baseline struct {
 	Schema     int                `json:"schema"`
 	GoVersion  string             `json:"go_version"`
@@ -114,6 +168,7 @@ type Baseline struct {
 	Runs       int                `json:"runs"`
 	Solvers    []SolverTiming     `json:"solvers"`
 	Speedup    map[string]float64 `json:"speedup_parallel_vs_serial"`
+	Counters   map[string]int64   `json:"counters"`
 }
 
 // BaselineWorkload records the synthetic instance the timings were taken on.
@@ -141,7 +196,7 @@ type SolverTiming struct {
 // stable enough to track a trajectory across perf PRs.
 const baselineRuns = 9
 
-func writeBaseline(w *os.File) error {
+func writeBaseline(w *os.File, reg *obs.Registry) error {
 	wl := BaselineWorkload{
 		Labels: 8, DurationS: 3600, RatePerSec: 4, Overlap: 1.5, Seed: 42, Lambda: 60,
 	}
@@ -160,7 +215,7 @@ func writeBaseline(w *os.File) error {
 	lm := core.FixedLambda(wl.Lambda)
 	workers := parallel.Workers(0)
 	b := Baseline{
-		Schema:     1,
+		Schema:     2,
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: workers,
 		NumCPU:     runtime.NumCPU(),
@@ -207,6 +262,7 @@ func writeBaseline(w *os.File) error {
 			b.Speedup[solver] = float64(m["serial"]) / float64(m["parallel"])
 		}
 	}
+	b.Counters = reg.Snapshot().Counters
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(b)

@@ -12,7 +12,14 @@
 //	                        → {"accepted":N} ({"accepted":N,"error":...} on a mid-batch failure)
 //	GET    /subscriptions/1/emissions?after=0&limit=100
 //	GET    /subscriptions/1/stats · GET /stats · GET /metrics · GET /healthz
+//	GET    /metrics/prometheus  (text exposition of every wired instrument)
 //	POST   /flush · DELETE /subscriptions/1
+//
+// With -debug-addr a second HTTP server exposes net/http/pprof under
+// /debug/pprof/ and expvar under /debug/vars (including an "mqdp" variable
+// mirroring the metrics registry snapshot), kept off the public port.
+// -no-obs drops the registry entirely; every instrumented hot path falls
+// back to its no-op fast path.
 //
 // On SIGINT/SIGTERM the server stops accepting connections, drains
 // in-flight requests, flushes every subscription's pending decisions and
@@ -22,16 +29,22 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"mqdp/internal/core"
+	"mqdp/internal/index"
+	"mqdp/internal/obs"
 	"mqdp/internal/server"
+	"mqdp/internal/stream"
 )
 
 func main() {
@@ -40,10 +53,35 @@ func main() {
 	dedupWindow := flag.Int("dedup-window", 8192, "recent posts remembered for deduplication (0 disables)")
 	parallelism := flag.Int("parallelism", 0, "ingest fan-out workers across subscriptions (0 = GOMAXPROCS, 1 = serial)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "maximum time to drain in-flight requests on shutdown")
+	debugAddr := flag.String("debug-addr", "", "listen address for the debug server (pprof, expvar); empty disables")
+	noObs := flag.Bool("no-obs", false, "disable the metrics registry (/metrics/prometheus returns 503)")
 	flag.Parse()
 
 	s := server.New(*dedupDist, *dedupWindow)
 	s.SetParallelism(*parallelism)
+	if !*noObs {
+		// One registry backs every layer: solver stage timings, stream
+		// decision delays, index append/lookup and the server counters all
+		// land in the same /metrics/prometheus exposition.
+		reg := obs.NewRegistry()
+		core.SetObs(reg)
+		stream.SetObs(reg)
+		index.SetObs(reg)
+		s.SetObs(reg)
+		expvar.Publish("mqdp", expvar.Func(func() any { return reg.Snapshot() }))
+	}
+	if *debugAddr != "" {
+		go func() {
+			// pprof and expvar register on http.DefaultServeMux; serving it
+			// on its own listener keeps the profiling surface off the
+			// public API port.
+			dbg := &http.Server{Addr: *debugAddr, Handler: http.DefaultServeMux, ReadHeaderTimeout: 5 * time.Second}
+			log.Printf("debug server (pprof, expvar) listening on %s", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+	}
 	h := &http.Server{
 		Addr:              *addr,
 		Handler:           server.Handler(s),

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"mqdp/internal/obs"
+)
+
+// coreObs bundles the solver instruments. A nil pointer is the disabled
+// state: solvers pay one atomic load and one branch per solve, nothing per
+// inner-loop iteration (work counters accumulate in locals and flush once).
+type coreObs struct {
+	scanSweep      *obs.Histogram // Scan: per-label candidate sweeps
+	scanSelect     *obs.Histogram // Scan: merge/normalize of the selection
+	scanPlusSweep  *obs.Histogram
+	scanPlusSelect *obs.Histogram
+	greedySweep    *obs.Histogram // GreedySC: initial gain sweep
+	greedySelect   *obs.Histogram // GreedySC: selection loop
+	solves         *obs.Counter
+	postsScanned   *obs.Counter // candidate positions examined by Scan/Scan+
+	gains          *obs.Counter // gain evaluations by GreedySC
+	heapOps        *obs.Counter // lazy-heap pushes/pops by GreedySC
+	tracer         *obs.Tracer
+}
+
+var obsState atomic.Pointer[coreObs]
+
+// SetObs wires the solver instruments into r; nil disables instrumentation.
+// Wire once at startup, before traffic (the pointer swap itself is atomic,
+// so late wiring is safe, just lossy for in-flight solves). The attached
+// tracer, if any, is captured here — attach it to r first.
+func SetObs(r *obs.Registry) {
+	if r == nil {
+		obsState.Store(nil)
+		return
+	}
+	obsState.Store(&coreObs{
+		scanSweep:      r.Histogram("mqdp_core_scan_sweep_seconds", "Scan candidate-sweep phase (all per-label passes)", obs.TimeBuckets),
+		scanSelect:     r.Histogram("mqdp_core_scan_select_seconds", "Scan selection merge/normalize phase", obs.TimeBuckets),
+		scanPlusSweep:  r.Histogram("mqdp_core_scanplus_sweep_seconds", "Scan+ candidate-sweep phase (cross-label removal included)", obs.TimeBuckets),
+		scanPlusSelect: r.Histogram("mqdp_core_scanplus_select_seconds", "Scan+ selection merge/normalize phase", obs.TimeBuckets),
+		greedySweep:    r.Histogram("mqdp_core_greedysc_sweep_seconds", "GreedySC initial gain sweep", obs.TimeBuckets),
+		greedySelect:   r.Histogram("mqdp_core_greedysc_select_seconds", "GreedySC selection loop", obs.TimeBuckets),
+		solves:         r.Counter("mqdp_core_solves_total", "offline solver invocations"),
+		postsScanned:   r.Counter("mqdp_core_posts_scanned_total", "candidate positions examined by Scan/Scan+"),
+		gains:          r.Counter("mqdp_core_gains_recomputed_total", "gain evaluations by GreedySC (initial sweep + re-evaluations)"),
+		heapOps:        r.Counter("mqdp_core_heap_ops_total", "lazy-heap operations by GreedySC"),
+		tracer:         r.Tracer(),
+	})
+}
+
+// startSpan opens a solver span when a tracer is wired, else returns nil
+// (every ActiveSpan method no-ops on nil).
+func (o *coreObs) startSpan(name string) *obs.ActiveSpan {
+	if o == nil {
+		return nil
+	}
+	return o.tracer.Start(name)
+}
+
+// endSolveSpan annotates and closes a solver span.
+func endSolveSpan(span *obs.ActiveSpan, in *Instance, workers, coverSize int) {
+	if span == nil {
+		return
+	}
+	span.SetInt("posts", int64(in.Len()))
+	span.SetInt("labels", int64(in.numLabels))
+	span.Set("workers", strconv.Itoa(workers))
+	span.SetInt("cover_size", int64(coverSize))
+	span.End()
+}
+
+// observeScanPhases records the two Scan/Scan+ phase durations and the
+// candidate-sweep work counter.
+func (o *coreObs) observeScanPhases(sweepH, selectH *obs.Histogram, start, sweepEnd time.Time, scanned int64) {
+	sweepH.Observe(sweepEnd.Sub(start).Seconds())
+	selectH.ObserveSince(sweepEnd)
+	o.postsScanned.Add(scanned)
+	o.solves.Inc()
+}

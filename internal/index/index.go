@@ -14,6 +14,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"mqdp/internal/textutil"
 )
@@ -83,6 +84,11 @@ var ErrTimeOrder = errors.New("index: documents must be added in timestamp order
 // keeps every posting list time-sorted for free (the EarlyBird property).
 // When the active segment is full it is sealed and a new one opened.
 func (ix *Index) Add(doc Doc) error {
+	o := obsState.Load()
+	var start time.Time
+	if o != nil {
+		start = time.Now()
+	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	if ix.count > 0 {
@@ -115,6 +121,7 @@ func (ix *Index) Add(doc Doc) error {
 			ix.terms++
 		}
 	}
+	o.observeAppend(start, len(ix.segments), ix.terms)
 	return nil
 }
 
@@ -202,14 +209,27 @@ func (ix *Index) termPositions(term string, lo, hi float64) []int32 {
 // TermQuery returns the positions of documents containing term with Time in
 // [lo, hi], ascending.
 func (ix *Index) TermQuery(term string, lo, hi float64) []int32 {
+	defer timeLookup()()
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	return ix.termPositions(term, lo, hi)
 }
 
+// timeLookup returns the deferred half of a lookup-timing pair: a no-op
+// closure when instrumentation is disabled.
+func timeLookup() func() {
+	o := obsState.Load()
+	if o == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { o.observeLookup(start) }
+}
+
 // AnyQuery returns positions of documents containing at least one of terms,
 // with Time in [lo, hi], ascending and deduplicated (boolean OR).
 func (ix *Index) AnyQuery(terms []string, lo, hi float64) []int32 {
+	defer timeLookup()()
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	var all []int32
@@ -230,6 +250,7 @@ func (ix *Index) AnyQuery(terms []string, lo, hi float64) []int32 {
 // with Time in [lo, hi], ascending (boolean AND). An empty term list matches
 // nothing.
 func (ix *Index) AllQuery(terms []string, lo, hi float64) []int32 {
+	defer timeLookup()()
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	if len(terms) == 0 {
@@ -295,6 +316,7 @@ func (h *hitHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = 
 // Search tokenizes query and returns the top-k documents in [lo, hi] by
 // TF-IDF score, best first.
 func (ix *Index) Search(query string, k int, lo, hi float64) []Hit {
+	defer timeLookup()()
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	if k <= 0 {

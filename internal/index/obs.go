@@ -1,0 +1,54 @@
+package index
+
+import (
+	"sync/atomic"
+	"time"
+
+	"mqdp/internal/obs"
+)
+
+// indexObs bundles the inverted-index instruments. A nil pointer is the
+// disabled state; Add and the query paths pay one atomic load and one branch
+// per call.
+type indexObs struct {
+	appendTime *obs.Histogram // one Add: tokenize + postings append
+	lookupTime *obs.Histogram // one query: term/any/all/search
+	docs       *obs.Counter
+	segments   *obs.Gauge
+	terms      *obs.Gauge
+}
+
+var obsState atomic.Pointer[indexObs]
+
+// SetObs wires the index instruments into r; nil disables instrumentation.
+func SetObs(r *obs.Registry) {
+	if r == nil {
+		obsState.Store(nil)
+		return
+	}
+	obsState.Store(&indexObs{
+		appendTime: r.Histogram("mqdp_index_append_seconds", "wall time of one document append (tokenize + postings)", obs.TimeBuckets),
+		lookupTime: r.Histogram("mqdp_index_lookup_seconds", "wall time of one posting lookup/query", obs.TimeBuckets),
+		docs:       r.Counter("mqdp_index_docs_total", "documents appended to the index"),
+		segments:   r.Gauge("mqdp_index_segments", "segments backing the index (sealed + active)"),
+		terms:      r.Gauge("mqdp_index_terms", "distinct indexed terms"),
+	})
+}
+
+// observeAppend records one successful Add. Safe on a nil receiver.
+func (o *indexObs) observeAppend(start time.Time, segments, terms int) {
+	if o == nil {
+		return
+	}
+	o.appendTime.ObserveSince(start)
+	o.docs.Inc()
+	o.segments.Set(float64(segments))
+	o.terms.Set(float64(terms))
+}
+
+// observeLookup records one query. Safe on a nil receiver.
+func (o *indexObs) observeLookup(start time.Time) {
+	if o != nil {
+		o.lookupTime.ObserveSince(start)
+	}
+}

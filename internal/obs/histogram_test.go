@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the `le` semantics: an observation equal
+// to a bound lands in that bound's bucket, one just above lands in the next.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	cases := []struct {
+		v      float64
+		bucket int
+	}{
+		{0, 0}, {0.5, 0}, {1, 0}, // v ≤ 1
+		{1.0001, 1}, {2, 1}, // 1 < v ≤ 2
+		{3, 2}, {4, 2}, // 2 < v ≤ 4
+		{4.5, 3}, {1e9, 3}, // +Inf bucket
+	}
+	for _, c := range cases {
+		before := h.BucketCount(c.bucket)
+		h.Observe(c.v)
+		if got := h.BucketCount(c.bucket); got != before+1 {
+			t.Errorf("Observe(%v): bucket %d count %d, want %d", c.v, c.bucket, got, before+1)
+		}
+	}
+	if h.Count() != int64(len(cases)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(cases))
+	}
+	if h.BucketBound(3) != math.Inf(1) {
+		t.Fatalf("last bound = %v, want +Inf", h.BucketBound(3))
+	}
+}
+
+func TestHistogramExactStats(t *testing.T) {
+	h := NewHistogram([]float64{10, 100})
+	for _, v := range []float64{1, 2, 3, 150} {
+		h.Observe(v)
+	}
+	if h.Sum() != 156 {
+		t.Errorf("sum = %v, want 156", h.Sum())
+	}
+	if h.Mean() != 39 {
+		t.Errorf("mean = %v, want 39", h.Mean())
+	}
+	if h.Max() != 150 {
+		t.Errorf("max = %v, want 150", h.Max())
+	}
+}
+
+// TestHistogramQuantileEstimates checks the interpolation against a uniform
+// fill where the true quantiles are known: 1000 observations evenly spread
+// over (0, 10] with bounds every 1.0 must estimate any quantile within one
+// bucket width.
+func TestHistogramQuantileEstimates(t *testing.T) {
+	bounds := make([]float64, 10)
+	for i := range bounds {
+		bounds[i] = float64(i + 1)
+	}
+	h := NewHistogram(bounds)
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 100) // 0.01 .. 10.00 uniform
+	}
+	for _, c := range []struct{ q, want float64 }{
+		{0.5, 5}, {0.95, 9.5}, {0.99, 9.9}, {0.10, 1},
+	} {
+		got := h.Quantile(c.q)
+		if math.Abs(got-c.want) > 1.0 {
+			t.Errorf("q%v = %v, want %v ± 1 bucket", c.q, got, c.want)
+		}
+	}
+	// Extremes clamp to [0, exact max].
+	if got := h.Quantile(1); got != 10 {
+		t.Errorf("q1 = %v, want exact max 10", got)
+	}
+	if got := h.Quantile(0); got < 0 {
+		t.Errorf("q0 = %v, want ≥ 0", got)
+	}
+}
+
+// TestHistogramQuantileInfBucket: ranks landing in the +Inf bucket return
+// the exact maximum rather than an unbounded interpolation.
+func TestHistogramQuantileInfBucket(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.Observe(0.5)
+	for i := 0; i < 9; i++ {
+		h.Observe(100)
+	}
+	if got := h.Quantile(0.95); got != 100 {
+		t.Errorf("q95 = %v, want exact max 100", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(TimeBuckets)
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Quantile(0.95) != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(0.25, 2, 4)
+	want := []float64{0.25, 0.5, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+	for i := 1; i < len(TimeBuckets); i++ {
+		if TimeBuckets[i] <= TimeBuckets[i-1] {
+			t.Fatal("TimeBuckets not ascending")
+		}
+	}
+	for i := 1; i < len(DelayBuckets); i++ {
+		if DelayBuckets[i] <= DelayBuckets[i-1] {
+			t.Fatal("DelayBuckets not ascending")
+		}
+	}
+}

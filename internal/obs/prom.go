@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every registered instrument in the Prometheus text
+// exposition format (version 0.0.4): a # HELP and # TYPE header per metric,
+// counters and gauges as single samples, histograms as cumulative
+// `le`-labelled _bucket series plus _sum and _count. Metrics are emitted in
+// sorted name order, so the output is deterministic for deterministic
+// instrument state. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	for _, name := range r.names() {
+		k := r.kinds[name]
+		writeHeader(bw, name, r.help[name], k)
+		switch k {
+		case kindCounter:
+			bw.WriteString(name)
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatInt(r.counters[name].Value(), 10))
+			bw.WriteByte('\n')
+		case kindGauge:
+			bw.WriteString(name)
+			bw.WriteByte(' ')
+			bw.WriteString(formatFloat(r.gauges[name].Value()))
+			bw.WriteByte('\n')
+		case kindHistogram:
+			writeHistogram(bw, name, r.hists[name])
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHeader(bw *bufio.Writer, name, help string, k kind) {
+	if help != "" {
+		bw.WriteString("# HELP ")
+		bw.WriteString(name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(help))
+		bw.WriteByte('\n')
+	}
+	bw.WriteString("# TYPE ")
+	bw.WriteString(name)
+	bw.WriteByte(' ')
+	bw.WriteString(k.String())
+	bw.WriteByte('\n')
+}
+
+func writeHistogram(bw *bufio.Writer, name string, h *Histogram) {
+	cum := int64(0)
+	for i := 0; i < h.NumBuckets(); i++ {
+		cum += h.BucketCount(i)
+		bw.WriteString(name)
+		bw.WriteString(`_bucket{le="`)
+		bw.WriteString(formatLe(h.BucketBound(i)))
+		bw.WriteString(`"} `)
+		bw.WriteString(strconv.FormatInt(cum, 10))
+		bw.WriteByte('\n')
+	}
+	bw.WriteString(name)
+	bw.WriteString("_sum ")
+	bw.WriteString(formatFloat(h.Sum()))
+	bw.WriteByte('\n')
+	bw.WriteString(name)
+	bw.WriteString("_count ")
+	bw.WriteString(strconv.FormatInt(h.Count(), 10))
+	bw.WriteByte('\n')
+}
+
+func formatLe(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return formatFloat(b)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Snapshot is the JSON form of the registry state.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// HistogramSnapshot summarizes one histogram: exact count/sum/max, bucket
+// counts (cumulative, mirroring the Prometheus exposition) and estimated
+// quantiles.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+	Max     float64  `json:"max"`
+	Buckets []Bucket `json:"buckets"`
+	P50     float64  `json:"p50"`
+	P95     float64  `json:"p95"`
+	P99     float64  `json:"p99"`
+}
+
+// Bucket is one cumulative histogram bucket; LE is "+Inf" for the last.
+type Bucket struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// Snapshot captures the current instrument values. A nil registry returns an
+// empty (but non-nil-mapped) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{
+			Count: h.Count(),
+			Sum:   h.Sum(),
+			Max:   h.Max(),
+			P50:   h.Quantile(0.50),
+			P95:   h.Quantile(0.95),
+			P99:   h.Quantile(0.99),
+		}
+		cum := int64(0)
+		for i := 0; i < h.NumBuckets(); i++ {
+			cum += h.BucketCount(i)
+			hs.Buckets = append(hs.Buckets, Bucket{LE: formatLe(h.BucketBound(i)), Count: cum})
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON (map keys sort, so output
+// is deterministic for deterministic state).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

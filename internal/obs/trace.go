@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer records finished spans into a bounded in-memory ring journal for
+// post-mortem analysis (mqdp-bench -trace-dump). Starting and annotating a
+// span touches only the span itself; the ring is locked once, at End. When
+// the ring is full the oldest spans are overwritten and counted as dropped.
+//
+// All methods no-op on a nil *Tracer, so callers thread an optional tracer
+// the same way they thread optional instruments.
+type Tracer struct {
+	ids     atomic.Uint64
+	mu      sync.Mutex
+	ring    []Span
+	next    int
+	wrapped bool
+	dropped uint64
+}
+
+// Span is one finished journal entry.
+type Span struct {
+	ID     uint64    `json:"id"`
+	Parent uint64    `json:"parent,omitempty"` // 0 = root
+	Name   string    `json:"name"`
+	Start  time.Time `json:"start"`
+	End    time.Time `json:"end"`
+	Attrs  []Attr    `json:"attrs,omitempty"`
+}
+
+// Duration is the span's wall-clock extent.
+func (s Span) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// Attr is one key=value span annotation.
+type Attr struct {
+	Key string `json:"key"`
+	Val string `json:"val"`
+}
+
+// NewTracer returns a tracer whose journal retains the most recent capacity
+// spans (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]Span, capacity)}
+}
+
+// ActiveSpan is an in-flight span; it is recorded into the journal at End.
+// An ActiveSpan is not safe for concurrent use (one span per goroutine).
+type ActiveSpan struct {
+	t    *Tracer
+	span Span
+}
+
+// Start opens a root span. A nil tracer returns a nil span, on which every
+// method no-ops.
+func (t *Tracer) Start(name string) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	return &ActiveSpan{t: t, span: Span{ID: t.ids.Add(1), Name: name, Start: time.Now()}}
+}
+
+// Child opens a span parented to s.
+func (s *ActiveSpan) Child(name string) *ActiveSpan {
+	if s == nil {
+		return nil
+	}
+	c := s.t.Start(name)
+	c.span.Parent = s.span.ID
+	return c
+}
+
+// Set annotates the span with a key=value attribute.
+func (s *ActiveSpan) Set(key, val string) {
+	if s != nil {
+		s.span.Attrs = append(s.span.Attrs, Attr{Key: key, Val: val})
+	}
+}
+
+// SetInt annotates the span with an integer attribute.
+func (s *ActiveSpan) SetInt(key string, v int64) {
+	s.Set(key, strconv.FormatInt(v, 10))
+}
+
+// End stamps the span and records it into the journal. A span must be ended
+// at most once.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	s.span.End = time.Now()
+	t := s.t
+	t.mu.Lock()
+	if t.wrapped {
+		t.dropped++
+	}
+	t.ring[t.next] = s.span
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.wrapped = true
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns the journal contents, oldest first.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Span
+	if t.wrapped {
+		out = append(out, t.ring[t.next:]...)
+	}
+	return append(out, t.ring[:t.next]...)
+}
+
+// Dropped reports how many spans were overwritten by ring wraparound.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Dump writes the journal to w, oldest span first, one line per span:
+//
+//	span=ID parent=PARENT name=NAME dur=DURATION [key=value ...]
+//
+// followed by a trailer counting retained and dropped spans.
+func (t *Tracer) Dump(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	spans := t.Spans()
+	bw := bufio.NewWriter(w)
+	for _, s := range spans {
+		fmt.Fprintf(bw, "span=%d parent=%d name=%s dur=%s", s.ID, s.Parent, s.Name, s.Duration())
+		for _, a := range s.Attrs {
+			fmt.Fprintf(bw, " %s=%s", a.Key, a.Val)
+		}
+		bw.WriteByte('\n')
+	}
+	fmt.Fprintf(bw, "# journal: %d spans retained, %d dropped\n", len(spans), t.Dropped())
+	return bw.Flush()
+}

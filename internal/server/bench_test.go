@@ -91,7 +91,7 @@ func BenchmarkEmissionsPoll(b *testing.B) {
 			Text: "obama update", Topics: []string{"obama"}, EmitAt: float64(i),
 		}
 	}
-	sub.nextSeq.Store(int64(n))
+	sub.nextSeq.Add(int64(n))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -22,6 +22,8 @@ import (
 //	POST   /flush
 //	GET    /stats                         → Stats
 //	GET    /metrics                       → Metrics (service + per-profile counters)
+//	GET    /metrics/prometheus            → text exposition of the wired obs registry
+//	                                      (503 until Server.SetObs wires one)
 //	GET    /healthz                       → Health
 func Handler(s *Server) http.Handler {
 	mux := http.NewServeMux()
@@ -158,6 +160,19 @@ func Handler(s *Server) http.Handler {
 			return
 		}
 		writeJSON(w, s.Metrics())
+	})
+	mux.HandleFunc("/metrics/prometheus", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		reg := s.Registry()
+		if reg == nil {
+			http.Error(w, "metrics registry not wired", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {

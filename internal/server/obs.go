@@ -1,0 +1,76 @@
+package server
+
+import (
+	"mqdp/internal/obs"
+)
+
+// serverObs bundles the service-level instruments. A nil pointer is the
+// disabled state; the ingest and poll paths pay one atomic load and one
+// branch per call. Per-subscription counters (matched, emitted, misses,
+// delay histogram) live on the subscription itself and work with or without
+// a registry; the service totals here are their registry-visible sums,
+// incremented alongside.
+type serverObs struct {
+	reg          *obs.Registry
+	ingestFanout *obs.Histogram // one Ingest: admission + fan-out to all subscriptions
+	matchTime    *obs.Histogram // one subscription's topic match for one post
+	pollTime     *obs.Histogram // one Emissions poll
+	subs         *obs.Gauge
+	matched      *obs.Counter
+	emitted      *obs.Counter
+	misses       *obs.Counter
+}
+
+// SetObs wires the server's instruments into r; nil disables service-level
+// instrumentation (per-subscription counters keep working regardless — the
+// JSON /metrics endpoint does not need a registry).
+func (s *Server) SetObs(r *obs.Registry) {
+	if r == nil {
+		s.obsState.Store(nil)
+		return
+	}
+	r.RegisterCounter("mqdp_server_ingested_total", "posts accepted by ingest admission", &s.ingested)
+	r.RegisterCounter("mqdp_server_dropped_duplicates_total", "posts dropped as near-duplicates before fan-out", &s.dropped)
+	o := &serverObs{
+		reg:          r,
+		ingestFanout: r.Histogram("mqdp_server_ingest_fanout_seconds", "wall time fanning one post out to every subscription", obs.TimeBuckets),
+		matchTime:    r.Histogram("mqdp_server_match_seconds", "wall time of one subscription's topic match", obs.TimeBuckets),
+		pollTime:     r.Histogram("mqdp_server_emission_poll_seconds", "wall time of one emission poll", obs.TimeBuckets),
+		subs:         r.Gauge("mqdp_server_subscriptions", "registered subscriptions"),
+		matched:      r.Counter("mqdp_server_matched_total", "post-subscription matches across all profiles"),
+		emitted:      r.Counter("mqdp_server_emitted_total", "emissions delivered across all profiles"),
+		misses:       r.Counter("mqdp_server_text_misses_total", "decisions whose cached text was gc'd before landing"),
+	}
+	s.mu.RLock()
+	o.subs.Set(float64(len(s.subs)))
+	s.mu.RUnlock()
+	s.obsState.Store(o)
+}
+
+// Registry returns the wired registry, or nil when disabled. The HTTP layer
+// uses it for /metrics/prometheus.
+func (s *Server) Registry() *obs.Registry {
+	if o := s.obsState.Load(); o != nil {
+		return o.reg
+	}
+	return nil
+}
+
+// onMatch, onEmit and onMiss bump the service totals. Safe on nil receivers.
+func (o *serverObs) onMatch() {
+	if o != nil {
+		o.matched.Inc()
+	}
+}
+
+func (o *serverObs) onEmit() {
+	if o != nil {
+		o.emitted.Inc()
+	}
+}
+
+func (o *serverObs) onMiss() {
+	if o != nil {
+		o.misses.Inc()
+	}
+}

@@ -22,13 +22,14 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mqdp"
 	"mqdp/internal/digest"
 	"mqdp/internal/match"
+	"mqdp/internal/obs"
 	"mqdp/internal/parallel"
 	"mqdp/internal/simhash"
-	"mqdp/internal/stream"
 )
 
 // Post is one incoming stream item.
@@ -89,9 +90,13 @@ type subscription struct {
 	pending []pendingText
 	head    int
 
-	nextSeq    atomic.Int64
-	matched    atomic.Int64
-	textMisses atomic.Int64 // decisions whose text was gc'd before they landed
+	// Counters are updated under mu but read lock-free by stats endpoints;
+	// delays is the cumulative decision-delay histogram observed at delivery
+	// time, so stats cost O(buckets) instead of rescanning the buffer.
+	nextSeq    obs.Counter
+	matched    obs.Counter
+	textMisses obs.Counter // decisions whose text was gc'd before they landed
+	delays     *obs.Histogram
 }
 
 // Server is the multi-subscription diversification service. It is safe for
@@ -115,8 +120,11 @@ type Server struct {
 
 	workers  atomic.Int64 // fan-out parallelism; 0 = GOMAXPROCS
 	closed   atomic.Bool  // latched by the first Flush
-	ingested atomic.Int64
-	dropped  atomic.Int64
+	ingested obs.Counter
+	dropped  obs.Counter
+
+	// obsState holds the registry-wired service instruments; nil = disabled.
+	obsState atomic.Pointer[serverObs]
 }
 
 // New returns a Server that drops near-duplicates within hamming distance
@@ -169,8 +177,12 @@ func (s *Server) Subscribe(cfg SubscriptionConfig) (int64, error) {
 		matcher: matcher,
 		proc:    proc,
 		texts:   make(map[int64]Post),
+		delays:  obs.NewHistogram(obs.DelayBuckets),
 	}
 	s.subs[sub.id] = sub
+	if o := s.obsState.Load(); o != nil {
+		o.subs.Set(float64(len(s.subs)))
+	}
 	// Copy-on-write: in-flight fan-outs keep their snapshot. Ids only grow,
 	// so appending preserves the sorted order.
 	order := make([]*subscription, len(s.order), len(s.order)+1)
@@ -187,6 +199,9 @@ func (s *Server) Unsubscribe(id int64) error {
 		return ErrNoSuchSubscription
 	}
 	delete(s.subs, id)
+	if o := s.obsState.Load(); o != nil {
+		o.subs.Set(float64(len(s.subs)))
+	}
 	order := make([]*subscription, 0, len(s.order)-1)
 	for _, sub := range s.order {
 		if sub.id != id {
@@ -212,38 +227,55 @@ func (s *Server) Ingest(p Post) error {
 	}
 	s.started = true
 	s.lastTime = p.Time
-	s.ingested.Add(1)
+	s.ingested.Inc()
 	if s.dedup != nil && !s.dedup.Offer(p.Text) {
-		s.dropped.Add(1)
+		s.dropped.Inc()
 		return nil
 	}
 	s.mu.RLock()
 	shards := s.order
 	s.mu.RUnlock()
-	return parallel.FirstErr(int(s.workers.Load()), len(shards), func(i int) error {
-		if err := shards[i].feed(p); err != nil {
+	o := s.obsState.Load()
+	var start time.Time
+	if o != nil {
+		start = time.Now()
+	}
+	err := parallel.FirstErr(int(s.workers.Load()), len(shards), func(i int) error {
+		if err := shards[i].feed(p, o); err != nil {
 			return fmt.Errorf("server: subscription %d: %w", shards[i].id, err)
 		}
 		return nil
 	})
+	if o != nil {
+		o.ingestFanout.ObserveSince(start)
+	}
+	return err
 }
 
 // feed matches and processes one post for a single subscription.
-func (sub *subscription) feed(p Post) error {
+func (sub *subscription) feed(p Post, o *serverObs) error {
 	sub.mu.Lock()
 	defer sub.mu.Unlock()
+	var start time.Time
+	if o != nil {
+		start = time.Now()
+	}
 	labels := sub.matcher.Match(p.Text)
+	if o != nil {
+		o.matchTime.ObserveSince(start)
+	}
 	if len(labels) == 0 {
 		return nil
 	}
-	sub.matched.Add(1)
+	sub.matched.Inc()
+	o.onMatch()
 	sub.texts[p.ID] = p
 	sub.pending = append(sub.pending, pendingText{id: p.ID, time: p.Time})
 	es, err := sub.proc.Process(mqdp.Post{ID: p.ID, Value: p.Time, Labels: labels})
 	if err != nil {
 		return err
 	}
-	sub.deliver(es)
+	sub.deliver(es, o)
 	sub.gc(p.Time)
 	return nil
 }
@@ -252,11 +284,12 @@ func (sub *subscription) feed(p Post) error {
 // decision consumes its cached text; a decision whose text was already
 // evicted is counted in textMisses and skipped rather than emitted blank.
 // Caller holds sub.mu.
-func (sub *subscription) deliver(es []mqdp.Emission) {
+func (sub *subscription) deliver(es []mqdp.Emission, o *serverObs) {
 	for _, e := range es {
 		src, ok := sub.texts[e.Post.ID]
 		if !ok {
-			sub.textMisses.Add(1)
+			sub.textMisses.Inc()
+			o.onMiss()
 			continue
 		}
 		delete(sub.texts, e.Post.ID)
@@ -265,6 +298,8 @@ func (sub *subscription) deliver(es []mqdp.Emission) {
 			names[i] = sub.matcher.Topic(a).Name
 		}
 		seq := sub.nextSeq.Add(1)
+		sub.delays.Observe(e.EmitAt - e.Post.Value)
+		o.onEmit()
 		sub.emissions = append(sub.emissions, Emission{
 			Seq:    seq,
 			PostID: e.Post.ID,
@@ -306,11 +341,12 @@ func (s *Server) Flush() {
 	s.mu.RLock()
 	shards := s.order
 	s.mu.RUnlock()
+	o := s.obsState.Load()
 	parallel.ForEach(int(s.workers.Load()), len(shards), func(i int) {
 		sub := shards[i]
 		sub.mu.Lock()
 		defer sub.mu.Unlock()
-		sub.deliver(sub.proc.Flush())
+		sub.deliver(sub.proc.Flush(), o)
 		// Every decision has landed; whatever text remains was rejected.
 		clear(sub.texts)
 		sub.pending, sub.head = nil, 0
@@ -333,6 +369,9 @@ func (s *Server) lookup(id int64) (*subscription, bool) {
 // retained buffer, so the starting index is computed in O(1) from the
 // first retained Seq — no scan of the buffer.
 func (s *Server) Emissions(id, after int64, limit int) ([]Emission, error) {
+	if o := s.obsState.Load(); o != nil {
+		defer o.pollTime.ObserveSince(time.Now())
+	}
 	sub, ok := s.lookup(id)
 	if !ok {
 		return nil, ErrNoSuchSubscription
@@ -366,8 +405,11 @@ type Stats struct {
 	Subscriptions int   `json:"subscriptions"`
 }
 
-// DelaySummary is the decision-delay distribution over a subscription's
-// retained emissions (stream.Summarize over the buffer).
+// DelaySummary is the decision-delay distribution over every emission a
+// subscription has delivered, read from its cumulative histogram. Count,
+// Mean and Max are exact; P95 is a bucket-interpolated estimate (it never
+// exceeds Max). Unlike the pre-histogram summary this covers the whole
+// stream, not just the retained emission buffer, and costs O(buckets).
 type DelaySummary struct {
 	Count int     `json:"count"`
 	Mean  float64 `json:"mean"`
@@ -395,8 +437,8 @@ func (s *Server) Stats() Stats {
 	n := len(s.subs)
 	s.mu.RUnlock()
 	return Stats{
-		Ingested:      s.ingested.Load(),
-		DroppedDups:   s.dropped.Load(),
+		Ingested:      s.ingested.Value(),
+		DroppedDups:   s.dropped.Value(),
 		Subscriptions: n,
 	}
 }
@@ -412,22 +454,22 @@ func (s *Server) SubscriptionStats(id int64) (SubscriptionStats, error) {
 }
 
 func (sub *subscription) stats() SubscriptionStats {
-	sub.mu.Lock()
-	delays := make([]float64, len(sub.emissions))
-	for i, e := range sub.emissions {
-		delays[i] = e.EmitAt - e.Time
-	}
-	sub.mu.Unlock()
-	d := stream.SummarizeDelays(delays)
+	// Lock-free: counters and the delay histogram are atomic, so a stats
+	// poll never contends with the ingest hot path.
 	return SubscriptionStats{
 		ID:         sub.id,
-		Matched:    sub.matched.Load(),
-		Emitted:    sub.nextSeq.Load(),
-		TextMisses: sub.textMisses.Load(),
+		Matched:    sub.matched.Value(),
+		Emitted:    sub.nextSeq.Value(),
+		TextMisses: sub.textMisses.Value(),
 		Algorithm:  sub.proc.Name(),
 		Lambda:     sub.cfg.Lambda,
 		Tau:        sub.cfg.Tau,
-		Delay:      DelaySummary{Count: d.Count, Mean: d.MeanDelay, Max: d.MaxDelay, P95: d.P95Delay},
+		Delay: DelaySummary{
+			Count: int(sub.delays.Count()),
+			Mean:  sub.delays.Mean(),
+			Max:   sub.delays.Max(),
+			P95:   sub.delays.Quantile(0.95),
+		},
 	}
 }
 
@@ -450,8 +492,8 @@ func (s *Server) Metrics() Metrics {
 	shards := s.order
 	s.mu.RUnlock()
 	m := Metrics{
-		Ingested:      s.ingested.Load(),
-		DroppedDups:   s.dropped.Load(),
+		Ingested:      s.ingested.Value(),
+		DroppedDups:   s.dropped.Value(),
 		Subscriptions: len(shards),
 		Flushed:       s.closed.Load(),
 		Workers:       s.Parallelism(),
@@ -477,7 +519,7 @@ type Health struct {
 
 // Health reports liveness.
 func (s *Server) Health() Health {
-	h := Health{Status: "ok", Ingested: s.ingested.Load()}
+	h := Health{Status: "ok", Ingested: s.ingested.Value()}
 	if s.closed.Load() {
 		h.Status = "flushed"
 	}

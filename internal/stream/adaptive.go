@@ -90,6 +90,10 @@ func (s *AdaptiveScan) Process(p core.Post) ([]Emission, error) {
 		}
 		st.pending = append(st.pending, adaptivePost{post: p, radius: r})
 	}
+	if o := obsState.Load(); o != nil {
+		o.postsProcessed.Inc()
+		o.observeDecisions(out)
+	}
 	return out, nil
 }
 
@@ -121,7 +125,9 @@ func (s *AdaptiveScan) radius(st *adaptiveLabel, now float64) float64 {
 
 // Flush implements Processor.
 func (s *AdaptiveScan) Flush() []Emission {
-	return s.fireDue(math.Inf(1), math.Inf(1))
+	out := s.fireDue(math.Inf(1), math.Inf(1))
+	obsState.Load().observeDecisions(out)
+	return out
 }
 
 // fire emits for every label whose oldest pending post's delay budget has

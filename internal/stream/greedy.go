@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"mqdp/internal/core"
 	"mqdp/internal/fenwick"
@@ -68,19 +69,30 @@ func (s *Greedy) Process(p core.Post) ([]Emission, error) {
 	if err := s.clk.advance(p.Value); err != nil {
 		return nil, err
 	}
+	o := obsState.Load()
 	out := s.runRounds(p.Value)
 	if unc := s.uncoveredLabels(p); len(unc) > 0 {
 		s.pending = append(s.pending, pendingPost{post: p, uncovered: unc})
 		// A zero τ decides the arrival at its own timestamp.
 		out = append(out, s.runRounds(p.Value)...)
 	}
-	s.prune(p.Value)
+	if o != nil {
+		start := time.Now()
+		s.prune(p.Value)
+		o.windowMaint.ObserveSince(start)
+		o.postsProcessed.Inc()
+		o.observeDecisions(out)
+	} else {
+		s.prune(p.Value)
+	}
 	return out, nil
 }
 
 // Flush implements Processor.
 func (s *Greedy) Flush() []Emission {
-	return s.runRounds(math.Inf(1))
+	out := s.runRounds(math.Inf(1))
+	obsState.Load().observeDecisions(out)
+	return out
 }
 
 // uncoveredLabels returns the labels of p not covered by prior emissions.

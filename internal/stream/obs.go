@@ -1,0 +1,45 @@
+package stream
+
+import (
+	"sync/atomic"
+
+	"mqdp/internal/obs"
+)
+
+// streamObs bundles the processor instruments. A nil pointer is the disabled
+// state; processors pay one atomic load and one branch per Process call.
+type streamObs struct {
+	decisionDelay  *obs.Histogram // event-time EmitAt − Post.Value per emission
+	windowMaint    *obs.Histogram // wall time of buffer prune/compact per post
+	postsProcessed *obs.Counter
+	emissions      *obs.Counter
+}
+
+var obsState atomic.Pointer[streamObs]
+
+// SetObs wires the streaming-processor instruments into r; nil disables
+// instrumentation. The decision-delay histogram is event-time seconds
+// (the paper's reporting delay, bounded by τ), not wall clock.
+func SetObs(r *obs.Registry) {
+	if r == nil {
+		obsState.Store(nil)
+		return
+	}
+	obsState.Store(&streamObs{
+		decisionDelay:  r.Histogram("mqdp_stream_decision_delay_seconds", "event-time reporting delay of emitted posts (EmitAt - value)", obs.DelayBuckets),
+		windowMaint:    r.Histogram("mqdp_stream_window_maintenance_seconds", "wall time spent pruning/compacting processor buffers per post", obs.TimeBuckets),
+		postsProcessed: r.Counter("mqdp_stream_posts_processed_total", "posts fed to streaming processors"),
+		emissions:      r.Counter("mqdp_stream_emissions_total", "decisions emitted by streaming processors"),
+	})
+}
+
+// observeDecisions records one decision batch. Safe on a nil receiver.
+func (o *streamObs) observeDecisions(es []Emission) {
+	if o == nil || len(es) == 0 {
+		return
+	}
+	for i := range es {
+		o.decisionDelay.Observe(es[i].EmitAt - es[i].Post.Value)
+	}
+	o.emissions.Add(int64(len(es)))
+}
