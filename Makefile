@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-json bench-obs experiments smoke fuzz vet lint check clean
+.PHONY: all build test test-race bench bench-json bench-index bench-obs experiments smoke fuzz vet lint check clean
 
 all: build test
 
@@ -26,6 +26,12 @@ bench:
 # Regenerate the machine-readable serial-vs-parallel solver timing baseline.
 bench-json:
 	$(GO) run ./cmd/mqdp-bench -json > BENCH_baseline.json
+
+# Regenerate the index read-path baseline: each optimized query path
+# (time-skipping, galloping intersection, bounded top-k) against its naive
+# linear-scan reference in the same run.
+bench-index:
+	$(GO) run ./cmd/mqdp-bench -json-index > BENCH_index.json
 
 # Compare BenchmarkScan with instrumentation disabled vs enabled: the
 # disabled path must sit within noise of the pre-obs solver.

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"mqdp/internal/index"
+	"mqdp/internal/obs"
+)
+
+// IndexBaseline is the machine-readable index read-path record emitted by
+// -json-index and checked in as BENCH_index.json (regenerate with
+// `make bench-index`). Every optimized path is measured against its naive
+// linear-scan reference in the same run, so the speedups are in-run ratios
+// on identical data, not cross-machine comparisons. Counters are the obs
+// work counters accumulated over the timed queries: machine-independent,
+// they double as a regression check that the skip paths actually skip.
+type IndexBaseline struct {
+	Schema     int                `json:"schema"`
+	GoVersion  string             `json:"go_version"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	NumCPU     int                `json:"num_cpu"`
+	Workload   IndexWorkload      `json:"workload"`
+	Cases      []IndexCase        `json:"cases"`
+	Speedup    map[string]float64 `json:"speedup_vs_scan"`
+	Counters   map[string]int64   `json:"counters"`
+}
+
+// IndexWorkload records the synthetic corpus the measurements were taken on.
+type IndexWorkload struct {
+	Docs        int     `json:"docs"`
+	SegmentSize int     `json:"segment_size"`
+	Terms       int     `json:"terms"`
+	WindowFrac  float64 `json:"window_frac"` // narrow-window width as a fraction of the corpus span
+}
+
+// IndexCase is one (operation, variant) measurement. Variant "opt" is the
+// shipping path (skip/gallop/top-k); "scan" is the naive reference.
+type IndexCase struct {
+	Op          string `json:"op"`
+	Variant     string `json:"variant"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	Hits        int    `json:"hits"`
+	Parallelism int    `json:"parallelism,omitempty"`
+}
+
+const (
+	indexBenchDocs    = 200_000
+	indexBenchSegSize = 4096
+	indexWindowFrac   = 0.005
+)
+
+// buildIndexWorkload mirrors the corpus of the package's Benchmark* tests:
+// one dense term, a mid-frequency band and one rare term, appended in time
+// order so the index seals indexBenchDocs/indexBenchSegSize segments.
+func buildIndexWorkload() *index.Index {
+	rng := rand.New(rand.NewSource(1))
+	ix := index.NewWithSegmentSize(indexBenchSegSize)
+	for i := 0; i < indexBenchDocs; i++ {
+		text := fmt.Sprintf("obama w%d w%d", i%17, rng.Intn(50))
+		if i%97 == 0 {
+			text += " rare"
+		}
+		if err := ix.Add(index.Doc{ID: int64(i), Time: float64(i), Text: text}); err != nil {
+			panic(err)
+		}
+	}
+	return ix
+}
+
+func writeIndexBaseline(w *os.File, reg *obs.Registry) error {
+	ix := buildIndexWorkload()
+	lo := float64(indexBenchDocs) * 0.75
+	hi := lo + float64(indexBenchDocs)*indexWindowFrac
+	span := float64(indexBenchDocs)
+	andTerms := []string{"obama", "rare"}
+
+	b := IndexBaseline{
+		Schema:     1,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Workload: IndexWorkload{
+			Docs:        indexBenchDocs,
+			SegmentSize: indexBenchSegSize,
+			Terms:       ix.Terms(),
+			WindowFrac:  indexWindowFrac,
+		},
+		Speedup: map[string]float64{},
+	}
+
+	measure := func(op, variant string, fn func() int) IndexCase {
+		var hits int
+		r := testing.Benchmark(func(tb *testing.B) {
+			tb.ReportAllocs()
+			for i := 0; i < tb.N; i++ {
+				hits = fn()
+			}
+		})
+		return IndexCase{
+			Op: op, Variant: variant,
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Hits:        hits,
+		}
+	}
+
+	type pair struct {
+		op        string
+		opt, scan func() int
+	}
+	pairs := []pair{
+		{"term_query_narrow_window",
+			func() int { return len(ix.TermQuery("obama", lo, hi)) },
+			func() int { return len(ix.TermQueryScan("obama", lo, hi)) }},
+		{"all_query_dense_and_rare",
+			func() int { return len(ix.AllQuery(andTerms, 0, span)) },
+			func() int { return len(ix.AllQueryScan(andTerms, 0, span)) }},
+		{"search_top10_narrow_window",
+			func() int { return len(ix.Search("obama w3 rare", 10, lo, hi)) },
+			func() int { return len(ix.SearchScan("obama w3 rare", 10, lo, hi)) }},
+	}
+	for _, p := range pairs {
+		opt := measure(p.op, "opt", p.opt)
+		scan := measure(p.op, "scan", p.scan)
+		if opt.Hits != scan.Hits {
+			return fmt.Errorf("index bench %s: opt returned %d hits, scan %d", p.op, opt.Hits, scan.Hits)
+		}
+		b.Cases = append(b.Cases, opt, scan)
+		if opt.NsPerOp > 0 {
+			b.Speedup[p.op] = float64(scan.NsPerOp) / float64(opt.NsPerOp)
+		}
+	}
+
+	// Concurrent readers against a hot writer: per-query latency with every
+	// CPU querying while one goroutine appends. No scan counterpart — the
+	// point is that the lock-free read path does not degrade under writes.
+	conc := func() IndexCase {
+		var hits int
+		r := testing.Benchmark(func(tb *testing.B) {
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				t := span
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					t++
+					_ = ix.Add(index.Doc{ID: int64(indexBenchDocs + i), Time: t, Text: "obama fresh w3"})
+				}
+			}()
+			tb.ReportAllocs()
+			tb.ResetTimer()
+			tb.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					hits = len(ix.TermQuery("obama", lo, hi))
+				}
+			})
+			tb.StopTimer()
+			close(stop)
+			wg.Wait()
+		})
+		return IndexCase{
+			Op: "term_query_concurrent_writer", Variant: "opt",
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Hits:        hits,
+			Parallelism: runtime.GOMAXPROCS(0),
+		}
+	}()
+	b.Cases = append(b.Cases, conc)
+
+	b.Counters = reg.Snapshot().Counters
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

@@ -15,8 +15,13 @@
 // (only the wall-clock footers differ). -json ignores -run and emits the
 // serial-vs-parallel solver timing baseline tracked in BENCH_baseline.json,
 // including a "counters" section of obs work counters (posts scanned, gains
-// recomputed, heap operations). -trace-dump FILE wires the span tracer and
-// writes the bounded span journal to FILE after the run ("-" for stderr).
+// recomputed, heap operations). -json-index likewise ignores -run and emits
+// the inverted-index read-path baseline tracked in BENCH_index.json: each
+// optimized query path (time-skipping term lookup, galloping intersection,
+// bounded top-k search) measured against its naive linear-scan reference in
+// the same run, plus the index obs counters. -trace-dump FILE wires the span
+// tracer and writes the bounded span journal to FILE after the run ("-" for
+// stderr).
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 
 	"mqdp/internal/core"
 	"mqdp/internal/experiments"
+	"mqdp/internal/index"
 	"mqdp/internal/obs"
 	"mqdp/internal/parallel"
 	"mqdp/internal/stream"
@@ -47,6 +53,7 @@ func main() {
 	format := flag.String("format", "text", "table format: text or md")
 	par := flag.Int("parallel", 1, "experiments in flight at once (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit the solver timing baseline as JSON and exit")
+	jsonIndex := flag.Bool("json-index", false, "emit the index read-path baseline as JSON and exit")
 	traceDump := flag.String("trace-dump", "", "write the solver span journal to this file after the run (- for stderr); empty disables tracing")
 	flag.Parse()
 
@@ -60,7 +67,7 @@ func main() {
 	// table runs keep the solvers on their no-op fast path.
 	var reg *obs.Registry
 	var tracer *obs.Tracer
-	if *jsonOut || *traceDump != "" {
+	if *jsonOut || *jsonIndex || *traceDump != "" {
 		reg = obs.NewRegistry()
 		if *traceDump != "" {
 			tracer = obs.NewTracer(traceCapacity)
@@ -68,6 +75,7 @@ func main() {
 		}
 		core.SetObs(reg)
 		stream.SetObs(reg)
+		index.SetObs(reg)
 	}
 	dumpTrace := func() {
 		if tracer == nil {
@@ -80,6 +88,14 @@ func main() {
 	}
 	if *jsonOut {
 		if err := writeBaseline(os.Stdout, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "mqdp-bench: %v\n", err)
+			os.Exit(1)
+		}
+		dumpTrace()
+		return
+	}
+	if *jsonIndex {
+		if err := writeIndexBaseline(os.Stdout, reg); err != nil {
 			fmt.Fprintf(os.Stderr, "mqdp-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -247,10 +263,10 @@ func writeBaseline(w *os.File, reg *obs.Registry) error {
 			samples = append(samples, time.Since(start))
 			size = c.Size()
 		}
-		med, min := summarize(samples)
+		med, fastest := summarize(samples)
 		b.Solvers = append(b.Solvers, SolverTiming{
 			Solver: v.solver, Mode: v.mode, Workers: v.w,
-			MedianNs: int64(med), MinNs: int64(min), CoverSize: size,
+			MedianNs: int64(med), MinNs: int64(fastest), CoverSize: size,
 		})
 		if medians[v.solver] == nil {
 			medians[v.solver] = map[string]int64{}
@@ -269,7 +285,7 @@ func writeBaseline(w *os.File, reg *obs.Registry) error {
 }
 
 // summarize returns the median and minimum of samples.
-func summarize(samples []time.Duration) (med, min time.Duration) {
+func summarize(samples []time.Duration) (med, fastest time.Duration) {
 	sorted := append([]time.Duration(nil), samples...)
 	for i := 1; i < len(sorted); i++ { // insertion sort: n is tiny
 		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {

@@ -5,15 +5,27 @@
 // a chain of sealed, immutable segments plus one active segment receiving
 // writes: a single writer appends documents while readers run term,
 // boolean-OR/AND, time-range and TF-IDF ranked queries.
+//
+// Concurrency model (lock-light snapshot reads): the segment list is
+// published as a copy-on-write view behind an atomic.Pointer. Sealed
+// segments are immutable, so readers pin the current view with one atomic
+// load and query them with zero lock acquisitions — even while a writer is
+// blocked inside Add holding the write mutex. The single active segment is
+// readable through the same view via per-term atomically published posting
+// slices and an atomically published document slice header; the only
+// writer-side lock is a plain mutex serializing Add/AddBatch/Save. Document
+// visibility is publish-ordered: the doc slice header is stored before the
+// doc's postings, so a reader can momentarily miss the newest posting but
+// never observes a posting whose document it cannot resolve.
 package index
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mqdp/internal/textutil"
@@ -30,21 +42,12 @@ type Doc struct {
 }
 
 // posting is one (document, term-frequency) entry; pos is the document's
-// global position across all segments.
+// global position across all segments. Postings are appended in timestamp
+// order and never mutated, so every posting list is time-sorted for free
+// (the EarlyBird property) and supports binary search over doc times.
 type posting struct {
 	pos  int32
 	freq uint16
-}
-
-// segment holds a contiguous run of documents and their postings. Sealed
-// segments are immutable; only the last segment accepts writes.
-type segment struct {
-	docs     []Doc
-	postings map[string][]posting
-}
-
-func newSegment(capHint int) *segment {
-	return &segment{docs: make([]Doc, 0, capHint), postings: make(map[string][]posting)}
 }
 
 // DefaultSegmentSize is the document count at which the active segment is
@@ -54,13 +57,23 @@ const DefaultSegmentSize = 1 << 16
 // Index is a real-time inverted index. The zero value is not usable; call
 // New. One goroutine may Add while any number run queries.
 type Index struct {
-	mu       sync.RWMutex
-	segments []*segment // all sealed except the last
-	segStart []int32    // global position of each segment's first doc
-	segSize  int
-	count    int32
-	terms    int // distinct terms across segments (upper-bound estimate is exact here)
-	termSet  map[string]struct{}
+	// snap is the published read view; queries pin it with one atomic load.
+	snap atomic.Pointer[view]
+
+	// writeMu serializes Add/AddBatch (and Save, which needs a quiesced
+	// writer). Queries never acquire it.
+	writeMu sync.Mutex
+
+	// Writer-private state, guarded by writeMu.
+	segSize     int
+	activeDocs  []Doc                    // live doc slice of the active segment
+	activeTerms map[string]*livePostings // writer-side view of active postings
+	termSet     map[string]struct{}      // distinct terms across all segments
+	lastTime    float64
+	hasDocs     bool
+
+	// termCount mirrors len(termSet) for lock-free Terms().
+	termCount atomic.Int64
 }
 
 // New returns an empty index with the default segment size.
@@ -71,42 +84,79 @@ func NewWithSegmentSize(size int) *Index {
 	if size < 1 {
 		size = 1
 	}
-	ix := &Index{segSize: size, termSet: make(map[string]struct{})}
-	ix.segments = append(ix.segments, newSegment(min(size, 1024)))
-	ix.segStart = append(ix.segStart, 0)
+	ix := &Index{
+		segSize:     size,
+		activeDocs:  make([]Doc, 0, min(size, 1024)),
+		activeTerms: make(map[string]*livePostings),
+		termSet:     make(map[string]struct{}),
+	}
+	ix.snap.Store(&view{active: &activeSeg{}})
 	return ix
 }
 
 // ErrTimeOrder reports an Add with a timestamp before the newest document.
 var ErrTimeOrder = errors.New("index: documents must be added in timestamp order")
 
-// Add indexes doc. Documents must arrive in nondecreasing Time order, which
-// keeps every posting list time-sorted for free (the EarlyBird property).
-// When the active segment is full it is sealed and a new one opened.
+// Add indexes doc. Documents must arrive in nondecreasing Time order. When
+// the active segment is full it is sealed — frozen into an immutable segment
+// with per-term time bounds — and a new view is published.
 func (ix *Index) Add(doc Doc) error {
+	var buf [32]textutil.Token
+	return ix.AddTokens(doc, textutil.AppendTokens(buf[:0], doc.Text))
+}
+
+// AddTokens indexes doc using the caller's tokenization of doc.Text — the
+// tokenize-once ingest path: callers that also run the tokens through a
+// topic matcher (internal/match) tokenize each post exactly once.
+// Tokenization and term counting happen outside the write lock.
+func (ix *Index) AddTokens(doc Doc, tokens []textutil.Token) error {
 	o := obsState.Load()
 	var start time.Time
 	if o != nil {
 		start = time.Now()
 	}
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	if ix.count > 0 {
-		if last := ix.lastDocLocked(); doc.Time < last.Time {
-			return fmt.Errorf("%w: %v after %v", ErrTimeOrder, doc.Time, last.Time)
+	counts := countTerms(tokens)
+	ix.writeMu.Lock()
+	defer ix.writeMu.Unlock()
+	if err := ix.addLocked(doc, counts); err != nil {
+		return err
+	}
+	o.observeAppend(start, 1, len(ix.snap.Load().sealed)+1, int(ix.termCount.Load()))
+	return nil
+}
+
+// AddBatch indexes docs in order under a single write-lock round,
+// tokenizing every document before the lock is taken. It returns the number
+// of documents indexed; on a time-order violation indexing stops there and
+// the accepted prefix remains visible.
+func (ix *Index) AddBatch(docs []Doc) (int, error) {
+	o := obsState.Load()
+	var start time.Time
+	if o != nil {
+		start = time.Now()
+	}
+	counts := make([]map[string]uint16, len(docs))
+	var buf []textutil.Token
+	for i, d := range docs {
+		buf = textutil.AppendTokens(buf[:0], d.Text)
+		counts[i] = countTerms(buf)
+	}
+	ix.writeMu.Lock()
+	defer ix.writeMu.Unlock()
+	for i, d := range docs {
+		if err := ix.addLocked(d, counts[i]); err != nil {
+			o.observeBatch(start, i, len(ix.snap.Load().sealed)+1, int(ix.termCount.Load()))
+			return i, err
 		}
 	}
-	active := ix.segments[len(ix.segments)-1]
-	if len(active.docs) >= ix.segSize {
-		active = newSegment(min(ix.segSize, 1024))
-		ix.segments = append(ix.segments, active)
-		ix.segStart = append(ix.segStart, ix.count)
-	}
-	pos := ix.count
-	active.docs = append(active.docs, doc)
-	ix.count++
-	counts := make(map[string]uint16)
-	for _, tok := range textutil.Tokenize(doc.Text) {
+	o.observeBatch(start, len(docs), len(ix.snap.Load().sealed)+1, int(ix.termCount.Load()))
+	return len(docs), nil
+}
+
+// countTerms folds tokens into per-term frequencies, skipping stopwords.
+func countTerms(tokens []textutil.Token) map[string]uint16 {
+	counts := make(map[string]uint16, len(tokens))
+	for _, tok := range tokens {
 		if tok.Kind == textutil.Word && textutil.IsStopword(tok.Text) {
 			continue
 		}
@@ -114,263 +164,121 @@ func (ix *Index) Add(doc Doc) error {
 			counts[tok.Text]++
 		}
 	}
-	for term, freq := range counts {
-		active.postings[term] = append(active.postings[term], posting{pos: pos, freq: freq})
-		if _, seen := ix.termSet[term]; !seen {
-			ix.termSet[term] = struct{}{}
-			ix.terms++
-		}
+	return counts
+}
+
+// addLocked appends one document and publishes it to readers: the doc slice
+// header first, then its postings. Caller holds writeMu.
+func (ix *Index) addLocked(doc Doc, counts map[string]uint16) error {
+	if ix.hasDocs && doc.Time < ix.lastTime {
+		return fmt.Errorf("%w: %v after %v", ErrTimeOrder, doc.Time, ix.lastTime)
 	}
-	o.observeAppend(start, len(ix.segments), ix.terms)
+	v := ix.snap.Load()
+	act := v.active
+	if len(ix.activeDocs) >= ix.segSize {
+		act = ix.sealLocked(v)
+	}
+	pos := act.start + int32(len(ix.activeDocs))
+	ix.activeDocs = append(ix.activeDocs, doc)
+	// Publish the document before its postings: readers resolve every
+	// visible posting, at worst missing the newest ones.
+	hdr := ix.activeDocs
+	act.docs.Store(&hdr)
+	ix.lastTime = doc.Time
+	ix.hasDocs = true
+	for term, freq := range counts {
+		lp := ix.activeTerms[term]
+		if lp == nil {
+			// Token texts may alias the post text (textutil.AppendTokens);
+			// clone before retaining the term as a long-lived map key.
+			term = strings.Clone(term)
+			lp = new(livePostings)
+			ix.activeTerms[term] = lp
+			act.posts.Store(term, lp)
+			if _, seen := ix.termSet[term]; !seen {
+				ix.termSet[term] = struct{}{}
+				ix.termCount.Add(1)
+			}
+		}
+		var pl []posting
+		if p := lp.list.Load(); p != nil {
+			pl = *p
+		}
+		pl = append(pl, posting{pos: pos, freq: freq})
+		lp.list.Store(&pl)
+	}
 	return nil
 }
 
-func (ix *Index) lastDocLocked() Doc {
-	for s := len(ix.segments) - 1; s >= 0; s-- {
-		if n := len(ix.segments[s].docs); n > 0 {
-			return ix.segments[s].docs[n-1]
+// sealLocked freezes the active segment into an immutable sealed segment
+// with per-term time bounds, publishes a new view with a fresh active
+// segment, and resets the writer-side buffers. Caller holds writeMu.
+func (ix *Index) sealLocked(v *view) *activeSeg {
+	docs := ix.activeDocs
+	times := make([]float64, len(docs))
+	for i, d := range docs {
+		times[i] = d.Time
+	}
+	seg := &sealedSeg{
+		start:    v.active.start,
+		docs:     docs,
+		times:    times,
+		postings: make(map[string]termInfo, len(ix.activeTerms)),
+	}
+	if len(times) > 0 {
+		seg.minTime, seg.maxTime = times[0], times[len(times)-1]
+	}
+	for term, lp := range ix.activeTerms {
+		p := lp.list.Load()
+		if p == nil || len(*p) == 0 {
+			continue
+		}
+		pl := *p
+		seg.postings[term] = termInfo{
+			list:    pl,
+			minTime: times[pl[0].pos-seg.start],
+			maxTime: times[pl[len(pl)-1].pos-seg.start],
 		}
 	}
-	return Doc{}
+	act := &activeSeg{start: seg.start + int32(len(docs))}
+	sealed := make([]*sealedSeg, len(v.sealed), len(v.sealed)+1)
+	copy(sealed, v.sealed)
+	sealed = append(sealed, seg)
+	starts := make([]int32, len(sealed)+1)
+	for i, s := range sealed {
+		starts[i] = s.start
+	}
+	starts[len(sealed)] = act.start
+	ix.snap.Store(&view{sealed: sealed, starts: starts, active: act})
+	ix.activeDocs = make([]Doc, 0, min(ix.segSize, 1024))
+	ix.activeTerms = make(map[string]*livePostings)
+	if o := obsState.Load(); o != nil {
+		o.seals.Inc()
+	}
+	return act
 }
 
 // Len reports the number of indexed documents.
 func (ix *Index) Len() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return int(ix.count)
+	return int(ix.snap.Load().count())
 }
 
 // Segments reports how many segments back the index (≥ 1).
 func (ix *Index) Segments() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return len(ix.segments)
-}
-
-// docLocked resolves a global position; the caller holds a lock.
-func (ix *Index) docLocked(pos int32) Doc {
-	s := sort.Search(len(ix.segStart), func(k int) bool { return ix.segStart[k] > pos }) - 1
-	return ix.segments[s].docs[pos-ix.segStart[s]]
+	return len(ix.snap.Load().sealed) + 1
 }
 
 // Doc returns the document at position pos (0 ≤ pos < Len, in time order).
 func (ix *Index) Doc(pos int32) Doc {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.docLocked(pos)
+	return ix.snap.Load().doc(pos)
 }
 
 // DocFreq returns the number of documents containing term.
 func (ix *Index) DocFreq(term string) int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	total := 0
-	for _, seg := range ix.segments {
-		total += len(seg.postings[term])
-	}
-	return total
+	return ix.snap.Load().docFreq(term)
 }
 
 // Terms reports the number of distinct indexed terms.
 func (ix *Index) Terms() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.terms
-}
-
-// rangeFilterSeg appends the positions of seg's postings for pl within the
-// time range [lo, hi]. The caller holds at least a read lock.
-func (ix *Index) rangeFilterSeg(seg *segment, pl []posting, lo, hi float64, out []int32) []int32 {
-	base := func(k int) Doc {
-		// postings positions are global; map into this segment's docs.
-		return ix.docLocked(pl[k].pos)
-	}
-	from := sort.Search(len(pl), func(k int) bool { return base(k).Time >= lo })
-	to := sort.Search(len(pl), func(k int) bool { return base(k).Time > hi })
-	for k := from; k < to; k++ {
-		out = append(out, pl[k].pos)
-	}
-	return out
-}
-
-// termPositions gathers term's positions within [lo, hi] across segments,
-// ascending. The caller holds at least a read lock.
-func (ix *Index) termPositions(term string, lo, hi float64) []int32 {
-	var out []int32
-	for _, seg := range ix.segments {
-		if pl := seg.postings[term]; len(pl) > 0 {
-			out = ix.rangeFilterSeg(seg, pl, lo, hi, out)
-		}
-	}
-	return out
-}
-
-// TermQuery returns the positions of documents containing term with Time in
-// [lo, hi], ascending.
-func (ix *Index) TermQuery(term string, lo, hi float64) []int32 {
-	defer timeLookup()()
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.termPositions(term, lo, hi)
-}
-
-// timeLookup returns the deferred half of a lookup-timing pair: a no-op
-// closure when instrumentation is disabled.
-func timeLookup() func() {
-	o := obsState.Load()
-	if o == nil {
-		return func() {}
-	}
-	start := time.Now()
-	return func() { o.observeLookup(start) }
-}
-
-// AnyQuery returns positions of documents containing at least one of terms,
-// with Time in [lo, hi], ascending and deduplicated (boolean OR).
-func (ix *Index) AnyQuery(terms []string, lo, hi float64) []int32 {
-	defer timeLookup()()
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	var all []int32
-	for _, t := range terms {
-		all = append(all, ix.termPositions(t, lo, hi)...)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	out := all[:0]
-	for i, p := range all {
-		if i == 0 || all[i-1] != p {
-			out = append(out, p)
-		}
-	}
-	return out
-}
-
-// AllQuery returns positions of documents containing every one of terms,
-// with Time in [lo, hi], ascending (boolean AND). An empty term list matches
-// nothing.
-func (ix *Index) AllQuery(terms []string, lo, hi float64) []int32 {
-	defer timeLookup()()
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	if len(terms) == 0 {
-		return nil
-	}
-	// Intersect starting from the rarest term.
-	sorted := append([]string(nil), terms...)
-	sort.Slice(sorted, func(i, j int) bool {
-		return ix.docFreqLocked(sorted[i]) < ix.docFreqLocked(sorted[j])
-	})
-	cur := ix.termPositions(sorted[0], lo, hi)
-	for _, t := range sorted[1:] {
-		if len(cur) == 0 {
-			return nil
-		}
-		other := ix.termPositions(t, lo, hi)
-		next := cur[:0]
-		k := 0
-		for _, pos := range cur {
-			for k < len(other) && other[k] < pos {
-				k++
-			}
-			if k < len(other) && other[k] == pos {
-				next = append(next, pos)
-			}
-		}
-		cur = next
-	}
-	if len(cur) == 0 {
-		return nil
-	}
-	return cur
-}
-
-func (ix *Index) docFreqLocked(term string) int {
-	total := 0
-	for _, seg := range ix.segments {
-		total += len(seg.postings[term])
-	}
-	return total
-}
-
-// Hit is one ranked search result.
-type Hit struct {
-	Pos   int32
-	Score float64
-}
-
-// hitHeap is a min-heap on score used for top-k selection.
-type hitHeap []Hit
-
-func (h hitHeap) Len() int { return len(h) }
-func (h hitHeap) Less(i, j int) bool {
-	if h[i].Score != h[j].Score {
-		return h[i].Score < h[j].Score
-	}
-	return h[i].Pos > h[j].Pos // prefer earlier docs on ties
-}
-func (h hitHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *hitHeap) Push(x any)   { *h = append(*h, x.(Hit)) }
-func (h *hitHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
-
-// Search tokenizes query and returns the top-k documents in [lo, hi] by
-// TF-IDF score, best first.
-func (ix *Index) Search(query string, k int, lo, hi float64) []Hit {
-	defer timeLookup()()
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	if k <= 0 {
-		return nil
-	}
-	terms := make(map[string]struct{})
-	for _, tok := range textutil.Tokenize(query) {
-		if tok.Kind == textutil.Word && textutil.IsStopword(tok.Text) {
-			continue
-		}
-		terms[tok.Text] = struct{}{}
-	}
-	n := float64(ix.count)
-	scores := make(map[int32]float64)
-	for term := range terms {
-		df := ix.docFreqLocked(term)
-		if df == 0 {
-			continue
-		}
-		idf := math.Log(1 + n/float64(df))
-		for _, seg := range ix.segments {
-			pl := seg.postings[term]
-			if len(pl) == 0 {
-				continue
-			}
-			from := sort.Search(len(pl), func(x int) bool { return ix.docLocked(pl[x].pos).Time >= lo })
-			to := sort.Search(len(pl), func(x int) bool { return ix.docLocked(pl[x].pos).Time > hi })
-			for _, p := range pl[from:to] {
-				scores[p.pos] += (1 + math.Log(float64(p.freq))) * idf
-			}
-		}
-	}
-	h := make(hitHeap, 0, k)
-	for pos, score := range scores {
-		switch {
-		case len(h) < k:
-			heap.Push(&h, Hit{Pos: pos, Score: score})
-		case score > h[0].Score || (score == h[0].Score && pos < h[0].Pos):
-			// Deterministic top-k despite map iteration order: ties are
-			// broken toward earlier documents.
-			h[0] = Hit{Pos: pos, Score: score}
-			heap.Fix(&h, 0)
-		}
-	}
-	out := make([]Hit, len(h))
-	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(&h).(Hit)
-	}
-	return out
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+	return int(ix.termCount.Load())
 }

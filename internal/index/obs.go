@@ -9,13 +9,20 @@ import (
 
 // indexObs bundles the inverted-index instruments. A nil pointer is the
 // disabled state; Add and the query paths pay one atomic load and one branch
-// per call.
+// per call. Query-path skip counters are accumulated in a stack-local
+// lookupStats and flushed once per query, so the hot loops never touch an
+// atomic.
 type indexObs struct {
 	appendTime *obs.Histogram // one Add: tokenize + postings append
+	batchTime  *obs.Histogram // one AddBatch: tokenize + single-lock append run
 	lookupTime *obs.Histogram // one query: term/any/all/search
 	docs       *obs.Counter
 	segments   *obs.Gauge
 	terms      *obs.Gauge
+	seals      *obs.Counter // active-segment seals (snapshot publications)
+	segSkips   *obs.Counter // segments skipped whole by time bounds
+	termSkips  *obs.Counter // per-term posting lists skipped by their bounds
+	postings   *obs.Counter // postings touched by range queries
 }
 
 var obsState atomic.Pointer[indexObs]
@@ -28,27 +35,54 @@ func SetObs(r *obs.Registry) {
 	}
 	obsState.Store(&indexObs{
 		appendTime: r.Histogram("mqdp_index_append_seconds", "wall time of one document append (tokenize + postings)", obs.TimeBuckets),
+		batchTime:  r.Histogram("mqdp_index_batch_seconds", "wall time of one AddBatch call", obs.TimeBuckets),
 		lookupTime: r.Histogram("mqdp_index_lookup_seconds", "wall time of one posting lookup/query", obs.TimeBuckets),
 		docs:       r.Counter("mqdp_index_docs_total", "documents appended to the index"),
 		segments:   r.Gauge("mqdp_index_segments", "segments backing the index (sealed + active)"),
 		terms:      r.Gauge("mqdp_index_terms", "distinct indexed terms"),
+		seals:      r.Counter("mqdp_index_seals_total", "active segments sealed (read-snapshot publications)"),
+		segSkips:   r.Counter("mqdp_index_range_segments_skipped_total", "segments skipped whole by time bounds during range queries"),
+		termSkips:  r.Counter("mqdp_index_range_terms_skipped_total", "per-term posting lists skipped by their time bounds"),
+		postings:   r.Counter("mqdp_index_postings_scanned_total", "postings touched by range queries"),
 	})
 }
 
-// observeAppend records one successful Add. Safe on a nil receiver.
-func (o *indexObs) observeAppend(start time.Time, segments, terms int) {
+// observeAppend records n successful Adds. Safe on a nil receiver.
+func (o *indexObs) observeAppend(start time.Time, n, segments, terms int) {
 	if o == nil {
 		return
 	}
 	o.appendTime.ObserveSince(start)
-	o.docs.Inc()
+	o.docs.Add(int64(n))
 	o.segments.Set(float64(segments))
 	o.terms.Set(float64(terms))
 }
 
-// observeLookup records one query. Safe on a nil receiver.
-func (o *indexObs) observeLookup(start time.Time) {
-	if o != nil {
-		o.lookupTime.ObserveSince(start)
+// observeBatch records one AddBatch of n docs. Safe on a nil receiver.
+func (o *indexObs) observeBatch(start time.Time, n, segments, terms int) {
+	if o == nil {
+		return
+	}
+	o.batchTime.ObserveSince(start)
+	o.docs.Add(int64(n))
+	o.segments.Set(float64(segments))
+	o.terms.Set(float64(terms))
+}
+
+// observeLookup records one query and flushes its skip counters. Safe on a
+// nil receiver.
+func (o *indexObs) observeLookup(start time.Time, st *lookupStats) {
+	if o == nil {
+		return
+	}
+	o.lookupTime.ObserveSince(start)
+	if st.segSkips > 0 {
+		o.segSkips.Add(st.segSkips)
+	}
+	if st.termSkips > 0 {
+		o.termSkips.Add(st.termSkips)
+	}
+	if st.postings > 0 {
+		o.postings.Add(st.postings)
 	}
 }

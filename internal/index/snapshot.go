@@ -25,31 +25,42 @@ type termSnapshot struct {
 	Freq []uint16
 }
 
-// Save serializes the index. Readers may continue concurrently; the writer
-// must be paused (Save takes the read lock).
+// Save serializes the index. Readers may continue concurrently; Save takes
+// the write mutex, so the writer is paused and the snapshot is a consistent
+// point-in-time image.
 func (ix *Index) Save(w io.Writer) error {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+	ix.writeMu.Lock()
+	defer ix.writeMu.Unlock()
+	v := ix.snap.Load()
 	snap := snapshot{Version: snapshotVersion}
-	for _, seg := range ix.segments {
+	for _, seg := range v.sealed {
 		snap.Docs = append(snap.Docs, seg.docs...)
 	}
+	snap.Docs = append(snap.Docs, ix.activeDocs...)
 	// Merge per-segment posting lists; segments are position-ordered so
 	// concatenation keeps lists ascending.
 	merged := make(map[string]*termSnapshot)
-	order := make([]string, 0, ix.terms)
-	for _, seg := range ix.segments {
-		for term, pl := range seg.postings {
-			ts, ok := merged[term]
-			if !ok {
-				ts = &termSnapshot{Term: term}
-				merged[term] = ts
-				order = append(order, term)
-			}
-			for _, p := range pl {
-				ts.Pos = append(ts.Pos, p.pos)
-				ts.Freq = append(ts.Freq, p.freq)
-			}
+	var order []string
+	appendList := func(term string, pl []posting) {
+		ts, ok := merged[term]
+		if !ok {
+			ts = &termSnapshot{Term: term}
+			merged[term] = ts
+			order = append(order, term)
+		}
+		for _, p := range pl {
+			ts.Pos = append(ts.Pos, p.pos)
+			ts.Freq = append(ts.Freq, p.freq)
+		}
+	}
+	for _, seg := range v.sealed {
+		for term, ti := range seg.postings {
+			appendList(term, ti.list)
+		}
+	}
+	for term, lp := range ix.activeTerms {
+		if p := lp.list.Load(); p != nil {
+			appendList(term, *p)
 		}
 	}
 	for _, term := range order {

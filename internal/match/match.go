@@ -87,7 +87,8 @@ func (m *Matcher) Topic(a core.Label) Topic { return m.topics[a] }
 // Match tokenizes text and returns the labels of every topic with at least
 // one keyword present, sorted and deduplicated.
 func (m *Matcher) Match(text string) []core.Label {
-	return m.MatchWords(textutil.Words(text))
+	var buf [32]textutil.Token
+	return m.MatchTokens(textutil.AppendTokens(buf[:0], text))
 }
 
 // MatchWords is Match over pre-tokenized words.
@@ -98,6 +99,23 @@ func (m *Matcher) MatchWords(words []string) []core.Label {
 			labels = append(labels, wl.label)
 		}
 	}
+	return dedupLabels(labels)
+}
+
+// MatchTokens is Match over a pre-computed tokenization — the tokenize-once
+// path shared with the inverted index writer and the sentiment scorer.
+func (m *Matcher) MatchTokens(tokens []textutil.Token) []core.Label {
+	var labels []core.Label
+	for _, tok := range tokens {
+		for _, wl := range m.byWord[tok.Text] {
+			labels = append(labels, wl.label)
+		}
+	}
+	return dedupLabels(labels)
+}
+
+// dedupLabels sorts labels and removes duplicates in place; empty in, nil out.
+func dedupLabels(labels []core.Label) []core.Label {
 	if len(labels) == 0 {
 		return nil
 	}
@@ -163,20 +181,29 @@ func (m *Matcher) MatchThreshold(text string, theta float64) []core.Label {
 // PostFromDoc projects doc onto dim, returning false when no topic matches
 // (such posts are irrelevant to every query and never enter MQDP).
 func (m *Matcher) PostFromDoc(doc index.Doc, dim Dimension) (core.Post, bool) {
-	labels := m.Match(doc.Text)
+	var buf [32]textutil.Token
+	return m.PostFromTokens(doc, textutil.AppendTokens(buf[:0], doc.Text), dim)
+}
+
+// PostFromTokens is PostFromDoc over a pre-computed tokenization of
+// doc.Text: one tokenizer pass feeds both the topic match and, on the
+// sentiment dimension, the polarity score.
+func (m *Matcher) PostFromTokens(doc index.Doc, tokens []textutil.Token, dim Dimension) (core.Post, bool) {
+	labels := m.MatchTokens(tokens)
 	if len(labels) == 0 {
 		return core.Post{}, false
 	}
 	value := doc.Time
 	if dim == BySentiment {
-		value = sentiment.Score(doc.Text)
+		value = sentiment.ScoreTokens(doc.Text, tokens)
 	}
 	return core.Post{ID: doc.ID, Value: value, Labels: labels}, true
 }
 
 // FromIndex retrieves every document in [lo, hi] matching at least one topic
 // from ix (via boolean-OR keyword queries, the paper's "search query against
-// an inverted index" input path) and projects the matches onto dim.
+// an inverted index" input path) and projects the matches onto dim. Each
+// retrieved document is tokenized exactly once, into a reused buffer.
 func (m *Matcher) FromIndex(ix *index.Index, dim Dimension, lo, hi float64) []core.Post {
 	var terms []string
 	for w := range m.byWord {
@@ -185,12 +212,36 @@ func (m *Matcher) FromIndex(ix *index.Index, dim Dimension, lo, hi float64) []co
 	sort.Strings(terms) // deterministic query order
 	positions := ix.AnyQuery(terms, lo, hi)
 	posts := make([]core.Post, 0, len(positions))
+	var buf []textutil.Token
 	for _, pos := range positions {
-		if p, ok := m.PostFromDoc(ix.Doc(pos), dim); ok {
+		doc := ix.Doc(pos)
+		buf = textutil.AppendTokens(buf[:0], doc.Text)
+		if p, ok := m.PostFromTokens(doc, buf, dim); ok {
 			posts = append(posts, p)
 		}
 	}
 	return posts
+}
+
+// IndexBatch ingests docs into ix and projects the topic matches onto dim in
+// the same pass — the tokenize-once batch path: each document is tokenized
+// exactly once and the token slice is shared between the index writer
+// (index.AddTokens) and the topic matcher. It returns the matched posts and
+// the number of documents indexed; on a time-order violation ingestion stops
+// there, the accepted prefix stays indexed, and the error is returned.
+func (m *Matcher) IndexBatch(ix *index.Index, docs []index.Doc, dim Dimension) ([]core.Post, int, error) {
+	var posts []core.Post
+	var buf []textutil.Token
+	for i, doc := range docs {
+		buf = textutil.AppendTokens(buf[:0], doc.Text)
+		if err := ix.AddTokens(doc, buf); err != nil {
+			return posts, i, err
+		}
+		if p, ok := m.PostFromTokens(doc, buf, dim); ok {
+			posts = append(posts, p)
+		}
+	}
+	return posts, len(docs), nil
 }
 
 // FromLDA converts trained LDA topics into matcher queries: topic k becomes

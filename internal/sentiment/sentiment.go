@@ -20,11 +20,21 @@ import (
 // (which survive in microblog text where words fail), squashed by
 // x/(1+|x|).
 func Score(text string) float64 {
-	words := textutil.Words(text)
+	var buf [32]textutil.Token
+	return ScoreTokens(text, textutil.AppendTokens(buf[:0], text))
+}
+
+// ScoreTokens is Score over a pre-computed tokenization of text — the
+// tokenize-once path for callers that already hold text's tokens (e.g. the
+// matcher's index-ingest pipeline). tokens must be textutil's tokenization
+// of text; the raw text is still needed for emoticon valence, which lives
+// in punctuation the tokenizer strips.
+func ScoreTokens(text string, tokens []textutil.Token) float64 {
 	total := emoticonValence(text)
 	negate := false
 	boost := 1.0
-	for _, w := range words {
+	for _, tok := range tokens {
+		w := tok.Text
 		if _, ok := negators[w]; ok {
 			negate = !negate
 			continue
@@ -173,12 +183,12 @@ func Valence(word string) (float64, bool) {
 	return v, ok
 }
 
-// PositiveWords returns lexicon words with valence ≥ min, sorted (so
+// PositiveWords returns lexicon words with valence ≥ floor, sorted (so
 // seeded generators sampling from it stay deterministic).
-func PositiveWords(min float64) []string {
+func PositiveWords(floor float64) []string {
 	var out []string
 	for w, v := range lexicon {
-		if v >= min {
+		if v >= floor {
 			out = append(out, w)
 		}
 	}
@@ -186,11 +196,11 @@ func PositiveWords(min float64) []string {
 	return out
 }
 
-// NegativeWords returns lexicon words with valence ≤ max, sorted.
-func NegativeWords(max float64) []string {
+// NegativeWords returns lexicon words with valence ≤ ceil, sorted.
+func NegativeWords(ceil float64) []string {
 	var out []string
 	for w, v := range lexicon {
-		if v <= max {
+		if v <= ceil {
 			out = append(out, w)
 		}
 	}

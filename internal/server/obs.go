@@ -13,6 +13,7 @@ import (
 type serverObs struct {
 	reg          *obs.Registry
 	ingestFanout *obs.Histogram // one Ingest: admission + fan-out to all subscriptions
+	tokenizeTime *obs.Histogram // the once-per-post tokenization shared by every subscription
 	matchTime    *obs.Histogram // one subscription's topic match for one post
 	pollTime     *obs.Histogram // one Emissions poll
 	subs         *obs.Gauge
@@ -34,6 +35,7 @@ func (s *Server) SetObs(r *obs.Registry) {
 	o := &serverObs{
 		reg:          r,
 		ingestFanout: r.Histogram("mqdp_server_ingest_fanout_seconds", "wall time fanning one post out to every subscription", obs.TimeBuckets),
+		tokenizeTime: r.Histogram("mqdp_server_tokenize_seconds", "wall time of the once-per-post ingest tokenization", obs.TimeBuckets),
 		matchTime:    r.Histogram("mqdp_server_match_seconds", "wall time of one subscription's topic match", obs.TimeBuckets),
 		pollTime:     r.Histogram("mqdp_server_emission_poll_seconds", "wall time of one emission poll", obs.TimeBuckets),
 		subs:         r.Gauge("mqdp_server_subscriptions", "registered subscriptions"),

@@ -30,6 +30,7 @@ import (
 	"mqdp/internal/obs"
 	"mqdp/internal/parallel"
 	"mqdp/internal/simhash"
+	"mqdp/internal/textutil"
 )
 
 // Post is one incoming stream item.
@@ -117,6 +118,11 @@ type Server struct {
 	dedup    *simhash.Deduper
 	lastTime float64
 	started  bool
+	// wordBuf is the reused tokenization buffer: each admitted post is
+	// tokenized exactly once under ingestMu and the words are shared
+	// read-only by every fan-out worker, instead of each subscription
+	// re-tokenizing the text. Reused only after the fan-out completes.
+	wordBuf []string
 
 	workers  atomic.Int64 // fan-out parallelism; 0 = GOMAXPROCS
 	closed   atomic.Bool  // latched by the first Flush
@@ -240,8 +246,15 @@ func (s *Server) Ingest(p Post) error {
 	if o != nil {
 		start = time.Now()
 	}
+	// Tokenize once per post; every subscription matches against the same
+	// word slice (read-only during the fan-out).
+	s.wordBuf = textutil.AppendWords(s.wordBuf[:0], p.Text)
+	words := s.wordBuf
+	if o != nil {
+		o.tokenizeTime.ObserveSince(start)
+	}
 	err := parallel.FirstErr(int(s.workers.Load()), len(shards), func(i int) error {
-		if err := shards[i].feed(p, o); err != nil {
+		if err := shards[i].feed(p, words, o); err != nil {
 			return fmt.Errorf("server: subscription %d: %w", shards[i].id, err)
 		}
 		return nil
@@ -252,15 +265,16 @@ func (s *Server) Ingest(p Post) error {
 	return err
 }
 
-// feed matches and processes one post for a single subscription.
-func (sub *subscription) feed(p Post, o *serverObs) error {
+// feed matches and processes one post for a single subscription. words is
+// the shared, read-only tokenization of p.Text.
+func (sub *subscription) feed(p Post, words []string, o *serverObs) error {
 	sub.mu.Lock()
 	defer sub.mu.Unlock()
 	var start time.Time
 	if o != nil {
 		start = time.Now()
 	}
-	labels := sub.matcher.Match(p.Text)
+	labels := sub.matcher.MatchWords(words)
 	if o != nil {
 		o.matchTime.ObserveSince(start)
 	}

@@ -45,5 +45,15 @@ func FuzzTokenize(f *testing.F) {
 		if len(again) != len(tokens) {
 			t.Fatalf("nondeterministic tokenization of %q", text)
 		}
+		// The byte-offset tokenizer matches the []rune reference exactly.
+		ref := tokenizeRunes(text)
+		if len(tokens) != len(ref) {
+			t.Fatalf("Tokenize(%q) = %v, rune reference = %v", text, tokens, ref)
+		}
+		for i := range tokens {
+			if tokens[i] != ref[i] {
+				t.Fatalf("Tokenize(%q)[%d] = %v, rune reference %v", text, i, tokens[i], ref[i])
+			}
+		}
 	})
 }

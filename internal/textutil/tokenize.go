@@ -2,11 +2,19 @@
 // the topic matcher, the LDA trainer, SimHash and the sentiment scorer:
 // a lowercase unicode word tokenizer that understands hashtags, @-mentions
 // and cashtags, plus a small English stopword list.
+//
+// The Append* variants reuse a caller-owned buffer so hot paths (index
+// appends, server ingest fan-out) tokenize each post exactly once with no
+// per-call slice growth. Token texts are substrings of the input wherever
+// the input is already lowercase, so long-lived consumers that retain a
+// token beyond the life of the source text (e.g. as a map key) must
+// strings.Clone it first.
 package textutil
 
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Token is one normalized token extracted from post or article text.
@@ -33,65 +41,90 @@ const (
 // hashtag, mention or cashtag. Everything is lowercased. URLs
 // (http/https schemes) are dropped entirely.
 func Tokenize(text string) []Token {
-	var tokens []Token
-	runes := []rune(text)
+	return AppendTokens(nil, text)
+}
+
+// AppendTokens appends text's tokens to dst and returns the extended slice,
+// reusing dst's capacity. It never allocates per token for lowercase input:
+// token texts are substrings of text (see the package note on retention).
+func AppendTokens(dst []Token, text string) []Token {
 	i := 0
-	for i < len(runes) {
-		r := runes[i]
+	for i < len(text) {
+		r, size := utf8.DecodeRuneInString(text[i:])
 		switch {
 		case r == '#' || r == '@' || r == '$':
-			j := i + 1
-			for j < len(runes) && isWordRune(runes[j]) {
-				j++
-			}
-			if j > i+1 {
-				word := strings.ToLower(string(runes[i:j]))
+			j := i + size
+			j = scanWord(text, j)
+			if j > i+size {
 				kind := Hashtag
 				if r == '@' {
 					kind = Mention
 				} else if r == '$' {
 					kind = Cashtag
 				}
-				tokens = append(tokens, Token{Text: word, Kind: kind})
+				dst = append(dst, Token{Text: strings.ToLower(text[i:j]), Kind: kind})
 			}
-			i = j // j ≥ i+1: a bare sigil advances one rune
+			i = j // j ≥ i+size: a bare sigil advances one rune
 		case isWordRune(r):
-			j := i
-			for j < len(runes) && isWordRune(runes[j]) {
-				j++
-			}
-			word := strings.ToLower(string(runes[i:j]))
+			j := scanWord(text, i)
+			word := strings.ToLower(text[i:j])
 			if word == "http" || word == "https" {
 				// Skip the rest of the URL: advance past non-space runes.
-				for j < len(runes) && !unicode.IsSpace(runes[j]) {
-					j++
+				for j < len(text) {
+					r2, s2 := utf8.DecodeRuneInString(text[j:])
+					if unicode.IsSpace(r2) {
+						break
+					}
+					j += s2
 				}
 			} else {
-				tokens = append(tokens, Token{Text: word, Kind: Word})
+				dst = append(dst, Token{Text: word, Kind: Word})
 			}
 			i = j
 		default:
-			i++
+			i += size
 		}
 	}
-	return tokens
+	return dst
+}
+
+// scanWord returns the end offset of the maximal run of word runes starting
+// at from.
+func scanWord(text string, from int) int {
+	j := from
+	for j < len(text) {
+		r, size := utf8.DecodeRuneInString(text[j:])
+		if !isWordRune(r) {
+			break
+		}
+		j += size
+	}
+	return j
 }
 
 // Words returns only the token texts, in order.
 func Words(text string) []string {
-	tokens := Tokenize(text)
-	out := make([]string, len(tokens))
-	for i, t := range tokens {
-		out[i] = t.Text
+	return AppendWords(nil, text)
+}
+
+// AppendWords appends text's token texts to dst and returns the extended
+// slice, reusing dst's capacity — the buffer-reusing form of Words.
+func AppendWords(dst []string, text string) []string {
+	// Tokenize into a small stack buffer; only the texts escape.
+	var buf [32]Token
+	tokens := AppendTokens(buf[:0], text)
+	for _, t := range tokens {
+		dst = append(dst, t.Text)
 	}
-	return out
+	return dst
 }
 
 // ContentWords returns lowercase word tokens with stopwords removed; this is
 // the feed for LDA and topic matching.
 func ContentWords(text string) []string {
 	var out []string
-	for _, t := range Tokenize(text) {
+	var buf [32]Token
+	for _, t := range AppendTokens(buf[:0], text) {
 		if t.Kind == Word && !IsStopword(t.Text) {
 			out = append(out, t.Text)
 		}

@@ -2,7 +2,9 @@ package textutil
 
 import (
 	"reflect"
+	"strings"
 	"testing"
+	"unicode"
 )
 
 func TestTokenizeWords(t *testing.T) {
@@ -97,5 +99,97 @@ func TestTokenizeEmpty(t *testing.T) {
 	}
 	if got := Tokenize("   ...!!!   "); len(got) != 0 {
 		t.Errorf("punctuation-only input tokenized to %v", got)
+	}
+}
+
+// tokenizeRunes is the pre-optimization []rune-based tokenizer, kept as the
+// differential reference for the byte-offset implementation.
+func tokenizeRunes(text string) []Token {
+	var tokens []Token
+	runes := []rune(text)
+	i := 0
+	for i < len(runes) {
+		r := runes[i]
+		switch {
+		case r == '#' || r == '@' || r == '$':
+			j := i + 1
+			for j < len(runes) && isWordRune(runes[j]) {
+				j++
+			}
+			if j > i+1 {
+				word := strings.ToLower(string(runes[i:j]))
+				kind := Hashtag
+				if r == '@' {
+					kind = Mention
+				} else if r == '$' {
+					kind = Cashtag
+				}
+				tokens = append(tokens, Token{Text: word, Kind: kind})
+			}
+			i = j
+		case isWordRune(r):
+			j := i
+			for j < len(runes) && isWordRune(runes[j]) {
+				j++
+			}
+			word := strings.ToLower(string(runes[i:j]))
+			if word == "http" || word == "https" {
+				for j < len(runes) && !unicode.IsSpace(runes[j]) {
+					j++
+				}
+			} else {
+				tokens = append(tokens, Token{Text: word, Kind: Word})
+			}
+			i = j
+		default:
+			i++
+		}
+	}
+	return tokens
+}
+
+func TestTokenizeMatchesRuneReference(t *testing.T) {
+	cases := []string{
+		"", "hello world", "#Obama and @WhiteHouse on $GOOG today",
+		"breaking http://t.co/abc more https://e.com/x?y=1 end",
+		"Ça coûte 10€ à Zürich", "don't stop", "# @ $ done",
+		"a#b@c$d", "\x80\xfe mixed \xc3(", "emoji 🎉 #🎉party",
+		"trailing sigil #", "http", "httpx not a url",
+	}
+	for _, text := range cases {
+		got, want := Tokenize(text), tokenizeRunes(text)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Tokenize(%q) = %v, reference = %v", text, got, want)
+		}
+	}
+}
+
+func TestAppendTokensReusesBuffer(t *testing.T) {
+	buf := make([]Token, 0, 16)
+	out := AppendTokens(buf, "obama meets senate")
+	if len(out) != 3 {
+		t.Fatalf("AppendTokens = %v", out)
+	}
+	if &out[0] != &buf[:1][0] {
+		t.Error("AppendTokens did not reuse the caller's buffer")
+	}
+	// Reuse the same capacity for a second text.
+	out2 := AppendTokens(out[:0], "markets rally")
+	if &out2[0] != &buf[:1][0] {
+		t.Error("second AppendTokens reallocated despite capacity")
+	}
+}
+
+func TestAppendWordsReusesBuffer(t *testing.T) {
+	buf := make([]string, 0, 8)
+	out := AppendWords(buf, "obama meets #senate")
+	if !reflect.DeepEqual(out, []string{"obama", "meets", "#senate"}) {
+		t.Fatalf("AppendWords = %v", out)
+	}
+	if &out[0] != &buf[:1][0] {
+		t.Error("AppendWords did not reuse the caller's buffer")
 	}
 }
