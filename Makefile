@@ -2,13 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-json bench-index bench-obs experiments smoke fuzz vet lint check clean
+.PHONY: all build test test-race bench bench-json bench-index bench-obs chaos experiments smoke fuzz vet lint check clean
 
 all: build test
 
-# The default verification gate: build, tests, static checks and the
-# instrumented-vs-disabled solver overhead comparison.
-check: build test vet bench-obs
+# The default verification gate: build, tests, static checks, the chaos
+# suite under the race detector, and the instrumented-vs-disabled solver
+# overhead comparison.
+check: build test vet chaos bench-obs
 
 build:
 	$(GO) build ./...
@@ -32,6 +33,13 @@ bench-json:
 # linear-scan reference in the same run.
 bench-index:
 	$(GO) run ./cmd/mqdp-bench -json-index > BENCH_index.json
+
+# Fault-schedule end-to-end suite under the race detector: scripted drops,
+# delays, 5xx, processor panics and admission sheds driven through
+# client → HTTP → server → stream. Schedules are seeded in-test, so the
+# runs are deterministic.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos|TestShutdownMidIngest' ./internal/server
 
 # Compare BenchmarkScan with instrumentation disabled vs enabled: the
 # disabled path must sit within noise of the pre-obs solver.

@@ -15,6 +15,18 @@
 //	GET    /metrics/prometheus  (text exposition of every wired instrument)
 //	POST   /flush · DELETE /subscriptions/1
 //
+// Overload protection (all off by default): -max-inflight caps concurrent
+// ingest requests, -ingest-rate/-ingest-burst bound the ingest request
+// rate with a token bucket, and -shed-policy picks what a request over the
+// in-flight cap does — "shed" rejects it with 429 + Retry-After, "block"
+// queues it briefly. -ingest-deadline bounds the server-side wall time of
+// one ingest request; a batch cut mid-way reports the applied prefix with
+// 503 so honoring clients resume instead of resending.
+//
+// -fault-schedule installs a deterministic in-process fault injector
+// (for chaos drills only; see internal/faultinject for the schedule
+// grammar), seeded by -fault-seed.
+//
 // With -debug-addr a second HTTP server exposes net/http/pprof under
 // /debug/pprof/ and expvar under /debug/vars (including an "mqdp" variable
 // mirroring the metrics registry snapshot), kept off the public port.
@@ -41,6 +53,7 @@ import (
 	"time"
 
 	"mqdp/internal/core"
+	"mqdp/internal/faultinject"
 	"mqdp/internal/index"
 	"mqdp/internal/obs"
 	"mqdp/internal/server"
@@ -55,10 +68,39 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "maximum time to drain in-flight requests on shutdown")
 	debugAddr := flag.String("debug-addr", "", "listen address for the debug server (pprof, expvar); empty disables")
 	noObs := flag.Bool("no-obs", false, "disable the metrics registry (/metrics/prometheus returns 503)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrent ingest requests (0 = unlimited)")
+	ingestRate := flag.Float64("ingest-rate", 0, "ingest requests admitted per second (0 = unlimited)")
+	ingestBurst := flag.Int("ingest-burst", 1, "token-bucket burst for -ingest-rate")
+	ingestDeadline := flag.Duration("ingest-deadline", 0, "server-side wall-time budget per ingest request (0 = none)")
+	shedPolicy := flag.String("shed-policy", "shed", `over-capacity ingest behavior: "shed" (429 + Retry-After) or "block"`)
+	faultSchedule := flag.String("fault-schedule", "", "deterministic fault-injection schedule for chaos drills (see internal/faultinject)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic rules in -fault-schedule")
 	flag.Parse()
+
+	policy := server.ShedPolicy(*shedPolicy)
+	if policy != server.ShedPolicyShed && policy != server.ShedPolicyBlock {
+		log.Fatalf("-shed-policy must be %q or %q, got %q", server.ShedPolicyShed, server.ShedPolicyBlock, *shedPolicy)
+	}
 
 	s := server.New(*dedupDist, *dedupWindow)
 	s.SetParallelism(*parallelism)
+	if *maxInflight > 0 || *ingestRate > 0 {
+		s.SetAdmission(server.AdmissionConfig{
+			MaxInflight: *maxInflight,
+			Rate:        *ingestRate,
+			Burst:       *ingestBurst,
+			Policy:      policy,
+		})
+	}
+	s.SetIngestDeadline(*ingestDeadline)
+	if *faultSchedule != "" {
+		inj, err := faultinject.ParseSchedule(*faultSchedule, *faultSeed)
+		if err != nil {
+			log.Fatalf("-fault-schedule: %v", err)
+		}
+		log.Printf("CHAOS: fault injection active (schedule %q, seed %d)", *faultSchedule, *faultSeed)
+		s.SetFaultInjector(inj)
+	}
 	if !*noObs {
 		// One registry backs every layer: solver stage timings, stream
 		// decision delays, index append/lookup and the server counters all

@@ -1,0 +1,300 @@
+// Package faultinject is a deterministic fault-injection layer for chaos
+// testing the serving path. A scripted schedule names operations ("POST
+// /ingest", "sub3.process") and, per operation, which invocations fail
+// and how (drop the request, drop the response, delay, synthesize an
+// HTTP status, return an error, panic). Count-based rules are exactly
+// reproducible; probability-based rules draw from a seeded RNG, so a
+// fixed seed replays the same chaos byte-for-byte for a single-threaded
+// driver.
+//
+// Two delivery surfaces share one Injector:
+//
+//   - Transport wraps an http.RoundTripper, deriving the op from the
+//     request ("METHOD /path") — the client-side network chaos.
+//   - Fire(op) is the in-process hook servers call at interesting
+//     points — it sleeps, returns an error, or panics per the schedule.
+//
+// Every injected fault is counted per action kind (and per op|kind), so
+// tests reconcile observability counters against ground truth.
+package faultinject
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind is a fault action.
+type Kind int
+
+const (
+	// KindNone: no fault (the zero Fault).
+	KindNone Kind = iota
+	// KindDrop: fail before the request is sent (never reaches the server).
+	KindDrop
+	// KindDropResponse: send the request, then discard the response —
+	// the server did the work but the caller cannot know.
+	KindDropResponse
+	// KindDelay: sleep, then proceed normally.
+	KindDelay
+	// KindStatus: synthesize an HTTP response with Status without
+	// sending the request (transport only).
+	KindStatus
+	// KindError: return an error.
+	KindError
+	// KindPanic: panic with Msg (in-process hooks only).
+	KindPanic
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindDrop:
+		return "drop"
+	case KindDropResponse:
+		return "droprx"
+	case KindDelay:
+		return "delay"
+	case KindStatus:
+		return "status"
+	case KindError:
+		return "error"
+	case KindPanic:
+		return "panic"
+	}
+	return "unknown"
+}
+
+// Fault is one scheduled action.
+type Fault struct {
+	Kind   Kind
+	Delay  time.Duration // KindDelay
+	Status int           // KindStatus
+	Msg    string        // KindError / KindPanic / KindStatus body
+}
+
+// rule matches an op either on an invocation-count window [from, to]
+// (1-based, inclusive) or, when prob > 0, on a coin flip per call.
+type rule struct {
+	op       string
+	from, to int64
+	prob     float64
+	fault    Fault
+}
+
+// Injector evaluates a parsed schedule. Safe for concurrent use;
+// probabilistic rules are only deterministic when calls arrive in a
+// deterministic order (single-threaded driver).
+type Injector struct {
+	mu       sync.Mutex
+	rules    []rule
+	calls    map[string]int64 // invocations per op
+	injected map[string]int64 // injected faults, keyed kind and "op|kind"
+	rng      *rand.Rand
+}
+
+// ParseSchedule compiles a schedule string into an Injector. Grammar
+// (spaces around tokens are trimmed; empty rules are skipped):
+//
+//	schedule := rule (';' rule)*
+//	rule     := op '@' spec '=' action
+//	spec     := N | N '-' M | N '+' | '*' | 'p' FLOAT
+//	action   := 'drop' | 'droprx' | 'delay:' DURATION |
+//	            'status:' CODE | 'error:' MSG | 'panic:' MSG
+//
+// N, M are 1-based invocation counts of op: "3" fires on the 3rd call,
+// "3-5" on calls 3..5, "3+" on every call from the 3rd, "*" always,
+// "p0.1" on each call with probability 0.1 (seeded). Example:
+//
+//	POST /ingest@3=drop; POST /ingest@p0.05=status:503; sub2.process@7=panic:boom
+//
+// The first matching rule wins per call. seed drives the probabilistic
+// rules only.
+func ParseSchedule(s string, seed int64) (*Injector, error) {
+	in := &Injector{
+		calls:    make(map[string]int64),
+		injected: make(map[string]int64),
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+	for _, raw := range strings.Split(s, ";") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		left, action, ok := strings.Cut(raw, "=")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: rule %q: missing '='", raw)
+		}
+		at := strings.LastIndex(left, "@")
+		if at < 0 {
+			return nil, fmt.Errorf("faultinject: rule %q: missing '@'", raw)
+		}
+		r := rule{op: strings.TrimSpace(left[:at])}
+		if r.op == "" {
+			return nil, fmt.Errorf("faultinject: rule %q: empty op", raw)
+		}
+		if err := parseSpec(strings.TrimSpace(left[at+1:]), &r); err != nil {
+			return nil, fmt.Errorf("faultinject: rule %q: %w", raw, err)
+		}
+		f, err := parseAction(strings.TrimSpace(action))
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: rule %q: %w", raw, err)
+		}
+		r.fault = f
+		in.rules = append(in.rules, r)
+	}
+	return in, nil
+}
+
+func parseSpec(spec string, r *rule) error {
+	switch {
+	case spec == "*":
+		r.from, r.to = 1, math.MaxInt64
+	case strings.HasPrefix(spec, "p"):
+		p, err := strconv.ParseFloat(spec[1:], 64)
+		if err != nil || p <= 0 || p > 1 {
+			return fmt.Errorf("bad probability %q", spec)
+		}
+		r.prob = p
+	case strings.HasSuffix(spec, "+"):
+		n, err := strconv.ParseInt(spec[:len(spec)-1], 10, 64)
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad spec %q", spec)
+		}
+		r.from, r.to = n, math.MaxInt64
+	case strings.Contains(spec, "-"):
+		lo, hi, _ := strings.Cut(spec, "-")
+		n, err1 := strconv.ParseInt(lo, 10, 64)
+		m, err2 := strconv.ParseInt(hi, 10, 64)
+		if err1 != nil || err2 != nil || n < 1 || m < n {
+			return fmt.Errorf("bad range %q", spec)
+		}
+		r.from, r.to = n, m
+	default:
+		n, err := strconv.ParseInt(spec, 10, 64)
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad spec %q", spec)
+		}
+		r.from, r.to = n, n
+	}
+	return nil
+}
+
+func parseAction(action string) (Fault, error) {
+	name, arg, _ := strings.Cut(action, ":")
+	switch name {
+	case "drop":
+		return Fault{Kind: KindDrop}, nil
+	case "droprx":
+		return Fault{Kind: KindDropResponse}, nil
+	case "delay":
+		d, err := time.ParseDuration(arg)
+		if err != nil || d < 0 {
+			return Fault{}, fmt.Errorf("bad delay %q", arg)
+		}
+		return Fault{Kind: KindDelay, Delay: d}, nil
+	case "status":
+		code, err := strconv.Atoi(arg)
+		if err != nil || code < 100 || code > 599 {
+			return Fault{}, fmt.Errorf("bad status %q", arg)
+		}
+		return Fault{Kind: KindStatus, Status: code, Msg: "faultinject: injected status " + arg}, nil
+	case "error":
+		if arg == "" {
+			arg = "injected error"
+		}
+		return Fault{Kind: KindError, Msg: arg}, nil
+	case "panic":
+		if arg == "" {
+			arg = "injected panic"
+		}
+		return Fault{Kind: KindPanic, Msg: arg}, nil
+	}
+	return Fault{}, fmt.Errorf("unknown action %q", action)
+}
+
+// Eval counts one invocation of op and returns the scheduled fault, if
+// any. It only records bookkeeping; the caller applies the fault (see
+// Fire and Transport). A nil Injector never injects.
+func (in *Injector) Eval(op string) (Fault, bool) {
+	if in == nil {
+		return Fault{}, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.calls[op]++
+	n := in.calls[op]
+	for _, r := range in.rules {
+		if r.op != op {
+			continue
+		}
+		hit := false
+		if r.prob > 0 {
+			hit = in.rng.Float64() < r.prob
+		} else {
+			hit = n >= r.from && n <= r.to
+		}
+		if hit {
+			in.injected[r.fault.Kind.String()]++
+			in.injected[op+"|"+r.fault.Kind.String()]++
+			return r.fault, true
+		}
+	}
+	return Fault{}, false
+}
+
+// Fire is the in-process hook: it evaluates op and applies the fault —
+// sleeping for delays, panicking for panics, and returning an error for
+// error/status/drop kinds. A nil Injector is a no-op, so hot paths gate
+// on the pointer only.
+func (in *Injector) Fire(op string) error {
+	f, ok := in.Eval(op)
+	if !ok {
+		return nil
+	}
+	switch f.Kind {
+	case KindDelay:
+		time.Sleep(f.Delay)
+		return nil
+	case KindPanic:
+		panic("faultinject: " + f.Msg)
+	case KindStatus:
+		return fmt.Errorf("faultinject: injected status %d", f.Status)
+	case KindError:
+		return fmt.Errorf("faultinject: %s", f.Msg)
+	case KindDrop, KindDropResponse:
+		return fmt.Errorf("faultinject: injected %s", f.Kind)
+	}
+	return nil
+}
+
+// Calls reports how many times op has been evaluated.
+func (in *Injector) Calls(op string) int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.calls[op]
+}
+
+// Counts returns a copy of the injected-fault counters, keyed by action
+// kind ("drop", "droprx", "delay", "status", "error", "panic") and by
+// "op|kind" for per-op ground truth.
+func (in *Injector) Counts() map[string]int64 {
+	out := make(map[string]int64)
+	if in == nil {
+		return out
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for k, v := range in.injected {
+		out[k] = v
+	}
+	return out
+}

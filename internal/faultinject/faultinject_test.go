@@ -1,0 +1,235 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParseScheduleErrors(t *testing.T) {
+	bad := []string{
+		"noequals",
+		"op=drop",            // missing @spec
+		"op@=drop",           // empty spec
+		"@3=drop",            // empty op
+		"op@0=drop",          // counts are 1-based
+		"op@5-3=drop",        // inverted range
+		"op@p1.5=drop",       // probability out of range
+		"op@3=explode",       // unknown action
+		"op@3=delay:xx",      // bad duration
+		"op@3=status:999999", // bad status
+	}
+	for _, s := range bad {
+		if _, err := ParseSchedule(s, 1); err == nil {
+			t.Errorf("ParseSchedule(%q) accepted", s)
+		}
+	}
+	in, err := ParseSchedule("  ; op@3=drop ;; ", 1)
+	if err != nil {
+		t.Fatalf("empty rules rejected: %v", err)
+	}
+	if len(in.rules) != 1 {
+		t.Fatalf("rules = %d, want 1", len(in.rules))
+	}
+}
+
+func TestEvalCountWindows(t *testing.T) {
+	in, err := ParseSchedule("a@3=drop; b@2-4=error:x; c@5+=droprx; d@*=delay:1ms", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := func(op string, n int) []int {
+		var hits []int
+		for i := 1; i <= n; i++ {
+			if _, ok := in.Eval(op); ok {
+				hits = append(hits, i)
+			}
+		}
+		return hits
+	}
+	if got := fired("a", 6); len(got) != 1 || got[0] != 3 {
+		t.Errorf("a@3 fired on %v", got)
+	}
+	if got := fired("b", 6); len(got) != 3 || got[0] != 2 || got[2] != 4 {
+		t.Errorf("b@2-4 fired on %v", got)
+	}
+	if got := fired("c", 7); len(got) != 3 || got[0] != 5 {
+		t.Errorf("c@5+ fired on %v", got)
+	}
+	if got := fired("d", 3); len(got) != 3 {
+		t.Errorf("d@* fired on %v", got)
+	}
+	// Unscheduled op never fires but is still counted.
+	if _, ok := in.Eval("zzz"); ok {
+		t.Error("unscheduled op fired")
+	}
+	if in.Calls("zzz") != 1 || in.Calls("a") != 6 {
+		t.Errorf("calls: zzz=%d a=%d", in.Calls("zzz"), in.Calls("a"))
+	}
+	counts := in.Counts()
+	if counts["drop"] != 1 || counts["error"] != 3 || counts["droprx"] != 3 || counts["delay"] != 3 {
+		t.Errorf("counts = %v", counts)
+	}
+	if counts["a|drop"] != 1 {
+		t.Errorf("per-op count = %v", counts)
+	}
+}
+
+func TestEvalProbabilisticDeterministic(t *testing.T) {
+	run := func() []int {
+		in, err := ParseSchedule("x@p0.3=drop", 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hits []int
+		for i := 1; i <= 200; i++ {
+			if _, ok := in.Eval("x"); ok {
+				hits = append(hits, i)
+			}
+		}
+		return hits
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == 200 {
+		t.Fatalf("p=0.3 fired %d/200 times", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed diverged: %d vs %d hits", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d: call %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFire(t *testing.T) {
+	in, err := ParseSchedule("slow@1=delay:5ms; boom@1=panic:kaput; bad@1=error:oops", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := in.Fire("slow"); err != nil {
+		t.Errorf("delay Fire = %v", err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Error("delay did not sleep")
+	}
+	if err := in.Fire("bad"); err == nil || !strings.Contains(err.Error(), "oops") {
+		t.Errorf("error Fire = %v", err)
+	}
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil || !strings.Contains(r.(string), "kaput") {
+				t.Errorf("panic Fire recovered %v", r)
+			}
+		}()
+		in.Fire("boom")
+		t.Error("panic Fire returned")
+	}()
+	// nil injector: free no-op.
+	var nilIn *Injector
+	if err := nilIn.Fire("anything"); err != nil {
+		t.Errorf("nil Fire = %v", err)
+	}
+	if _, ok := nilIn.Eval("x"); ok || nilIn.Calls("x") != 0 || len(nilIn.Counts()) != 0 {
+		t.Error("nil injector not inert")
+	}
+}
+
+func TestTransportFaults(t *testing.T) {
+	var served atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		io.Copy(io.Discard, r.Body)
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	in, err := ParseSchedule(
+		"GET /a@1=drop; GET /b@1=droprx; GET /c@1=status:503; GET /d@1=delay:5ms; GET /e@1=error:sad; GET /f@1=status:429", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &http.Client{Transport: NewTransport(nil, in)}
+
+	get := func(path string) (*http.Response, error) {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+		return c.Do(req)
+	}
+
+	// drop: error, server never touched.
+	if _, err := get("/a"); err == nil || !errors.Is(errors.Unwrap(err), ErrInjected) && !strings.Contains(err.Error(), "dropped request") {
+		t.Errorf("drop = %v", err)
+	}
+	if served.Load() != 0 {
+		t.Fatalf("drop reached the server (%d)", served.Load())
+	}
+	// droprx: error, but the server DID the work.
+	if _, err := get("/b"); err == nil || !strings.Contains(err.Error(), "dropped response") {
+		t.Errorf("droprx = %v", err)
+	}
+	if served.Load() != 1 {
+		t.Fatalf("droprx served = %d, want 1", served.Load())
+	}
+	// status: synthesized 503, server never touched.
+	resp, err := get("/c")
+	if err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %v, %v", resp, err)
+	}
+	resp.Body.Close()
+	if served.Load() != 1 {
+		t.Fatalf("status reached the server")
+	}
+	// 429 carries Retry-After.
+	resp, err = get("/f")
+	if err != nil || resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get("Retry-After") != "0" {
+		t.Fatalf("429 = %v, %v", resp, err)
+	}
+	resp.Body.Close()
+	// delay: slow but successful.
+	start := time.Now()
+	resp, err = get("/d")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("delay = %v, %v", resp, err)
+	}
+	resp.Body.Close()
+	if time.Since(start) < 5*time.Millisecond {
+		t.Error("delay did not sleep")
+	}
+	// error: plain failure.
+	if _, err := get("/e"); err == nil || !strings.Contains(err.Error(), "sad") {
+		t.Errorf("error = %v", err)
+	}
+	// Second call to a @1 op passes clean.
+	resp, err = get("/a")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-fault /a = %v, %v", resp, err)
+	}
+	resp.Body.Close()
+
+	counts := in.Counts()
+	for _, k := range []string{"drop", "droprx", "status", "delay", "error"} {
+		want := int64(1)
+		if k == "status" {
+			want = 2
+		}
+		if counts[k] != want {
+			t.Errorf("counts[%s] = %d, want %d (all: %v)", k, counts[k], want, counts)
+		}
+	}
+
+	// nil injector: pure pass-through.
+	clean := &http.Client{Transport: NewTransport(nil, nil)}
+	resp, err = clean.Get(ts.URL + "/z")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("pass-through = %v, %v", resp, err)
+	}
+	resp.Body.Close()
+}

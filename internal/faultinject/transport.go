@@ -1,0 +1,112 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// ErrInjected tags transport-level injected failures so tests (and
+// retry policies) can distinguish scripted chaos from real faults with
+// errors.Is.
+var ErrInjected = errors.New("faultinject: injected transport fault")
+
+// Transport wraps an http.RoundTripper with scripted faults. The op for
+// each request is "METHOD /path" (query string excluded) unless OpFunc
+// overrides it.
+type Transport struct {
+	// Base is the real transport; nil means http.DefaultTransport.
+	Base http.RoundTripper
+	// Injector supplies the schedule; nil passes everything through.
+	Injector *Injector
+	// OpFunc derives the schedule op from a request.
+	OpFunc func(*http.Request) string
+}
+
+// NewTransport wraps base (nil = http.DefaultTransport) with in's
+// schedule.
+func NewTransport(base http.RoundTripper, in *Injector) *Transport {
+	return &Transport{Base: base, Injector: in}
+}
+
+func (t *Transport) op(req *http.Request) string {
+	if t.OpFunc != nil {
+		return t.OpFunc(req)
+	}
+	return req.Method + " " + req.URL.Path
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip applies the scheduled fault for this request, if any:
+//
+//   - drop: consume and close the body, fail without sending — the
+//     server never sees the request.
+//   - droprx: send the request, then discard the (possibly committed)
+//     response and fail — the ambiguous-outcome case retry layers must
+//     survive.
+//   - delay: sleep, then send normally.
+//   - status: synthesize a response with the scheduled code without
+//     sending; a 429 carries "Retry-After: 0" so honoring clients
+//     retry immediately.
+//   - error: fail without sending.
+//   - panic: panic (exercises caller-side recovery).
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f, ok := t.Injector.Eval(t.op(req))
+	if !ok {
+		return t.base().RoundTrip(req)
+	}
+	switch f.Kind {
+	case KindDelay:
+		time.Sleep(f.Delay)
+		return t.base().RoundTrip(req)
+	case KindDrop:
+		closeBody(req)
+		return nil, fmt.Errorf("%w: dropped request %s", ErrInjected, t.op(req))
+	case KindDropResponse:
+		resp, err := t.base().RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("%w: dropped response %s", ErrInjected, t.op(req))
+	case KindStatus:
+		closeBody(req)
+		resp := &http.Response{
+			StatusCode: f.Status,
+			Status:     fmt.Sprintf("%d %s", f.Status, http.StatusText(f.Status)),
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  make(http.Header),
+			Body:    io.NopCloser(strings.NewReader(f.Msg)),
+			Request: req,
+		}
+		if f.Status == http.StatusTooManyRequests {
+			resp.Header.Set("Retry-After", "0")
+		}
+		return resp, nil
+	case KindError:
+		closeBody(req)
+		return nil, fmt.Errorf("%w: %s", ErrInjected, f.Msg)
+	case KindPanic:
+		closeBody(req)
+		panic("faultinject: " + f.Msg)
+	}
+	return t.base().RoundTrip(req)
+}
+
+// closeBody honors the RoundTripper contract: the body is always closed,
+// even when the request is never sent.
+func closeBody(req *http.Request) {
+	if req.Body != nil {
+		req.Body.Close()
+	}
+}

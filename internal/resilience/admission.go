@@ -1,0 +1,132 @@
+package resilience
+
+import (
+	"context"
+	"math"
+	"sync"
+	"time"
+)
+
+// TokenBucket is a classic rate limiter: tokens refill continuously at
+// rate per second up to burst, and each admitted request spends one.
+// When empty it reports how long until the next token so callers can
+// emit an honest Retry-After. Safe for concurrent use.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+// NewTokenBucket returns a full bucket refilling at rate tokens/second
+// with capacity burst (burst < 1 is raised to 1). rate ≤ 0 means the
+// bucket never refills: the first burst requests pass, the rest shed —
+// useful in tests, degenerate in production.
+func NewTokenBucket(rate float64, burst int) *TokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	tb := &TokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), now: time.Now}
+	tb.last = tb.now()
+	return tb
+}
+
+// SetClock replaces the bucket's time source (tests only). It also
+// resets the refill anchor so the next Allow accrues from now.
+func (tb *TokenBucket) SetClock(now func() time.Time) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	tb.now = now
+	tb.last = now()
+}
+
+// refill accrues tokens since the last call. Caller holds tb.mu.
+func (tb *TokenBucket) refill() {
+	now := tb.now()
+	if tb.rate > 0 {
+		tb.tokens = math.Min(tb.burst, tb.tokens+tb.rate*now.Sub(tb.last).Seconds())
+	}
+	tb.last = now
+}
+
+// Allow spends n tokens if available and reports whether it did.
+func (tb *TokenBucket) Allow(n int) bool {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	tb.refill()
+	if tb.tokens < float64(n) {
+		return false
+	}
+	tb.tokens -= float64(n)
+	return true
+}
+
+// RetryAfter estimates how long until one token is available; 0 means a
+// token is ready now, a negative rate yields a large constant (the
+// bucket never refills).
+func (tb *TokenBucket) RetryAfter() time.Duration {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	tb.refill()
+	if tb.tokens >= 1 {
+		return 0
+	}
+	if tb.rate <= 0 {
+		return time.Hour
+	}
+	return time.Duration((1 - tb.tokens) / tb.rate * float64(time.Second))
+}
+
+// Inflight is a counting semaphore bounding concurrent work, the second
+// half of the server's admission controller: the token bucket shapes
+// sustained rate, Inflight caps instantaneous concurrency. The zero
+// value is unusable; use NewInflight.
+type Inflight struct {
+	slots chan struct{}
+}
+
+// NewInflight returns a semaphore admitting at most max concurrent
+// holders (max < 1 is raised to 1).
+func NewInflight(max int) *Inflight {
+	if max < 1 {
+		max = 1
+	}
+	return &Inflight{slots: make(chan struct{}, max)}
+}
+
+// TryAcquire claims a slot without blocking and reports success. Every
+// successful acquire must be paired with Release.
+func (f *Inflight) TryAcquire() bool {
+	select {
+	case f.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Acquire claims a slot, blocking until one frees or ctx is done.
+func (f *Inflight) Acquire(ctx context.Context) error {
+	select {
+	case f.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case f.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release frees a slot claimed by TryAcquire or Acquire.
+func (f *Inflight) Release() { <-f.slots }
+
+// InUse reports the currently held slots.
+func (f *Inflight) InUse() int { return len(f.slots) }
+
+// Cap reports the semaphore's capacity.
+func (f *Inflight) Cap() int { return cap(f.slots) }

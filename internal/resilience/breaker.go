@@ -1,0 +1,154 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen is returned (wrapped) by callers that fail fast because
+// their circuit breaker is open.
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+
+// BreakerState is one of the three classic circuit-breaker states.
+type BreakerState int32
+
+const (
+	// BreakerClosed: requests flow; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: requests fail fast until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe request is in flight; its outcome
+	// closes the breaker again or re-opens it for another cooldown.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is a three-state circuit breaker: threshold consecutive
+// failures trip it open, a cooldown later one probe is let through
+// (half-open), and the probe's outcome either closes it or re-opens it.
+// All methods are safe for concurrent use.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	state    BreakerState
+	fails    int // consecutive failures while closed
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+
+	// OnTransition, if set, is called (outside mu is NOT guaranteed —
+	// it runs under the breaker lock, so keep it cheap: bump a counter)
+	// on every state change.
+	OnTransition func(from, to BreakerState)
+}
+
+// NewBreaker returns a closed breaker that opens after threshold
+// consecutive failures and probes again after cooldown. threshold ≤ 0
+// defaults to 5; cooldown ≤ 0 defaults to 1s.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// SetClock replaces the breaker's time source (tests only).
+func (b *Breaker) SetClock(now func() time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.now = now
+}
+
+// State reports the current state, promoting open → half-open if the
+// cooldown has elapsed (without admitting a probe).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// Allow reports whether a request may proceed. In the open state it
+// returns false until the cooldown elapses, then admits exactly one
+// half-open probe; further calls fail fast until Record settles the
+// probe. Every Allow must be paired with a Record when it returns true.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.transition(BreakerHalfOpen)
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return true
+}
+
+// Record settles one allowed request. A success closes the breaker and
+// clears the failure count; a failure increments it and, at threshold
+// (or during a half-open probe), opens the breaker.
+func (b *Breaker) Record(success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if success {
+		b.fails = 0
+		b.probing = false
+		if b.state != BreakerClosed {
+			b.transition(BreakerClosed)
+		}
+		return
+	}
+	switch b.state {
+	case BreakerHalfOpen:
+		b.probing = false
+		b.openedAt = b.now()
+		b.transition(BreakerOpen)
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.openedAt = b.now()
+			b.transition(BreakerOpen)
+		}
+	case BreakerOpen:
+		// A straggler settling after the trip; the breaker is already open.
+	}
+}
+
+// transition flips the state and fires the hook. Caller holds b.mu.
+func (b *Breaker) transition(to BreakerState) {
+	from := b.state
+	b.state = to
+	if b.OnTransition != nil && from != to {
+		b.OnTransition(from, to)
+	}
+}

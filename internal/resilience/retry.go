@@ -1,0 +1,63 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// RetryConfig drives Do.
+type RetryConfig struct {
+	// MaxAttempts bounds total tries (first call included); ≤ 0 means 3.
+	MaxAttempts int
+	// BackoffBase/BackoffCap parameterize the decorrelated-jitter delays
+	// between attempts (see NewBackoff for defaults).
+	BackoffBase, BackoffCap time.Duration
+	// Seed makes the jitter deterministic.
+	Seed int64
+	// PerAttemptTimeout, when positive, derives a child context with
+	// that deadline for each attempt, so one hung attempt cannot eat the
+	// whole budget: the next attempt gets a fresh deadline (still capped
+	// by the parent context's).
+	PerAttemptTimeout time.Duration
+	// Retryable classifies errors; nil retries everything non-nil.
+	Retryable func(error) bool
+}
+
+// Do runs fn until it succeeds, the attempts are exhausted, the error is
+// classified non-retryable, or ctx is done. The returned error is the
+// last attempt's, wrapped with the attempt count when retries happened.
+func Do(ctx context.Context, cfg RetryConfig, fn func(ctx context.Context) error) error {
+	attempts := cfg.MaxAttempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	bo := NewBackoff(cfg.BackoffBase, cfg.BackoffCap, cfg.Seed)
+	var err error
+	for a := 1; ; a++ {
+		attemptCtx, cancel := ctx, context.CancelFunc(func() {})
+		if cfg.PerAttemptTimeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, cfg.PerAttemptTimeout)
+		}
+		err = fn(attemptCtx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if cfg.Retryable != nil && !cfg.Retryable(err) {
+			return err
+		}
+		if a >= attempts {
+			if a > 1 {
+				return fmt.Errorf("resilience: %d attempts: %w", a, err)
+			}
+			return err
+		}
+		if serr := Sleep(ctx, bo.Next()); serr != nil {
+			return serr
+		}
+	}
+}

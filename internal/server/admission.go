@@ -1,0 +1,174 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"mqdp/internal/faultinject"
+	"mqdp/internal/resilience"
+)
+
+// ShedPolicy decides what an over-limit ingest request does while the
+// admission controller's in-flight cap is saturated.
+type ShedPolicy string
+
+const (
+	// ShedPolicyShed rejects immediately with 429 + Retry-After.
+	ShedPolicyShed ShedPolicy = "shed"
+	// ShedPolicyBlock queues the request (bounded by MaxWait and the
+	// request context) and sheds only if no slot frees in time. The
+	// queue is the semaphore's wait list — bounded by the listener's
+	// connection backlog, never unbounded in-process buffering.
+	ShedPolicyBlock ShedPolicy = "block"
+)
+
+// AdmissionConfig bounds the ingest path. The zero value disables
+// admission control entirely.
+type AdmissionConfig struct {
+	// MaxInflight caps concurrent ingest requests; ≤ 0 means unlimited.
+	MaxInflight int
+	// Rate and Burst parameterize a token bucket charged one token per
+	// ingest request; Rate ≤ 0 disables the bucket.
+	Rate  float64
+	Burst int
+	// Policy is shed (default) or block.
+	Policy ShedPolicy
+	// MaxWait bounds how long a blocked request waits for an in-flight
+	// slot (0 = 1s). The bucket always sheds: waiting for refill would
+	// just move the queue inside the server.
+	MaxWait time.Duration
+}
+
+// admission is the live controller built from an AdmissionConfig.
+type admission struct {
+	cfg      AdmissionConfig
+	inflight *resilience.Inflight // nil when MaxInflight ≤ 0
+	bucket   *resilience.TokenBucket
+}
+
+// SetAdmission (re)configures ingest admission control. A zero config
+// removes it. Safe to call while serving.
+func (s *Server) SetAdmission(cfg AdmissionConfig) {
+	if cfg.MaxInflight <= 0 && cfg.Rate <= 0 {
+		s.admission.Store(nil)
+		return
+	}
+	a := &admission{cfg: cfg}
+	if cfg.MaxInflight > 0 {
+		a.inflight = resilience.NewInflight(cfg.MaxInflight)
+	}
+	if cfg.Rate > 0 {
+		a.bucket = resilience.NewTokenBucket(cfg.Rate, cfg.Burst)
+	}
+	if a.cfg.Policy == "" {
+		a.cfg.Policy = ShedPolicyShed
+	}
+	if a.cfg.MaxWait <= 0 {
+		a.cfg.MaxWait = time.Second
+	}
+	s.admission.Store(a)
+}
+
+// SetIngestDeadline bounds the server-side wall time of one ingest
+// request (0 disables). A batch cut off mid-way reports the accepted
+// prefix with 503 + Retry-After so honoring clients resume, not resend.
+func (s *Server) SetIngestDeadline(d time.Duration) {
+	s.ingestDeadline.Store(int64(d))
+}
+
+// IngestDeadline reports the configured per-request ingest deadline.
+func (s *Server) IngestDeadline() time.Duration {
+	return time.Duration(s.ingestDeadline.Load())
+}
+
+// SetFaultInjector installs (or, with nil, removes) the deterministic
+// chaos hook consulted at the server's in-process fault points. Hot
+// paths pay one atomic pointer load when disabled.
+func (s *Server) SetFaultInjector(in *faultinject.Injector) {
+	if in == nil {
+		s.faults.Store(nil)
+		return
+	}
+	s.faults.Store(in)
+}
+
+// admit runs one ingest request through the admission controller. On
+// success it returns a release closure; on shed it returns ok=false and
+// the Retry-After hint, and counts the shed. ctx bounds a blocked wait.
+func (s *Server) admit(ctx context.Context) (release func(), retryAfter time.Duration, ok bool) {
+	a := s.admission.Load()
+	if a == nil {
+		return func() {}, 0, true
+	}
+	if a.bucket != nil && !a.bucket.Allow(1) {
+		s.shed.Inc()
+		return nil, a.bucket.RetryAfter(), false
+	}
+	if a.inflight == nil {
+		return func() {}, 0, true
+	}
+	if !a.inflight.TryAcquire() {
+		if a.cfg.Policy != ShedPolicyBlock {
+			s.shed.Inc()
+			return nil, time.Second, false
+		}
+		waitCtx, cancel := context.WithTimeout(ctx, a.cfg.MaxWait)
+		defer cancel()
+		if err := a.inflight.Acquire(waitCtx); err != nil {
+			s.shed.Inc()
+			return nil, time.Second, false
+		}
+	}
+	return a.inflight.Release, 0, true
+}
+
+// maxIdempotencyKeys bounds the replay cache (a var so tests can
+// exercise eviction cheaply). At the default, a retrying client fleet
+// can replay its last ~4k ingest responses.
+var maxIdempotencyKeys = 4096
+
+// idemEntry is one cached ingest outcome: the exact body and status the
+// original request produced, replayed verbatim to same-key retries.
+type idemEntry struct {
+	res    IngestResult
+	status int
+}
+
+// idemCache is a bounded FIFO map of Idempotency-Key → outcome. The
+// exactly-once story for ingest: a client that never got the response
+// retries with the same key and receives the recorded outcome instead
+// of re-applying the batch.
+type idemCache struct {
+	mu      sync.Mutex
+	entries map[string]idemEntry
+	order   []string // insertion order for FIFO eviction
+	head    int
+}
+
+func (c *idemCache) get(key string) (idemEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	return e, ok
+}
+
+func (c *idemCache) put(key string, e idemEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries == nil {
+		c.entries = make(map[string]idemEntry)
+	}
+	if _, exists := c.entries[key]; !exists {
+		c.order = append(c.order, key)
+	}
+	c.entries[key] = e
+	for len(c.entries) > maxIdempotencyKeys && c.head < len(c.order) {
+		delete(c.entries, c.order[c.head])
+		c.head++
+	}
+	if c.head > 64 && c.head*2 >= len(c.order) {
+		c.order = append(c.order[:0], c.order[c.head:]...)
+		c.head = 0
+	}
+}

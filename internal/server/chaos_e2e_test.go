@@ -1,0 +1,500 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mqdp"
+	"mqdp/internal/faultinject"
+	"mqdp/internal/obs"
+	"mqdp/internal/resilience"
+	"mqdp/internal/synth"
+)
+
+// chaosSubscribe registers the chaos fleet: six mixed-profile
+// subscriptions drawn from the same world, identically on any server, so
+// a fault-free and a fault-ridden run are comparable id-for-id.
+func chaosSubscribe(t *testing.T, world *synth.World, sub func(SubscriptionConfig) (int64, error)) []int64 {
+	t.Helper()
+	algos := []string{"streamscan", "streamscan+", "streamgreedy", "streamgreedy+", "instant", "streamscan+"}
+	rng := newRand(17)
+	ids := make([]int64, 0, len(algos))
+	for i, algo := range algos {
+		id, err := sub(SubscriptionConfig{
+			Topics:    world.MatchTopics(world.SampleLabelSet(rng, 2+i%3)),
+			Lambda:    float64(60 * (1 + i%3)),
+			Tau:       float64(30 * (i % 2)),
+			Algorithm: algo,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// TestChaosE2E drives client → HTTP → server → stream processors through a
+// scripted fault schedule (request drop, response drop, injected 503, added
+// latency, one mid-stream processor panic, and a forced admission shed) and
+// asserts the fault-tolerance contract end to end:
+//
+//   - the retrying client reports every batch fully accepted, exactly once;
+//   - the panicking subscription is quarantined — surfaced in its stats and
+//     the service metrics — while the server keeps serving;
+//   - every healthy subscription's emission sequence is byte-identical to a
+//     fault-free run over the same stream;
+//   - the obs registry's retry/shed/breaker/quarantine counters reconcile
+//     with the injector's own record of what it injected.
+func TestChaosE2E(t *testing.T) {
+	world := synth.NewWorld(synth.WorldConfig{Seed: 21})
+	tweets := synth.TweetStream(world, synth.StreamConfig{Duration: 600, RatePerSec: 2, DupRatio: 0, Seed: 22})
+
+	// Fault-free reference run, straight into a server core.
+	clean := New(0, 0)
+	clean.SetParallelism(4)
+	cleanIDs := chaosSubscribe(t, world, clean.Subscribe)
+	for _, tw := range tweets {
+		if err := clean.Ingest(Post{ID: tw.ID, Time: tw.Time, Text: tw.Text}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clean.Flush()
+
+	// Chaos run: same stream, but over HTTP through a faulty transport,
+	// with a scripted panic inside one subscription's pipeline.
+	core := New(0, 0)
+	core.SetParallelism(4)
+	reg := obs.NewRegistry()
+	core.SetObs(reg)
+	srvInj, err := faultinject.ParseSchedule("sub3.process@5=panic:injected-chaos-panic", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.SetFaultInjector(srvInj)
+	ts := httptest.NewServer(Handler(core))
+	defer ts.Close()
+
+	clInj, err := faultinject.ParseSchedule(
+		"POST /ingest@4=drop; POST /ingest@9=droprx; POST /ingest@15=status:503; POST /ingest@21=delay:20ms", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := NewClient(ts.URL)
+	cl.HTTPClient = &http.Client{Transport: faultinject.NewTransport(nil, clInj), Timeout: 10 * time.Second}
+	cl.Retry = &RetryPolicy{MaxAttempts: 6, BackoffBase: time.Millisecond, BackoffCap: 4 * time.Millisecond, Seed: 99}
+	cl.SetObs(reg)
+
+	ids := chaosSubscribe(t, world, cl.Subscribe)
+	if fmt.Sprint(ids) != fmt.Sprint(cleanIDs) {
+		t.Fatalf("subscription ids diverge: %v vs %v", ids, cleanIDs)
+	}
+	const batchSize = 20
+	for at := 0; at < len(tweets); at += batchSize {
+		end := min(at+batchSize, len(tweets))
+		batch := make([]Post, 0, end-at)
+		for _, tw := range tweets[at:end] {
+			batch = append(batch, Post{ID: tw.ID, Time: tw.Time, Text: tw.Text})
+		}
+		n, err := cl.IngestAccepted(batch...)
+		if err != nil {
+			t.Fatalf("batch at %d: %v", at, err)
+		}
+		if n != len(batch) {
+			t.Fatalf("batch at %d: accepted %d of %d", at, n, len(batch))
+		}
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exactly once: the server saw each post once despite the dropped
+	// request, the dropped response, and the injected 503.
+	if got, want := core.Stats().Ingested, clean.Stats().Ingested; got != want {
+		t.Fatalf("chaos run ingested %d posts, fault-free run %d", got, want)
+	}
+	if got := core.Stats().Ingested; got != int64(len(tweets)) {
+		t.Fatalf("ingested %d, stream has %d", got, len(tweets))
+	}
+
+	// The panicking subscription is quarantined; everyone else matches the
+	// fault-free run byte for byte.
+	const victim = 3
+	st, err := core.SubscriptionStats(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Quarantined || !strings.Contains(st.QuarantineReason, "injected-chaos-panic") {
+		t.Fatalf("victim subscription not quarantined as expected: %+v", st)
+	}
+	var healthy, cleanHealthy []int64
+	for i, id := range ids {
+		if id != victim {
+			healthy = append(healthy, id)
+			cleanHealthy = append(cleanHealthy, cleanIDs[i])
+		}
+	}
+	a := subscriptionEmissionsJSON(t, clean, cleanHealthy)
+	b := subscriptionEmissionsJSON(t, core, healthy)
+	if string(a) != string(b) {
+		t.Fatal("healthy subscriptions' emissions diverge from the fault-free run")
+	}
+	// The quarantined buffer stays pollable: whatever landed before the
+	// panic is still served, without error.
+	if _, err := core.Emissions(victim, 0, 0); err != nil {
+		t.Fatalf("quarantined subscription not pollable: %v", err)
+	}
+	var h Health
+	if code := getJSON(t, ts.URL+"/healthz", &h); code != http.StatusOK {
+		t.Fatalf("healthz status %d after chaos", code)
+	}
+
+	// Forced shed phase: a near-empty token bucket sheds the second call's
+	// every attempt, so the client observes 429s and gives up — after the
+	// flush, so the emission comparison above is unaffected.
+	core.SetAdmission(AdmissionConfig{Rate: 2, Burst: 1})
+	last := tweets[len(tweets)-1]
+	_, err = cl.IngestAccepted(Post{ID: last.ID + 1, Time: last.Time + 1, Text: "post-flush probe"})
+	if StatusCode(err) != http.StatusConflict {
+		t.Fatalf("ingest after flush: want 409, got %v", err)
+	}
+	_, err = cl.IngestAccepted(Post{ID: last.ID + 2, Time: last.Time + 2, Text: "post-flush probe"})
+	if StatusCode(err) != http.StatusTooManyRequests {
+		t.Fatalf("ingest with empty bucket: want 429, got %v", err)
+	}
+
+	// Reconcile every counter with what the injector says it did.
+	cs := cl.RetryStats()
+	counts := clInj.Counts()
+	for kind, want := range map[string]int64{"drop": 1, "droprx": 1, "status": 1, "delay": 1} {
+		if counts[kind] != want {
+			t.Errorf("transport injector %s count = %d, want %d", kind, counts[kind], want)
+		}
+	}
+	if got := srvInj.Counts()["panic"]; got != 1 {
+		t.Errorf("server injector panic count = %d, want 1", got)
+	}
+	faultRetries := counts["drop"] + counts["droprx"] + counts["status"]
+	wantRetries := faultRetries + cs.ShedResponses - 1 // the last shed attempt is not retried
+	if cs.Retries != wantRetries {
+		t.Errorf("client retries = %d, want %d (faults %d + shed retries %d)",
+			cs.Retries, wantRetries, faultRetries, cs.ShedResponses-1)
+	}
+	m := core.Metrics()
+	if m.Quarantines != 1 {
+		t.Errorf("Metrics.Quarantines = %d, want 1", m.Quarantines)
+	}
+	if m.Sheds != cs.ShedResponses || m.Sheds == 0 {
+		t.Errorf("Metrics.Sheds = %d, client saw %d 429s", m.Sheds, cs.ShedResponses)
+	}
+	if cs.BreakerOpens != 0 {
+		t.Errorf("breaker opened %d times with no breaker configured", cs.BreakerOpens)
+	}
+
+	// The same story in the Prometheus exposition.
+	resp, err := http.Get(ts.URL + "/metrics/prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text := readAll(t, resp)
+	for _, line := range []string{
+		fmt.Sprintf("mqdp_client_retries_total %d", cs.Retries),
+		fmt.Sprintf("mqdp_client_shed_responses_total %d", cs.ShedResponses),
+		fmt.Sprintf("mqdp_server_sheds_total %d", m.Sheds),
+		"mqdp_server_quarantines_total 1",
+		"mqdp_server_quarantined_subscriptions 1",
+	} {
+		if !strings.Contains(text, line) {
+			t.Errorf("prometheus exposition missing %q", line)
+		}
+	}
+}
+
+// TestChaosExactlyOnceReplay pins the idempotent-replay mechanism in
+// isolation: a dropped response is retried with the same idempotency key
+// and the server replays the recorded outcome instead of re-applying the
+// batch.
+func TestChaosExactlyOnceReplay(t *testing.T) {
+	ts, core := newTestServer(t)
+	id, err := core.Subscribe(SubscriptionConfig{Topics: politicsTopics(), Lambda: 0, Tau: 0, Algorithm: "instant"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clInj, err := faultinject.ParseSchedule("POST /ingest@1=droprx", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := NewClient(ts.URL)
+	cl.HTTPClient = &http.Client{Transport: faultinject.NewTransport(nil, clInj), Timeout: 5 * time.Second}
+	cl.Retry = &RetryPolicy{MaxAttempts: 4, BackoffBase: time.Millisecond, Seed: 2}
+
+	posts := []Post{
+		{ID: 1, Time: 1, Text: "obama results tonight"},
+		{ID: 2, Time: 2, Text: "senate debate recap"},
+		{ID: 3, Time: 3, Text: "senate passes the budget"},
+	}
+	n, err := cl.IngestAccepted(posts...)
+	if err != nil || n != len(posts) {
+		t.Fatalf("IngestAccepted = (%d, %v), want (%d, nil)", n, err, len(posts))
+	}
+	// The first attempt was applied server-side even though its response
+	// was dropped; the retry must have replayed, not re-ingested.
+	if got := core.Stats().Ingested; got != int64(len(posts)) {
+		t.Fatalf("server ingested %d posts, want %d (batch applied twice?)", got, len(posts))
+	}
+	if got := cl.RetryStats().Retries; got != 1 {
+		t.Errorf("retries = %d, want 1", got)
+	}
+	core.Flush()
+	es, err := core.Emissions(id, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != len(posts) {
+		t.Fatalf("emitted %d decisions, want %d", len(es), len(posts))
+	}
+}
+
+// TestChaosIngestDeadline exercises the server-side ingest deadline: a
+// batch stalled mid-way (injected processing latency beyond the budget) is
+// cut between posts, the applied prefix is reported with 503 + Retry-After,
+// and a retrying client resumes at the offset — exactly once overall.
+func TestChaosIngestDeadline(t *testing.T) {
+	posts := make([]Post, 6)
+	for i := range posts {
+		posts[i] = Post{ID: int64(i + 1), Time: float64(i + 1), Text: fmt.Sprintf("senate update %d", i+1)}
+	}
+	setup := func(t *testing.T) (*httptest.Server, *Server) {
+		ts, core := newTestServer(t)
+		core.SetIngestDeadline(40 * time.Millisecond)
+		inj, err := faultinject.ParseSchedule("sub1.process@3=delay:120ms", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		core.SetFaultInjector(inj)
+		if _, err := core.Subscribe(SubscriptionConfig{Topics: politicsTopics(), Lambda: 0, Tau: 0, Algorithm: "instant"}); err != nil {
+			t.Fatal(err)
+		}
+		return ts, core
+	}
+
+	t.Run("manual resume", func(t *testing.T) {
+		ts, core := setup(t)
+		cl := NewClient(ts.URL) // no retry policy: the caller sees the cut
+		n, err := cl.IngestAccepted(posts...)
+		if n != 3 {
+			t.Fatalf("accepted = %d, want 3 (deadline cuts after the stalled post)", n)
+		}
+		var ae *APIError
+		if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+			t.Fatalf("want 503 APIError, got %v", err)
+		}
+		if ra, ok := ae.RetryAfter(); !ok || ra != 0 {
+			t.Fatalf("want Retry-After 0 on a deadline cut, got (%v, %v)", ra, ok)
+		}
+		// Resume at the accepted offset, per the documented contract.
+		n, err = cl.IngestAccepted(posts[3:]...)
+		if err != nil || n != 3 {
+			t.Fatalf("resume = (%d, %v), want (3, nil)", n, err)
+		}
+		if got := core.Stats().Ingested; got != int64(len(posts)) {
+			t.Fatalf("ingested %d, want %d", got, len(posts))
+		}
+	})
+
+	t.Run("automatic resume", func(t *testing.T) {
+		ts, core := setup(t)
+		cl := NewClient(ts.URL)
+		cl.Retry = &RetryPolicy{MaxAttempts: 4, BackoffBase: time.Millisecond, Seed: 3}
+		n, err := cl.IngestAccepted(posts...)
+		if err != nil || n != len(posts) {
+			t.Fatalf("IngestAccepted = (%d, %v), want (%d, nil)", n, err, len(posts))
+		}
+		if got := core.Stats().Ingested; got != int64(len(posts)) {
+			t.Fatalf("ingested %d, want %d (prefix re-applied?)", got, len(posts))
+		}
+		if got := cl.RetryStats().Retries; got != 1 {
+			t.Errorf("retries = %d, want 1", got)
+		}
+	})
+}
+
+// TestChaosAdmissionPolicies pins the two saturation behaviors: block
+// queues a request until the in-flight slot frees; shed rejects it with
+// 429 + Retry-After and counts the shed.
+func TestChaosAdmissionPolicies(t *testing.T) {
+	ts, core := newTestServer(t)
+	if _, err := core.Subscribe(SubscriptionConfig{Topics: politicsTopics(), Lambda: 0, Tau: 0, Algorithm: "instant"}); err != nil {
+		t.Fatal(err)
+	}
+	// Every odd matched post stalls 250ms inside the pipeline, holding
+	// its request's in-flight slot.
+	inj, err := faultinject.ParseSchedule("sub1.process@1=delay:250ms; sub1.process@3=delay:250ms", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.SetFaultInjector(inj)
+	ingest := func(p Post) *http.Response {
+		t.Helper()
+		return postJSON(t, ts.URL+"/ingest", p)
+	}
+
+	t.Run("block waits for the slot", func(t *testing.T) {
+		core.SetAdmission(AdmissionConfig{MaxInflight: 1, Policy: ShedPolicyBlock, MaxWait: 2 * time.Second})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			resp := ingest(Post{ID: 1, Time: 1, Text: "obama night special"})
+			resp.Body.Close()
+		}()
+		time.Sleep(50 * time.Millisecond) // let the slow request take the slot
+		start := time.Now()
+		resp := ingest(Post{ID: 2, Time: 2, Text: "senate campaign diary"})
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("blocked request status %d, want 200", resp.StatusCode)
+		}
+		if waited := time.Since(start); waited < 100*time.Millisecond {
+			t.Errorf("blocked request returned after %v; expected to queue behind the slow one", waited)
+		}
+		<-done
+		if m := core.Metrics(); m.Sheds != 0 {
+			t.Errorf("block policy shed %d requests", m.Sheds)
+		}
+	})
+
+	t.Run("shed rejects with retry-after", func(t *testing.T) {
+		core.SetAdmission(AdmissionConfig{MaxInflight: 1, Policy: ShedPolicyShed})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			resp := ingest(Post{ID: 3, Time: 3, Text: "obama runoff announced"})
+			resp.Body.Close()
+		}()
+		time.Sleep(50 * time.Millisecond)
+		resp := ingest(Post{ID: 4, Time: 4, Text: "senate poll numbers move"})
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("saturated shed status %d, want 429", resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Error("429 without a Retry-After header")
+		}
+		<-done
+		if m := core.Metrics(); m.Sheds != 1 {
+			t.Errorf("Metrics.Sheds = %d, want 1", m.Sheds)
+		}
+	})
+}
+
+// panicFlushProc stands in for a processor whose Flush panics.
+type panicFlushProc struct{}
+
+func (panicFlushProc) Name() string                               { return "panic-flush" }
+func (panicFlushProc) Process(mqdp.Post) ([]mqdp.Emission, error) { return nil, nil }
+func (panicFlushProc) Flush() []mqdp.Emission                     { panic("flush-bomb") }
+
+// TestChaosQuarantineOnFlush covers the flush-time quarantine path: a
+// processor that panics while flushing is isolated, the other
+// subscriptions flush normally, and the server survives.
+func TestChaosQuarantineOnFlush(t *testing.T) {
+	s := New(0, 0)
+	bad, err := s.Subscribe(SubscriptionConfig{Topics: politicsTopics(), Lambda: 10, Tau: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := s.Subscribe(SubscriptionConfig{Topics: politicsTopics(), Lambda: 0, Tau: 0, Algorithm: "instant"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Ingest(Post{ID: 1, Time: 1, Text: "senate coverage begins"}); err != nil {
+		t.Fatal(err)
+	}
+	sub, ok := s.lookup(bad)
+	if !ok {
+		t.Fatal("subscription vanished")
+	}
+	sub.mu.Lock()
+	sub.proc = panicFlushProc{}
+	sub.mu.Unlock()
+
+	s.Flush() // must not crash
+	st, err := s.SubscriptionStats(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Quarantined || !strings.Contains(st.QuarantineReason, "flush-bomb") {
+		t.Fatalf("flush panic not quarantined: %+v", st)
+	}
+	es, err := s.Emissions(good, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 1 {
+		t.Fatalf("healthy subscription emitted %d, want 1", len(es))
+	}
+	if m := s.Metrics(); m.Quarantines != 1 {
+		t.Errorf("Metrics.Quarantines = %d, want 1", m.Quarantines)
+	}
+}
+
+// TestChaosClientBreaker drives the client's circuit breaker through its
+// full lifecycle against a transport that drops every /stats request
+// twice: consecutive failures open it, open calls fail fast wrapping
+// resilience.ErrBreakerOpen, and a successful probe after the cooldown
+// closes it again.
+func TestChaosClientBreaker(t *testing.T) {
+	ts, _ := newTestServer(t)
+	clInj, err := faultinject.ParseSchedule("GET /stats@1-2=drop", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := NewClient(ts.URL)
+	cl.HTTPClient = &http.Client{Transport: faultinject.NewTransport(nil, clInj), Timeout: 5 * time.Second}
+	cl.Retry = &RetryPolicy{
+		MaxAttempts: 2, BackoffBase: time.Millisecond, Seed: 4,
+		BreakerThreshold: 2, BreakerCooldown: 50 * time.Millisecond,
+	}
+
+	if _, err := cl.Stats(); err == nil {
+		t.Fatal("want failure while the transport drops /stats")
+	}
+	if got := cl.RetryStats().BreakerOpens; got != 1 {
+		t.Fatalf("breaker opens = %d, want 1 after %d consecutive failures", got, 2)
+	}
+	_, err = cl.Stats() // immediate: breaker is open, no request goes out
+	if !errors.Is(err, resilience.ErrBreakerOpen) {
+		t.Fatalf("want ErrBreakerOpen while open, got %v", err)
+	}
+	if got := clInj.Calls("GET /stats"); got != 2 {
+		t.Fatalf("transport saw %d /stats calls, want 2 (open breaker must not send)", got)
+	}
+
+	time.Sleep(80 * time.Millisecond) // past the cooldown: half-open probe
+	if _, err := cl.Stats(); err != nil {
+		t.Fatalf("probe after cooldown failed: %v", err)
+	}
+	if got := cl.RetryStats().BreakerOpens; got != 1 {
+		t.Errorf("breaker reopened: opens = %d", got)
+	}
+}
+
+// readAll drains an HTTP response body as a string.
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			return sb.String()
+		}
+	}
+}

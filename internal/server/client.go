@@ -2,19 +2,97 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mqdp/internal/obs"
+	"mqdp/internal/resilience"
 )
 
-// Client is a typed HTTP client for a running mqdp-server.
+// defaultHTTPClient backs clients whose HTTPClient is nil. Unlike
+// http.DefaultClient it carries a timeout, so a wedged server (or a
+// blackholed network) fails the call instead of hanging it forever.
+var defaultHTTPClient = &http.Client{Timeout: 30 * time.Second}
+
+// clientSeq distinguishes idempotency-key namespaces between clients in
+// the same process.
+var clientSeq atomic.Int64
+
+// Client is a typed HTTP client for a running mqdp-server. The zero
+// value (plus BaseURL) works; Retry opts into fault tolerance.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://localhost:8080".
 	BaseURL string
-	// HTTPClient defaults to http.DefaultClient.
+	// HTTPClient defaults to a shared client with a 30s timeout.
 	HTTPClient *http.Client
+	// Retry, when non-nil, makes calls fault tolerant: idempotent
+	// requests are retried with decorrelated-jitter backoff, Retry-After
+	// headers are honored, ingest batches resume exactly-once via
+	// idempotency keys, and an optional circuit breaker fails fast
+	// after consecutive failures.
+	Retry *RetryPolicy
+
+	// Retry-decision observability; registered by SetObs, readable
+	// anytime via RetryStats.
+	retries      obs.Counter // attempts beyond the first
+	shedSeen     obs.Counter // 429 responses observed
+	breakerOpens obs.Counter // closed/half-open → open transitions
+
+	breakerOnce sync.Once
+	breaker     *resilience.Breaker
+
+	prefixOnce sync.Once
+	prefix     string       // idempotency-key namespace
+	calls      atomic.Int64 // per-client logical ingest call counter
+}
+
+// RetryPolicy configures Client retries. The zero value of each field
+// selects a sane default, so &RetryPolicy{} is a working policy.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries per logical call (≤ 0 means 4).
+	MaxAttempts int
+	// BackoffBase and BackoffCap parameterize the decorrelated-jitter
+	// delays between attempts (defaults 25ms and 1s).
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// Seed makes the jitter deterministic for reproducible chaos tests.
+	Seed int64
+	// BreakerThreshold consecutive failed attempts open the circuit
+	// breaker; 0 disables it. While open, calls fail fast wrapping
+	// resilience.ErrBreakerOpen until BreakerCooldown (default 1s)
+	// admits a probe.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+}
+
+func (p *RetryPolicy) maxAttempts() int {
+	if p == nil || p.MaxAttempts <= 0 {
+		return 4
+	}
+	return p.MaxAttempts
+}
+
+func (p *RetryPolicy) backoff(seed int64) *resilience.Backoff {
+	base, cap := 25*time.Millisecond, time.Second
+	if p != nil {
+		if p.BackoffBase > 0 {
+			base = p.BackoffBase
+		}
+		if p.BackoffCap > 0 {
+			cap = p.BackoffCap
+		}
+	}
+	return resilience.NewBackoff(base, cap, seed)
 }
 
 // NewClient returns a client for baseURL.
@@ -26,45 +104,102 @@ func (c *Client) httpClient() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
 	}
-	return http.DefaultClient
+	return defaultHTTPClient
 }
 
-// apiError is a non-2xx response.
-type apiError struct {
+// SetObs registers the client's retry-decision counters (retries taken,
+// 429 sheds observed, breaker-open transitions) in r, so client-side
+// fault handling shows up in the same exposition as the server's.
+func (c *Client) SetObs(r *obs.Registry) {
+	r.RegisterCounter("mqdp_client_retries_total", "request attempts beyond the first", &c.retries)
+	r.RegisterCounter("mqdp_client_shed_responses_total", "429 responses observed (server shed admission)", &c.shedSeen)
+	r.RegisterCounter("mqdp_client_breaker_open_total", "circuit-breaker open transitions", &c.breakerOpens)
+}
+
+// RetryStats is a snapshot of the client's fault-handling counters.
+type RetryStats struct {
+	Retries       int64 // attempts beyond the first
+	ShedResponses int64 // 429s observed
+	BreakerOpens  int64 // transitions to the open state
+}
+
+// RetryStats reports the client's fault-handling counters.
+func (c *Client) RetryStats() RetryStats {
+	return RetryStats{
+		Retries:       c.retries.Value(),
+		ShedResponses: c.shedSeen.Value(),
+		BreakerOpens:  c.breakerOpens.Value(),
+	}
+}
+
+// breakerFor lazily builds the client's shared breaker from the policy;
+// nil when the policy doesn't ask for one.
+func (c *Client) breakerFor(p *RetryPolicy) *resilience.Breaker {
+	if p == nil || p.BreakerThreshold <= 0 {
+		return nil
+	}
+	c.breakerOnce.Do(func() {
+		c.breaker = resilience.NewBreaker(p.BreakerThreshold, p.BreakerCooldown)
+		c.breaker.OnTransition = func(from, to resilience.BreakerState) {
+			if to == resilience.BreakerOpen {
+				c.breakerOpens.Inc()
+			}
+		}
+	})
+	return c.breaker
+}
+
+// idemPrefix lazily derives this client's idempotency-key namespace.
+// Keys need only be unique per logical call, not deterministic.
+func (c *Client) idemPrefix() string {
+	c.prefixOnce.Do(func() {
+		c.prefix = fmt.Sprintf("c%x-%d", rand.Int63(), clientSeq.Add(1))
+	})
+	return c.prefix
+}
+
+// APIError is a non-2xx server response. Calls wrap it with the method
+// and path, so callers match with errors.As:
+//
+//	var ae *server.APIError
+//	if errors.As(err, &ae) && ae.Status == http.StatusConflict { ... }
+type APIError struct {
 	Status int
 	Body   string
+
+	retryAfter    time.Duration
+	hasRetryAfter bool
 }
 
-func (e *apiError) Error() string {
-	return fmt.Sprintf("server: status %d: %s", e.Status, strings.TrimSpace(e.Body))
+func (e *APIError) Error() string {
+	return fmt.Sprintf("status %d: %s", e.Status, strings.TrimSpace(e.Body))
+}
+
+// RetryAfter reports the parsed Retry-After header, if the response
+// carried one in delay-seconds form.
+func (e *APIError) RetryAfter() (time.Duration, bool) {
+	return e.retryAfter, e.hasRetryAfter
 }
 
 // StatusCode extracts the HTTP status from a client error, or 0.
 func StatusCode(err error) int {
-	var ae *apiError
-	if ok := asAPIError(err, &ae); ok {
+	var ae *APIError
+	if errors.As(err, &ae) {
 		return ae.Status
 	}
 	return 0
 }
 
-func asAPIError(err error, target **apiError) bool {
-	for err != nil {
-		if ae, ok := err.(*apiError); ok {
-			*target = ae
-			return true
-		}
-		u, ok := err.(interface{ Unwrap() error })
-		if !ok {
-			return false
-		}
-		err = u.Unwrap()
-	}
-	return false
+// do runs one request with no retries (context.Background, legacy shape).
+func (c *Client) do(method, path string, body, out any) error {
+	return c.doCtx(context.Background(), method, path, body, out, "")
 }
 
-// do runs one request and decodes a JSON response into out (out may be nil).
-func (c *Client) do(method, path string, body, out any) error {
+// doCtx runs exactly one attempt: marshal, send, decode. A non-2xx
+// response becomes an *APIError wrapped with "method path" context; a
+// transport failure is wrapped the same way so every error identifies
+// the call that failed.
+func (c *Client) doCtx(ctx context.Context, method, path string, body, out any, idemKey string) error {
 	var rd io.Reader
 	if body != nil {
 		buf, err := json.Marshal(body)
@@ -73,21 +208,35 @@ func (c *Client) do(method, path string, body, out any) error {
 		}
 		rd = bytes.NewReader(buf)
 	}
-	req, err := http.NewRequest(method, c.BaseURL+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 	if err != nil {
 		return err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if idemKey != "" {
+		req.Header.Set("Idempotency-Key", idemKey)
+	}
+	opPath, _, _ := strings.Cut(path, "?")
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return err
+		return fmt.Errorf("server: %s %s: %w", method, opPath, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return &apiError{Status: resp.StatusCode, Body: string(msg)}
+		ae := &APIError{Status: resp.StatusCode, Body: string(msg)}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, perr := strconv.Atoi(ra); perr == nil && secs >= 0 {
+				ae.retryAfter = time.Duration(secs) * time.Second
+				ae.hasRetryAfter = true
+			}
+		}
+		if ae.Status == http.StatusTooManyRequests {
+			c.shedSeen.Inc()
+		}
+		return fmt.Errorf("server: %s %s: %w", method, opPath, ae)
 	}
 	if out == nil {
 		return nil
@@ -95,10 +244,95 @@ func (c *Client) do(method, path string, body, out any) error {
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+// serverFault classifies an error for the breaker: service-health
+// failures (transport errors, 429, 5xx) count; caller mistakes (other
+// 4xx) do not.
+func serverFault(err error) bool {
+	if err == nil {
+		return false
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Status == http.StatusTooManyRequests || ae.Status >= 500
+	}
+	return true // transport-level failure
+}
+
+// retryable classifies an error for the retry loop. A 429 shed means
+// the server did not process the request, so any call may retry it.
+// Ambiguous outcomes — transport errors and retryable 5xx — are only
+// retried for idempotent calls.
+func retryable(idempotent bool, err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		switch ae.Status {
+		case http.StatusTooManyRequests:
+			return true
+		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return idempotent
+		}
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return idempotent
+}
+
+// retrySleep waits between attempts: an explicit Retry-After wins over
+// the jittered backoff.
+func retrySleep(ctx context.Context, err error, bo *resilience.Backoff) error {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		if ra, ok := ae.RetryAfter(); ok {
+			return resilience.Sleep(ctx, ra)
+		}
+	}
+	return resilience.Sleep(ctx, bo.Next())
+}
+
+// call drives one logical request through the retry policy. idempotent
+// marks calls safe to repeat after an ambiguous failure.
+func (c *Client) call(ctx context.Context, method, path string, body, out any, idempotent bool) error {
+	rp := c.Retry
+	if rp == nil {
+		return c.doCtx(ctx, method, path, body, out, "")
+	}
+	br := c.breakerFor(rp)
+	bo := rp.backoff(rp.Seed + c.calls.Add(1))
+	var err error
+	for attempt := 1; ; attempt++ {
+		if br != nil && !br.Allow() {
+			opPath, _, _ := strings.Cut(path, "?")
+			return fmt.Errorf("server: %s %s: %w", method, opPath, resilience.ErrBreakerOpen)
+		}
+		err = c.doCtx(ctx, method, path, body, out, "")
+		if br != nil {
+			br.Record(!serverFault(err))
+		}
+		if err == nil {
+			return nil
+		}
+		if !retryable(idempotent, err) || attempt >= rp.maxAttempts() || ctx.Err() != nil {
+			return err
+		}
+		c.retries.Inc()
+		if serr := retrySleep(ctx, err, bo); serr != nil {
+			return serr
+		}
+	}
+}
+
 // Subscribe registers a profile and returns its id.
 func (c *Client) Subscribe(cfg SubscriptionConfig) (int64, error) {
+	return c.SubscribeContext(context.Background(), cfg)
+}
+
+// SubscribeContext is Subscribe honoring ctx. Subscribing is not
+// idempotent, so only sheds (429, provably unprocessed) are retried.
+func (c *Client) SubscribeContext(ctx context.Context, cfg SubscriptionConfig) (int64, error) {
 	var created map[string]int64
-	if err := c.do(http.MethodPost, "/subscriptions", cfg, &created); err != nil {
+	if err := c.call(ctx, http.MethodPost, "/subscriptions", cfg, &created, false); err != nil {
 		return 0, err
 	}
 	return created["id"], nil
@@ -106,7 +340,12 @@ func (c *Client) Subscribe(cfg SubscriptionConfig) (int64, error) {
 
 // Unsubscribe removes a profile.
 func (c *Client) Unsubscribe(id int64) error {
-	return c.do(http.MethodDelete, fmt.Sprintf("/subscriptions/%d", id), nil, nil)
+	return c.UnsubscribeContext(context.Background(), id)
+}
+
+// UnsubscribeContext is Unsubscribe honoring ctx.
+func (c *Client) UnsubscribeContext(ctx context.Context, id int64) error {
+	return c.call(ctx, http.MethodDelete, fmt.Sprintf("/subscriptions/%d", id), nil, nil, true)
 }
 
 // Ingest feeds a batch of posts in time order.
@@ -115,71 +354,165 @@ func (c *Client) Ingest(posts ...Post) error {
 	return err
 }
 
-// IngestAccepted feeds a batch of posts in time order and returns how many
-// were accepted. On a mid-batch failure the server has already ingested
-// the first accepted posts; resume the batch at posts[accepted] after
-// fixing the failing item — do not resend the whole batch.
+// IngestContext is Ingest honoring ctx.
+func (c *Client) IngestContext(ctx context.Context, posts ...Post) error {
+	_, err := c.IngestAcceptedContext(ctx, posts...)
+	return err
+}
+
+// IngestAccepted feeds a batch of posts in time order and returns how
+// many were accepted. On a mid-batch failure the server has already
+// ingested the first accepted posts; resume the batch at posts[accepted]
+// after fixing the failing item — do not resend the whole batch.
+//
+// With a RetryPolicy the resume is automatic and exactly-once: each
+// attempt carries an idempotency key, so a retry whose predecessor's
+// response was lost replays the recorded outcome instead of re-applying
+// the batch, and a batch cut by the server's ingest deadline resumes at
+// the accepted offset.
 func (c *Client) IngestAccepted(posts ...Post) (accepted int, err error) {
-	var res IngestResult
-	err = c.do(http.MethodPost, "/ingest", posts, &res)
-	if err != nil {
-		// A non-2xx body still carries the accepted prefix count.
-		var ae *apiError
-		if asAPIError(err, &ae) {
-			var partial IngestResult
-			if jsonErr := json.Unmarshal([]byte(ae.Body), &partial); jsonErr == nil {
-				return partial.Accepted, err
-			}
+	return c.IngestAcceptedContext(context.Background(), posts...)
+}
+
+// IngestAcceptedContext is IngestAccepted honoring ctx.
+func (c *Client) IngestAcceptedContext(ctx context.Context, posts ...Post) (accepted int, err error) {
+	rp := c.Retry
+	if rp == nil {
+		res, _, err := c.doIngest(ctx, posts, "")
+		if err != nil {
+			return res.Accepted, err
 		}
-		return 0, err
+		return res.Accepted, nil
 	}
-	return res.Accepted, nil
+	br := c.breakerFor(rp)
+	callID := c.calls.Add(1)
+	bo := rp.backoff(rp.Seed + callID)
+	sent := 0  // posts known applied by the server
+	epoch := 0 // bumps whenever a genuine server outcome lands
+	for attempt := 1; ; attempt++ {
+		if br != nil && !br.Allow() {
+			return sent, fmt.Errorf("server: POST /ingest: %w", resilience.ErrBreakerOpen)
+		}
+		// The key is stable across retries of the same logical suffix:
+		// if the previous attempt's response was lost after the server
+		// applied it, the replay returns that outcome instead of
+		// double-ingesting. Any received outcome advances the epoch, so
+		// a later resume is a fresh operation with a fresh key.
+		key := fmt.Sprintf("%s-%d-%d", c.idemPrefix(), callID, epoch)
+		res, got, err := c.doIngest(ctx, posts[sent:], key)
+		if br != nil {
+			br.Record(!serverFault(err))
+		}
+		if err == nil {
+			return sent + res.Accepted, nil
+		}
+		if got {
+			sent += res.Accepted
+			epoch++
+		}
+		if !retryable(true, err) || attempt >= rp.maxAttempts() || ctx.Err() != nil {
+			return sent, err
+		}
+		c.retries.Inc()
+		if serr := retrySleep(ctx, err, bo); serr != nil {
+			return sent, serr
+		}
+	}
+}
+
+// doIngest runs one POST /ingest attempt. got reports whether a genuine
+// server outcome (an IngestResult, success or error) was received — the
+// signal that distinguishes "the server decided" from "we cannot know".
+func (c *Client) doIngest(ctx context.Context, posts []Post, key string) (res IngestResult, got bool, err error) {
+	err = c.doCtx(ctx, http.MethodPost, "/ingest", posts, &res, key)
+	if err == nil {
+		return res, true, nil
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		var partial IngestResult
+		if jsonErr := json.Unmarshal([]byte(ae.Body), &partial); jsonErr == nil {
+			return partial, true, err
+		}
+	}
+	return IngestResult{}, false, err
 }
 
 // Emissions fetches a profile's emissions with Seq > after (limit ≤ 0 means
 // all).
 func (c *Client) Emissions(id, after int64, limit int) ([]Emission, error) {
+	return c.EmissionsContext(context.Background(), id, after, limit)
+}
+
+// EmissionsContext is Emissions honoring ctx.
+func (c *Client) EmissionsContext(ctx context.Context, id, after int64, limit int) ([]Emission, error) {
 	path := fmt.Sprintf("/subscriptions/%d/emissions?after=%d", id, after)
 	if limit > 0 {
 		path += fmt.Sprintf("&limit=%d", limit)
 	}
 	var out []Emission
-	if err := c.do(http.MethodGet, path, nil, &out); err != nil {
+	if err := c.call(ctx, http.MethodGet, path, nil, &out, true); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
-// Flush forces every pending decision out.
+// Flush forces every pending decision out. Flush is latched server-side,
+// so retrying it is safe.
 func (c *Client) Flush() error {
-	return c.do(http.MethodPost, "/flush", struct{}{}, nil)
+	return c.FlushContext(context.Background())
+}
+
+// FlushContext is Flush honoring ctx.
+func (c *Client) FlushContext(ctx context.Context) error {
+	return c.call(ctx, http.MethodPost, "/flush", struct{}{}, nil, true)
 }
 
 // Stats fetches service counters.
 func (c *Client) Stats() (Stats, error) {
+	return c.StatsContext(context.Background())
+}
+
+// StatsContext is Stats honoring ctx.
+func (c *Client) StatsContext(ctx context.Context) (Stats, error) {
 	var st Stats
-	err := c.do(http.MethodGet, "/stats", nil, &st)
+	err := c.call(ctx, http.MethodGet, "/stats", nil, &st, true)
 	return st, err
 }
 
 // SubscriptionStats fetches one profile's counters.
 func (c *Client) SubscriptionStats(id int64) (SubscriptionStats, error) {
+	return c.SubscriptionStatsContext(context.Background(), id)
+}
+
+// SubscriptionStatsContext is SubscriptionStats honoring ctx.
+func (c *Client) SubscriptionStatsContext(ctx context.Context, id int64) (SubscriptionStats, error) {
 	var st SubscriptionStats
-	err := c.do(http.MethodGet, fmt.Sprintf("/subscriptions/%d/stats", id), nil, &st)
+	err := c.call(ctx, http.MethodGet, fmt.Sprintf("/subscriptions/%d/stats", id), nil, &st, true)
 	return st, err
 }
 
 // Metrics fetches the full observability snapshot (service counters plus
 // every profile's stats and delay summary).
 func (c *Client) Metrics() (Metrics, error) {
+	return c.MetricsContext(context.Background())
+}
+
+// MetricsContext is Metrics honoring ctx.
+func (c *Client) MetricsContext(ctx context.Context) (Metrics, error) {
 	var m Metrics
-	err := c.do(http.MethodGet, "/metrics", nil, &m)
+	err := c.call(ctx, http.MethodGet, "/metrics", nil, &m, true)
 	return m, err
 }
 
 // Health fetches the liveness snapshot.
 func (c *Client) Health() (Health, error) {
+	return c.HealthContext(context.Background())
+}
+
+// HealthContext is Health honoring ctx.
+func (c *Client) HealthContext(ctx context.Context) (Health, error) {
 	var h Health
-	err := c.do(http.MethodGet, "/healthz", nil, &h)
+	err := c.call(ctx, http.MethodGet, "/healthz", nil, &h, true)
 	return h, err
 }

@@ -1,8 +1,12 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"net/http"
+	"strings"
 	"testing"
+	"time"
 )
 
 func TestClientEndToEnd(t *testing.T) {
@@ -119,5 +123,87 @@ func TestClientConnectionError(t *testing.T) {
 	c := NewClient("http://127.0.0.1:1") // nothing listens there
 	if _, err := c.Stats(); err == nil {
 		t.Error("dead endpoint succeeded")
+	}
+}
+
+// TestClientAPIErrorTyped pins the typed-error contract: a non-2xx
+// response surfaces as an *APIError wrapped with the call's method and
+// path, matchable with errors.As / errors.Is through the %w chain.
+func TestClientAPIErrorTyped(t *testing.T) {
+	ts, _ := newTestServer(t)
+	c := NewClient(ts.URL)
+
+	_, err := c.Emissions(999, 0, 0)
+	if err == nil {
+		t.Fatal("want error for unknown subscription")
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error is not an *APIError: %v", err)
+	}
+	if ae.Status != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", ae.Status)
+	}
+	if ae.Body == "" {
+		t.Error("APIError.Body is empty")
+	}
+	if !strings.Contains(err.Error(), "GET /subscriptions/999/emissions") {
+		t.Errorf("error does not identify the call: %v", err)
+	}
+	if !strings.Contains(err.Error(), "status 404") {
+		t.Errorf("error does not carry the status: %v", err)
+	}
+	if StatusCode(err) != http.StatusNotFound {
+		t.Errorf("StatusCode(err) = %d, want 404", StatusCode(err))
+	}
+	if _, ok := ae.RetryAfter(); ok {
+		t.Error("404 reported a Retry-After it never had")
+	}
+}
+
+// TestClientDefaultTimeout verifies the zero-value client gets a bounded
+// HTTP client rather than the timeout-less http.DefaultClient.
+func TestClientDefaultTimeout(t *testing.T) {
+	c := NewClient("http://example.invalid")
+	if got := c.httpClient().Timeout; got <= 0 {
+		t.Fatalf("default client timeout = %v, want > 0", got)
+	}
+	override := &http.Client{Timeout: time.Second}
+	c.HTTPClient = override
+	if c.httpClient() != override {
+		t.Fatal("explicit HTTPClient not honored")
+	}
+}
+
+// TestClientContextVariants verifies the ...Context methods honor caller
+// cancellation while the legacy signatures stay usable.
+func TestClientContextVariants(t *testing.T) {
+	ts, core := newTestServer(t)
+	c := NewClient(ts.URL)
+	if _, err := core.Subscribe(SubscriptionConfig{Topics: politicsTopics(), Lambda: 0, Tau: 0, Algorithm: "instant"}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.IngestContext(ctx, Post{ID: 1, Time: 1, Text: "obama live"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("IngestContext with canceled ctx: %v", err)
+	}
+	if _, err := c.EmissionsContext(ctx, 1, 0, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EmissionsContext with canceled ctx: %v", err)
+	}
+	if _, err := c.StatsContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("StatsContext with canceled ctx: %v", err)
+	}
+	// Nothing reached the server through the canceled context.
+	if got := core.Stats().Ingested; got != 0 {
+		t.Fatalf("canceled ingest landed %d posts", got)
+	}
+	if err := c.IngestContext(context.Background(), Post{ID: 1, Time: 1, Text: "obama live"}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.StatsContext(context.Background())
+	if err != nil || st.Ingested != 1 {
+		t.Fatalf("StatsContext = (%+v, %v)", st, err)
 	}
 }

@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"mqdp/internal/synth"
 )
@@ -489,5 +491,66 @@ func TestConcurrentIngestSubscribePoll(t *testing.T) {
 				t.Fatalf("subscription %d: blank emission %+v", id, e)
 			}
 		}
+	}
+}
+
+// TestShutdownMidIngest flushes the server while a client is streaming
+// batches at it and verifies graceful shutdown under load: every batch is
+// either fully applied (and counted by the client) or cut with a retryable
+// 409 reporting the applied prefix — nothing partially vanishes, and the
+// sum of client-side accepted counts equals the server's ingested total.
+func TestShutdownMidIngest(t *testing.T) {
+	ts, core := newTestServer(t)
+	if _, err := core.Subscribe(SubscriptionConfig{Topics: politicsTopics(), Lambda: 0, Tau: 0, Algorithm: "instant"}); err != nil {
+		t.Fatal(err)
+	}
+	cl := NewClient(ts.URL)
+	cl.Retry = &RetryPolicy{MaxAttempts: 3, BackoffBase: time.Millisecond, Seed: 5}
+
+	var totalAccepted atomic.Int64
+	var cutErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		next := int64(1)
+		for batchIdx := 0; batchIdx < 100000; batchIdx++ {
+			batch := make([]Post, 5)
+			for i := range batch {
+				batch[i] = Post{ID: next, Time: float64(next), Text: fmt.Sprintf("senate roll call %d", next)}
+				next++
+			}
+			n, err := cl.IngestAccepted(batch...)
+			totalAccepted.Add(int64(n))
+			if err != nil {
+				cutErr = err
+				return
+			}
+		}
+	}()
+	// Let some batches land, then shut the stream down underneath them.
+	for core.Stats().Ingested < 50 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	// The writer must have been cut by the shutdown, with the conflict
+	// surfaced as a typed, call-annotated API error.
+	if cutErr == nil {
+		t.Fatal("writer finished every batch; flush never cut it")
+	}
+	var ae *APIError
+	if !errors.As(cutErr, &ae) || ae.Status != http.StatusConflict {
+		t.Fatalf("want 409 APIError from the cut batch, got %v", cutErr)
+	}
+	if !strings.Contains(cutErr.Error(), "POST /ingest") {
+		t.Fatalf("cut error does not identify the call: %v", cutErr)
+	}
+	// Nothing partially vanished: what the client believes landed is
+	// exactly what the server applied.
+	if got, want := core.Stats().Ingested, totalAccepted.Load(); got != want {
+		t.Fatalf("server ingested %d, client-side accepted sum %d", got, want)
 	}
 }

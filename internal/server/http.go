@@ -1,11 +1,13 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"mqdp/internal/digest"
 )
@@ -18,7 +20,17 @@ import (
 //	GET    /subscriptions/{id}/stats      → SubscriptionStats
 //	POST   /ingest                        Post or [Post] → {"accepted": N} (on a
 //	                                      mid-batch error: {"accepted": N, "error": ...}
-//	                                      with N = posts ingested before the failure)
+//	                                      with N = posts ingested before the failure).
+//	                                      When the admission controller sheds, the
+//	                                      reply is 429 with a Retry-After header and
+//	                                      the batch is untouched; when the ingest
+//	                                      deadline cuts a batch, 503 + Retry-After: 0
+//	                                      with the applied prefix count. An
+//	                                      Idempotency-Key header makes the call
+//	                                      replayable: a retry with the same key
+//	                                      returns the recorded outcome (marked
+//	                                      Idempotent-Replay: true) without
+//	                                      re-applying the batch.
 //	POST   /flush
 //	GET    /stats                         → Stats
 //	GET    /metrics                       → Metrics (service + per-profile counters)
@@ -105,6 +117,32 @@ func Handler(s *Server) http.Handler {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
+		// Idempotent replay: a retrying client that never saw the response
+		// resends with the same key and gets the recorded outcome — the
+		// batch is never applied twice.
+		key := r.Header.Get("Idempotency-Key")
+		if key != "" {
+			if e, ok := s.idem.get(key); ok {
+				w.Header().Set("Idempotent-Replay", "true")
+				writeIngestResult(w, e.status, e.res)
+				return
+			}
+		}
+		// Admission: shed (429 + Retry-After) or block per policy before
+		// any decoding work is spent on the request.
+		release, retryAfter, ok := s.admit(r.Context())
+		if !ok {
+			w.Header().Set("Retry-After", retryAfterSeconds(retryAfter))
+			http.Error(w, "server overloaded, retry later", http.StatusTooManyRequests)
+			return
+		}
+		defer release()
+		ctx := r.Context()
+		if d := s.IngestDeadline(); d > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
+		}
 		dec := json.NewDecoder(r.Body)
 		var raw json.RawMessage
 		if err := dec.Decode(&raw); err != nil {
@@ -126,18 +164,32 @@ func Handler(s *Server) http.Handler {
 			batch = []Post{one}
 		}
 		accepted := 0
+		var ingestErr error
 		for _, p := range batch {
-			if err := s.Ingest(p); err != nil {
-				// Report how much of the batch landed so clients can resume
-				// at the failed item instead of double-ingesting the prefix.
-				w.Header().Set("Content-Type", "application/json")
-				w.WriteHeader(statusFor(err))
-				_ = json.NewEncoder(w).Encode(IngestResult{Accepted: accepted, Error: err.Error()})
-				return
+			// The deadline cuts between posts, never inside one: the
+			// accepted prefix is fully applied, the rest untouched.
+			if err := s.IngestContext(ctx, p); err != nil {
+				ingestErr = err
+				break
 			}
 			accepted++
 		}
-		writeJSON(w, IngestResult{Accepted: accepted})
+		res := IngestResult{Accepted: accepted}
+		status := http.StatusOK
+		if ingestErr != nil {
+			// Report how much of the batch landed so clients can resume
+			// at the failed item instead of double-ingesting the prefix.
+			res.Error = ingestErr.Error()
+			status = statusFor(ingestErr)
+		}
+		if key != "" {
+			s.idem.put(key, idemEntry{res: res, status: status})
+		}
+		if status == http.StatusServiceUnavailable {
+			// Deadline cut: the remainder is retryable right away.
+			w.Header().Set("Retry-After", "0")
+		}
+		writeIngestResult(w, status, res)
 	})
 	mux.HandleFunc("/flush", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -197,6 +249,25 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// writeIngestResult writes an IngestResult with an explicit status,
+// used by both the live ingest path and idempotent replays (which must
+// reproduce the original status byte-for-byte).
+func writeIngestResult(w http.ResponseWriter, status int, res IngestResult) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(res)
+}
+
+// retryAfterSeconds renders a Retry-After header value: whole seconds,
+// with sub-second hints rounded down to "0" (retry immediately) so shed
+// clients don't serialize on 1-second sleeps.
+func retryAfterSeconds(d time.Duration) string {
+	if d <= 0 {
+		return "0"
+	}
+	return strconv.Itoa(int(d / time.Second))
+}
+
 func httpError(w http.ResponseWriter, err error) {
 	http.Error(w, err.Error(), statusFor(err))
 }
@@ -207,6 +278,10 @@ func statusFor(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, ErrOutOfOrder), errors.Is(err, ErrClosed):
 		return http.StatusConflict
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		// The request ran out of its deadline budget; the accepted prefix
+		// is applied and the remainder is safe to retry.
+		return http.StatusServiceUnavailable
 	}
 	return http.StatusInternalServerError
 }

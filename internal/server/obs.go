@@ -20,6 +20,7 @@ type serverObs struct {
 	matched      *obs.Counter
 	emitted      *obs.Counter
 	misses       *obs.Counter
+	quarantined  *obs.Gauge
 }
 
 // SetObs wires the server's instruments into r; nil disables service-level
@@ -32,6 +33,8 @@ func (s *Server) SetObs(r *obs.Registry) {
 	}
 	r.RegisterCounter("mqdp_server_ingested_total", "posts accepted by ingest admission", &s.ingested)
 	r.RegisterCounter("mqdp_server_dropped_duplicates_total", "posts dropped as near-duplicates before fan-out", &s.dropped)
+	r.RegisterCounter("mqdp_server_sheds_total", "ingest requests shed by the admission controller (429)", &s.shed)
+	r.RegisterCounter("mqdp_server_quarantines_total", "subscriptions isolated after a pipeline panic", &s.quarantines)
 	o := &serverObs{
 		reg:          r,
 		ingestFanout: r.Histogram("mqdp_server_ingest_fanout_seconds", "wall time fanning one post out to every subscription", obs.TimeBuckets),
@@ -42,6 +45,7 @@ func (s *Server) SetObs(r *obs.Registry) {
 		matched:      r.Counter("mqdp_server_matched_total", "post-subscription matches across all profiles"),
 		emitted:      r.Counter("mqdp_server_emitted_total", "emissions delivered across all profiles"),
 		misses:       r.Counter("mqdp_server_text_misses_total", "decisions whose cached text was gc'd before landing"),
+		quarantined:  r.Gauge("mqdp_server_quarantined_subscriptions", "currently quarantined subscriptions"),
 	}
 	s.mu.RLock()
 	o.subs.Set(float64(len(s.subs)))
@@ -74,5 +78,13 @@ func (o *serverObs) onEmit() {
 func (o *serverObs) onMiss() {
 	if o != nil {
 		o.misses.Inc()
+	}
+}
+
+// onQuarantine tracks the live quarantined-subscription gauge alongside
+// the server's monotone quarantines counter.
+func (o *serverObs) onQuarantine() {
+	if o != nil {
+		o.quarantined.Add(1)
 	}
 }

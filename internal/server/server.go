@@ -18,6 +18,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -26,6 +27,7 @@ import (
 
 	"mqdp"
 	"mqdp/internal/digest"
+	"mqdp/internal/faultinject"
 	"mqdp/internal/match"
 	"mqdp/internal/obs"
 	"mqdp/internal/parallel"
@@ -98,6 +100,25 @@ type subscription struct {
 	matched    obs.Counter
 	textMisses obs.Counter // decisions whose text was gc'd before they landed
 	delays     *obs.Histogram
+
+	// quarantined latches true when the matcher/processor panics: the
+	// subscription stops receiving posts (its pipeline state is suspect)
+	// but stays registered so its emission buffer remains pollable and
+	// its stats surface the failure. The flag is read lock-free on the
+	// fan-out fast path; quarantineMsg is guarded by mu.
+	quarantined   atomic.Bool
+	quarantineMsg string
+}
+
+// quarantine isolates the subscription after a pipeline panic. Caller
+// holds sub.mu.
+func (sub *subscription) quarantine(msg string, s *Server, o *serverObs) {
+	if sub.quarantined.Swap(true) {
+		return
+	}
+	sub.quarantineMsg = msg
+	s.quarantines.Inc()
+	o.onQuarantine()
 }
 
 // Server is the multi-subscription diversification service. It is safe for
@@ -128,6 +149,18 @@ type Server struct {
 	closed   atomic.Bool  // latched by the first Flush
 	ingested obs.Counter
 	dropped  obs.Counter
+
+	// Fault-tolerance layer: admission bounds the ingest path (nil =
+	// unlimited), ingestDeadline caps one request's wall time, faults is
+	// the deterministic chaos hook, idem replays ingest outcomes to
+	// retrying clients, and shed/quarantines count the load-shedding and
+	// panic-isolation decisions.
+	admission      atomic.Pointer[admission]
+	ingestDeadline atomic.Int64 // time.Duration; 0 = none
+	faults         atomic.Pointer[faultinject.Injector]
+	idem           idemCache
+	shed           obs.Counter
+	quarantines    obs.Counter
 
 	// obsState holds the registry-wired service instruments; nil = disabled.
 	obsState atomic.Pointer[serverObs]
@@ -223,8 +256,18 @@ func (s *Server) Unsubscribe(id int64) error {
 // Parallelism() workers, one subscription per worker at a time, so the
 // cost per post is O(|subs|/workers) instead of O(|subs|) serialized.
 func (s *Server) Ingest(p Post) error {
+	return s.IngestContext(context.Background(), p)
+}
+
+// IngestContext is Ingest honoring a caller deadline: a post is admitted
+// atomically or not at all — ctx is only consulted before admission, so
+// an expired deadline never leaves a half-fanned-out post behind.
+func (s *Server) IngestContext(ctx context.Context, p Post) error {
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if s.closed.Load() {
 		return ErrClosed
 	}
@@ -253,8 +296,9 @@ func (s *Server) Ingest(p Post) error {
 	if o != nil {
 		o.tokenizeTime.ObserveSince(start)
 	}
+	inj := s.faults.Load()
 	err := parallel.FirstErr(int(s.workers.Load()), len(shards), func(i int) error {
-		if err := shards[i].feed(p, words, o); err != nil {
+		if err := shards[i].feed(p, words, s, o, inj); err != nil {
 			return fmt.Errorf("server: subscription %d: %w", shards[i].id, err)
 		}
 		return nil
@@ -266,10 +310,23 @@ func (s *Server) Ingest(p Post) error {
 }
 
 // feed matches and processes one post for a single subscription. words is
-// the shared, read-only tokenization of p.Text.
-func (sub *subscription) feed(p Post, words []string, o *serverObs) error {
+// the shared, read-only tokenization of p.Text. A panic anywhere in the
+// per-subscription pipeline (matcher, processor, delivery — or a
+// scripted chaos panic from inj) quarantines this subscription and
+// returns nil: one poisoned profile must not fail the ingest or kill
+// the process.
+func (sub *subscription) feed(p Post, words []string, s *Server, o *serverObs, inj *faultinject.Injector) (err error) {
+	if sub.quarantined.Load() {
+		return nil
+	}
 	sub.mu.Lock()
 	defer sub.mu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			sub.quarantine(fmt.Sprintf("panic on post %d: %v", p.ID, r), s, o)
+			err = nil
+		}
+	}()
 	var start time.Time
 	if o != nil {
 		start = time.Now()
@@ -283,6 +340,11 @@ func (sub *subscription) feed(p Post, words []string, o *serverObs) error {
 	}
 	sub.matched.Inc()
 	o.onMatch()
+	if inj != nil {
+		if err := inj.Fire(fmt.Sprintf("sub%d.process", sub.id)); err != nil {
+			return err
+		}
+	}
 	sub.texts[p.ID] = p
 	sub.pending = append(sub.pending, pendingText{id: p.ID, time: p.Time})
 	es, err := sub.proc.Process(mqdp.Post{ID: p.ID, Value: p.Time, Labels: labels})
@@ -360,7 +422,16 @@ func (s *Server) Flush() {
 		sub := shards[i]
 		sub.mu.Lock()
 		defer sub.mu.Unlock()
-		sub.deliver(sub.proc.Flush(), o)
+		defer func() {
+			// A processor that panics while flushing is quarantined like
+			// one that panics mid-stream; the other subscriptions flush on.
+			if r := recover(); r != nil {
+				sub.quarantine(fmt.Sprintf("panic on flush: %v", r), s, o)
+			}
+		}()
+		if !sub.quarantined.Load() {
+			sub.deliver(sub.proc.Flush(), o)
+		}
 		// Every decision has landed; whatever text remains was rejected.
 		clear(sub.texts)
 		sub.pending, sub.head = nil, 0
@@ -443,6 +514,11 @@ type SubscriptionStats struct {
 	Lambda     float64      `json:"lambda"`
 	Tau        float64      `json:"tau"`
 	Delay      DelaySummary `json:"delay"`
+	// Quarantined reports that the pipeline panicked and the profile was
+	// isolated: it receives no further posts but its emission buffer
+	// stays pollable. QuarantineReason carries the recovered panic.
+	Quarantined      bool   `json:"quarantined,omitempty"`
+	QuarantineReason string `json:"quarantine_reason,omitempty"`
 }
 
 // Stats reports service-level counters.
@@ -468,16 +544,25 @@ func (s *Server) SubscriptionStats(id int64) (SubscriptionStats, error) {
 }
 
 func (sub *subscription) stats() SubscriptionStats {
-	// Lock-free: counters and the delay histogram are atomic, so a stats
-	// poll never contends with the ingest hot path.
+	// Counters and the delay histogram are atomic, so a stats poll only
+	// takes sub.mu on the rare quarantined path (to read the reason).
+	var reason string
+	quarantined := sub.quarantined.Load()
+	if quarantined {
+		sub.mu.Lock()
+		reason = sub.quarantineMsg
+		sub.mu.Unlock()
+	}
 	return SubscriptionStats{
-		ID:         sub.id,
-		Matched:    sub.matched.Value(),
-		Emitted:    sub.nextSeq.Value(),
-		TextMisses: sub.textMisses.Value(),
-		Algorithm:  sub.proc.Name(),
-		Lambda:     sub.cfg.Lambda,
-		Tau:        sub.cfg.Tau,
+		Quarantined:      quarantined,
+		QuarantineReason: reason,
+		ID:               sub.id,
+		Matched:          sub.matched.Value(),
+		Emitted:          sub.nextSeq.Value(),
+		TextMisses:       sub.textMisses.Value(),
+		Algorithm:        sub.proc.Name(),
+		Lambda:           sub.cfg.Lambda,
+		Tau:              sub.cfg.Tau,
 		Delay: DelaySummary{
 			Count: int(sub.delays.Count()),
 			Mean:  sub.delays.Mean(),
@@ -495,6 +580,8 @@ type Metrics struct {
 	MatchedTotal  int64               `json:"matched_total"`
 	EmittedTotal  int64               `json:"emitted_total"`
 	TextMisses    int64               `json:"text_misses"`
+	Sheds         int64               `json:"sheds"`
+	Quarantines   int64               `json:"quarantines"`
 	Flushed       bool                `json:"flushed"`
 	Workers       int                 `json:"workers"`
 	Profiles      []SubscriptionStats `json:"profiles"`
@@ -509,6 +596,8 @@ func (s *Server) Metrics() Metrics {
 		Ingested:      s.ingested.Value(),
 		DroppedDups:   s.dropped.Value(),
 		Subscriptions: len(shards),
+		Sheds:         s.shed.Value(),
+		Quarantines:   s.quarantines.Value(),
 		Flushed:       s.closed.Load(),
 		Workers:       s.Parallelism(),
 		Profiles:      make([]SubscriptionStats, 0, len(shards)),

@@ -1,10 +1,18 @@
 package mqdp_test
 
 import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
+	"time"
 
 	"mqdp"
 	"mqdp/internal/core"
+	"mqdp/internal/faultinject"
+	"mqdp/internal/obs"
+	"mqdp/internal/server"
 	"mqdp/internal/stream"
 	"mqdp/internal/synth"
 )
@@ -98,4 +106,131 @@ func TestDayScaleSoak(t *testing.T) {
 	if _, err := stream.Run(posts, adaptive); err != nil {
 		t.Fatalf("adaptive: %v", err)
 	}
+}
+
+// TestSoakWithFaults replays an hour of synthetic traffic through the full
+// HTTP serving path while a low-rate probabilistic fault schedule drops
+// requests and responses, injects 503s and latency, and panics one
+// subscription's pipeline mid-stream. It then reconciles the books: the
+// retrying client delivered every post exactly once, the observability
+// counters match the injector's own record, and every healthy subscription
+// kept a contiguous, non-blank emission sequence. Skipped under -short.
+func TestSoakWithFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault-schedule soak skipped in -short mode")
+	}
+	world := synth.NewWorld(synth.WorldConfig{Seed: 31})
+	tweets := synth.TweetStream(world, synth.StreamConfig{Duration: 3600, RatePerSec: 2, DupRatio: 0, Seed: 32})
+
+	core := server.New(0, 0)
+	core.SetParallelism(4)
+	reg := obs.NewRegistry()
+	core.SetObs(reg)
+	srvInj, err := faultinject.ParseSchedule("sub2.process@40=panic:soak-injected", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.SetFaultInjector(srvInj)
+	ts := httptest.NewServer(server.Handler(core))
+	defer ts.Close()
+
+	clInj, err := faultinject.ParseSchedule(
+		"POST /ingest@p0.03=drop; POST /ingest@p0.02=droprx; POST /ingest@p0.015=status:503; POST /ingest@p0.01=delay:2ms", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := server.NewClient(ts.URL)
+	cl.HTTPClient = &http.Client{Transport: faultinject.NewTransport(nil, clInj), Timeout: 10 * time.Second}
+	cl.Retry = &server.RetryPolicy{MaxAttempts: 25, BackoffBase: time.Millisecond, BackoffCap: 4 * time.Millisecond, Seed: 9}
+	cl.SetObs(reg)
+
+	rng := rand.New(rand.NewSource(33))
+	ids := make([]int64, 0, 8)
+	algos := []string{"streamscan", "streamscan+", "streamgreedy", "streamgreedy+", "instant"}
+	for i := 0; i < 8; i++ {
+		id, err := cl.Subscribe(server.SubscriptionConfig{
+			Topics:    world.MatchTopics(world.SampleLabelSet(rng, 2+i%3)),
+			Lambda:    float64(60 * (1 + i%3)),
+			Tau:       float64(30 * (i % 2)),
+			Algorithm: algos[i%len(algos)],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+
+	const batchSize = 10
+	for at := 0; at < len(tweets); at += batchSize {
+		end := min(at+batchSize, len(tweets))
+		batch := make([]server.Post, 0, end-at)
+		for _, tw := range tweets[at:end] {
+			batch = append(batch, server.Post{ID: tw.ID, Time: tw.Time, Text: tw.Text})
+		}
+		n, err := cl.IngestAccepted(batch...)
+		if err != nil || n != len(batch) {
+			t.Fatalf("batch at %d: accepted (%d, %v), want (%d, nil)", at, n, err, len(batch))
+		}
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exactly once: accepted == stream length even though requests and
+	// responses were lost along the way.
+	if got := core.Stats().Ingested; got != int64(len(tweets)) {
+		t.Fatalf("server ingested %d posts, stream has %d", got, len(tweets))
+	}
+
+	// Reconcile the observability counters against the injector's record.
+	cs := cl.RetryStats()
+	counts := clInj.Counts()
+	injectedFailures := counts["drop"] + counts["droprx"] + counts["status"]
+	if injectedFailures == 0 {
+		t.Fatal("probabilistic schedule injected no failures; seed no longer exercises the fault paths")
+	}
+	if cs.Retries != injectedFailures {
+		t.Errorf("client retries = %d, injector failures = %d", cs.Retries, injectedFailures)
+	}
+	m := core.Metrics()
+	if cs.ShedResponses != 0 || m.Sheds != 0 {
+		t.Errorf("no admission configured, but sheds = (client %d, server %d)", cs.ShedResponses, m.Sheds)
+	}
+	if cs.BreakerOpens != 0 {
+		t.Errorf("no breaker configured, but opens = %d", cs.BreakerOpens)
+	}
+	if got, want := m.Quarantines, srvInj.Counts()["panic"]; got != want || got != 1 {
+		t.Errorf("quarantines = %d, injected panics = %d, want exactly 1", got, want)
+	}
+	st, err := core.SubscriptionStats(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Quarantined || !strings.Contains(st.QuarantineReason, "soak-injected") {
+		t.Fatalf("subscription 2 not quarantined as scripted: %+v", st)
+	}
+
+	// Healthy subscriptions: contiguous seqs, no blank texts.
+	for _, id := range ids {
+		if id == 2 {
+			continue
+		}
+		es, err := core.Emissions(id, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(es) == 0 {
+			t.Errorf("subscription %d emitted nothing over an hour of traffic", id)
+		}
+		for i, e := range es {
+			if i > 0 && e.Seq != es[i-1].Seq+1 {
+				t.Fatalf("subscription %d: seq gap %d → %d", id, es[i-1].Seq, e.Seq)
+			}
+			if e.Text == "" {
+				t.Fatalf("subscription %d: blank emission %+v", id, e)
+			}
+		}
+	}
+	t.Logf("soak with faults: %d posts, %d retries (drop %d, droprx %d, 503 %d, delay %d), 1 quarantine",
+		len(tweets), cs.Retries, counts["drop"], counts["droprx"], counts["status"], counts["delay"])
 }
