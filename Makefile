@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-json bench-index bench-obs chaos experiments smoke fuzz vet lint check clean
+.PHONY: all build test test-race bench bench-json bench-index bench-wire bench-obs chaos experiments smoke fuzz fuzz-smoke vet lint check clean
 
 all: build test
 
 # The default verification gate: build, tests, static checks, the chaos
-# suite under the race detector, and the instrumented-vs-disabled solver
-# overhead comparison.
-check: build test vet chaos bench-obs
+# suite under the race detector, the instrumented-vs-disabled solver
+# overhead comparison, and the wire fuzz corpus smoke.
+check: build test vet chaos bench-obs fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,13 @@ bench-json:
 # linear-scan reference in the same run.
 bench-index:
 	$(GO) run ./cmd/mqdp-bench -json-index > BENCH_index.json
+
+# Wire-format comparison: codec micro-benchmarks (JSON vs binary frames,
+# raw and compressed), then the machine-readable baseline with the full
+# server+client e2e ingest/poll cycle per format.
+bench-wire:
+	$(GO) test -run NONE -bench 'Wire' -benchmem ./internal/wire
+	$(GO) run ./cmd/mqdp-bench -json-wire > BENCH_wire.json
 
 # Fault-schedule end-to-end suite under the race detector: scripted drops,
 # delays, 5xx, processor panics and admission sheds driven through
@@ -59,6 +66,14 @@ fuzz:
 	$(GO) test -fuzz=FuzzParseDIMACS -fuzztime=10s ./internal/sat
 	$(GO) test -fuzz=FuzzComputeDeterministic -fuzztime=10s ./internal/simhash
 	$(GO) test -fuzz=FuzzReadPosts -fuzztime=10s ./internal/wire
+	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=10s ./internal/wire
+	$(GO) test -fuzz=FuzzBinaryRoundTrip -fuzztime=10s ./internal/wire
+
+# Replay the checked-in wire fuzz seed corpus (no fuzzing engine): fast
+# enough for `make check`, still catches decoder regressions on the
+# malformed-frame seeds.
+fuzz-smoke:
+	$(GO) test -run 'Fuzz' -count=1 ./internal/wire
 
 # vet fails the build on any vet finding or unformatted file.
 vet:

@@ -19,7 +19,11 @@
 // the inverted-index read-path baseline tracked in BENCH_index.json: each
 // optimized query path (time-skipping term lookup, galloping intersection,
 // bounded top-k search) measured against its naive linear-scan reference in
-// the same run, plus the index obs counters. -trace-dump FILE wires the span
+// the same run, plus the index obs counters. -json-wire emits the wire-format
+// baseline tracked in BENCH_wire.json: encode/decode of an ingest batch in
+// JSON vs the binary frame format (raw and compressed), plus a full
+// server+client e2e ingest/poll cycle per format with an
+// emissions-identical cross-check. -trace-dump FILE wires the span
 // tracer and writes the bounded span journal to FILE after the run ("-" for
 // stderr).
 package main
@@ -54,6 +58,7 @@ func main() {
 	par := flag.Int("parallel", 1, "experiments in flight at once (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit the solver timing baseline as JSON and exit")
 	jsonIndex := flag.Bool("json-index", false, "emit the index read-path baseline as JSON and exit")
+	jsonWire := flag.Bool("json-wire", false, "emit the wire-format codec/e2e baseline as JSON and exit")
 	traceDump := flag.String("trace-dump", "", "write the solver span journal to this file after the run (- for stderr); empty disables tracing")
 	flag.Parse()
 
@@ -100,6 +105,13 @@ func main() {
 			os.Exit(1)
 		}
 		dumpTrace()
+		return
+	}
+	if *jsonWire {
+		if err := writeWireBaseline(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "mqdp-bench: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 	sc := experiments.Full

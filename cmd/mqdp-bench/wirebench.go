@@ -1,0 +1,274 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"mqdp/internal/server"
+	"mqdp/internal/synth"
+	"mqdp/internal/wire"
+)
+
+// WireBaseline is the machine-readable wire-format record emitted by
+// -json-wire and checked in as BENCH_wire.json (regenerate with `make
+// bench-wire`). The codec section measures pure encode/decode of one
+// ingest batch per format; the e2e section drives a full httptest
+// server+client ingest/poll cycle per format and asserts the emission
+// streams are identical, so the binary path's speed never comes at the
+// cost of the exactly-once/byte-identical contracts.
+type WireBaseline struct {
+	Schema             int                `json:"schema"`
+	GoVersion          string             `json:"go_version"`
+	NumCPU             int                `json:"num_cpu"`
+	Workload           WireWorkload       `json:"workload"`
+	Codec              []WireCodecStat    `json:"codec"`
+	E2E                []WireE2EStat      `json:"e2e"`
+	EmissionsIdentical bool               `json:"emissions_identical"`
+	Ratio              map[string]float64 `json:"json_over_binary"`
+}
+
+// WireWorkload records the synthetic tweet stream the numbers were taken on.
+type WireWorkload struct {
+	DurationS  float64 `json:"duration_s"`
+	RatePerSec float64 `json:"rate_per_sec"`
+	Seed       int64   `json:"seed"`
+	Posts      int     `json:"posts"`
+	BatchSize  int     `json:"batch_size"`
+}
+
+// WireCodecStat is one (op, format) measurement over a single batch.
+type WireCodecStat struct {
+	Op           string `json:"op"`     // "encode" or "decode"
+	Format       string `json:"format"` // "json", "binary", "binary_compressed"
+	NsPerOp      int64  `json:"ns_per_op"`
+	AllocsPerOp  int64  `json:"allocs_per_op"`
+	BytesPerOp   int64  `json:"bytes_per_op"`
+	EncodedBytes int    `json:"encoded_bytes"` // serialized batch size
+}
+
+// WireE2EStat is one full ingest+flush+poll cycle through an httptest
+// server with the client pinned to one format.
+type WireE2EStat struct {
+	Format      string  `json:"format"`
+	IngestNs    int64   `json:"ingest_ns"`
+	PollNs      int64   `json:"poll_ns"`
+	Posts       int     `json:"posts"`
+	Emissions   int     `json:"emissions"`
+	PostsPerSec float64 `json:"posts_per_sec"`
+}
+
+// wireBatchSize is the ingest batch the codec benchmarks serialize and
+// the e2e runs send per request — the server client's natural batch shape.
+const wireBatchSize = 512
+
+func writeWireBaseline(w *os.File) error {
+	wl := WireWorkload{DurationS: 600, RatePerSec: 6, Seed: 42, BatchSize: wireBatchSize}
+	world := synth.NewWorld(synth.WorldConfig{Seed: wl.Seed})
+	tweets := synth.TweetStream(world, synth.StreamConfig{
+		Duration:   wl.DurationS,
+		RatePerSec: wl.RatePerSec,
+		DupRatio:   0.05,
+		Seed:       wl.Seed + 1,
+	})
+	wl.Posts = len(tweets)
+	posts := make([]server.Post, len(tweets))
+	for i, tw := range tweets {
+		posts[i] = server.Post{ID: tw.ID, Time: tw.Time, Text: tw.Text}
+	}
+	batch := posts
+	if len(batch) > wireBatchSize {
+		batch = batch[:wireBatchSize]
+	}
+
+	b := WireBaseline{
+		Schema:    1,
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Workload:  wl,
+		Ratio:     map[string]float64{},
+	}
+	b.Codec = codecStats(batch)
+	for _, c := range b.Codec {
+		if c.Format != "json" {
+			continue
+		}
+		for _, d := range b.Codec {
+			if d.Op == c.Op && d.Format == "binary" && d.NsPerOp > 0 {
+				b.Ratio[c.Op] = float64(c.NsPerOp) / float64(d.NsPerOp)
+			}
+		}
+	}
+
+	var emissionStreams []string
+	for _, format := range []string{"json", "binary"} {
+		stat, emissions, err := wireE2E(world, posts, format)
+		if err != nil {
+			return fmt.Errorf("e2e %s: %w", format, err)
+		}
+		b.E2E = append(b.E2E, stat)
+		emissionStreams = append(emissionStreams, emissions)
+	}
+	b.EmissionsIdentical = len(emissionStreams) == 2 && emissionStreams[0] == emissionStreams[1]
+	if !b.EmissionsIdentical {
+		return fmt.Errorf("binary e2e emissions differ from JSON")
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// codecStats measures serialize/deserialize of one ingest batch in each
+// format via testing.Benchmark, so ns/allocs/bytes per op come from the
+// standard benchmark machinery.
+func codecStats(batch []server.Post) []WireCodecStat {
+	sp := make([]wire.StreamPost, len(batch))
+	for i, p := range batch {
+		sp[i] = wire.StreamPost(p)
+	}
+	jsonBytes, err := json.Marshal(batch)
+	if err != nil {
+		panic(err)
+	}
+	enc := wire.GetEncoder()
+	rawFrame := append([]byte(nil), enc.EncodeStreamPosts(sp, 1<<30)...)
+	cmpFrame := append([]byte(nil), enc.EncodeStreamPosts(sp, 0)...)
+	wire.PutEncoder(enc)
+
+	bench := func(op, format string, encoded int, fn func(b *testing.B)) WireCodecStat {
+		r := testing.Benchmark(fn)
+		return WireCodecStat{
+			Op: op, Format: format,
+			NsPerOp:      r.NsPerOp(),
+			AllocsPerOp:  r.AllocsPerOp(),
+			BytesPerOp:   r.AllocedBytesPerOp(),
+			EncodedBytes: encoded,
+		}
+	}
+	return []WireCodecStat{
+		bench("encode", "json", len(jsonBytes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := json.Marshal(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		bench("encode", "binary", len(rawFrame), func(b *testing.B) {
+			e := wire.GetEncoder()
+			defer wire.PutEncoder(e)
+			for i := 0; i < b.N; i++ {
+				_ = e.EncodeStreamPosts(sp, 1<<30)
+			}
+		}),
+		bench("encode", "binary_compressed", len(cmpFrame), func(b *testing.B) {
+			e := wire.GetEncoder()
+			defer wire.PutEncoder(e)
+			for i := 0; i < b.N; i++ {
+				_ = e.EncodeStreamPosts(sp, 0)
+			}
+		}),
+		bench("decode", "json", len(jsonBytes), func(b *testing.B) {
+			out := make([]server.Post, 0, len(batch))
+			for i := 0; i < b.N; i++ {
+				out = out[:0]
+				if err := json.Unmarshal(jsonBytes, &out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		bench("decode", "binary", len(rawFrame), func(b *testing.B) {
+			benchDecodeFrame(b, rawFrame)
+		}),
+		bench("decode", "binary_compressed", len(cmpFrame), func(b *testing.B) {
+			benchDecodeFrame(b, cmpFrame)
+		}),
+	}
+}
+
+func benchDecodeFrame(b *testing.B, frame []byte) {
+	d := wire.GetDecoder()
+	sb := wire.GetStreamBatch()
+	defer wire.PutDecoder(d)
+	defer sb.Release()
+	for i := 0; i < b.N; i++ {
+		_, body, _, err := d.DecodeFrame(frame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sb.Posts, err = wire.AppendStreamPosts(sb.Posts[:0], body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// wireE2E runs one full ingest+flush+poll cycle against an httptest
+// server with the client pinned to format, returning the timing stat and
+// the JSON-marshaled emission streams for cross-format comparison.
+func wireE2E(world *synth.World, posts []server.Post, format string) (WireE2EStat, string, error) {
+	s := server.New(3, 128)
+	ts := httptest.NewServer(server.Handler(s))
+	defer ts.Close()
+	c := server.NewClient(ts.URL)
+	c.DisableBinaryWire = format == "json"
+
+	rng := rand.New(rand.NewSource(7))
+	var subIDs []int64
+	for i, algo := range []string{"streamscan", "streamscan+", "instant"} {
+		id, err := c.Subscribe(server.SubscriptionConfig{
+			Topics:    world.MatchTopics(world.SampleLabelSet(rng, 2+i%3)),
+			Lambda:    60,
+			Tau:       float64(15 * i),
+			Algorithm: algo,
+		})
+		if err != nil {
+			return WireE2EStat{}, "", err
+		}
+		subIDs = append(subIDs, id)
+	}
+
+	start := time.Now()
+	for off := 0; off < len(posts); off += wireBatchSize {
+		end := off + wireBatchSize
+		if end > len(posts) {
+			end = len(posts)
+		}
+		if err := c.Ingest(posts[off:end]...); err != nil {
+			return WireE2EStat{}, "", err
+		}
+	}
+	ingestNs := time.Since(start)
+	if err := c.Flush(); err != nil {
+		return WireE2EStat{}, "", err
+	}
+
+	pollStart := time.Now()
+	total := 0
+	var all []server.Emission
+	for _, id := range subIDs {
+		es, err := c.Emissions(id, 0, 0)
+		if err != nil {
+			return WireE2EStat{}, "", err
+		}
+		total += len(es)
+		all = append(all, es...)
+	}
+	pollNs := time.Since(pollStart)
+	blob, err := json.Marshal(all)
+	if err != nil {
+		return WireE2EStat{}, "", err
+	}
+	return WireE2EStat{
+		Format:      format,
+		IngestNs:    int64(ingestNs),
+		PollNs:      int64(pollNs),
+		Posts:       len(posts),
+		Emissions:   total,
+		PostsPerSec: float64(len(posts)) / ingestNs.Seconds(),
+	}, string(blob), nil
+}

@@ -1,13 +1,16 @@
 // Command mqdp-datagen emits the synthetic datasets used throughout this
-// reproduction, as JSON lines on stdout.
+// reproduction, as JSON lines on stdout or — when -o names a .mqdw file —
+// as the compact binary frame format.
 //
 //	mqdp-datagen -kind posts  -duration 600 -labels 3 -overlap 1.5 -rate 1
+//	mqdp-datagen -kind posts  -duration 600 -o posts.mqdw
 //	mqdp-datagen -kind tweets -duration 3600 -rate 5.8 -dup 0.1
 //	mqdp-datagen -kind news   -articles 2000
 //
 // "posts" are abstract (timestamp, label set) records consumable by the
 // mqdp and mqdp-stream commands; "tweets" are timestamped texts for the full
-// index/match/dedup pipeline; "news" are topical articles for LDA.
+// index/match/dedup pipeline; "news" are topical articles for LDA (JSON
+// only — they have no binary frame kind).
 package main
 
 import (
@@ -15,13 +18,19 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
+	"strings"
 
+	"mqdp/internal/core"
 	"mqdp/internal/synth"
+	"mqdp/internal/wire"
 )
 
 func main() {
 	kind := flag.String("kind", "posts", "dataset kind: posts, tweets, news")
+	out := flag.String("o", "-", "output file (.mqdw selects the binary frame format), or - for JSONL on stdout")
 	duration := flag.Float64("duration", 600, "stream duration in seconds (posts, tweets)")
 	rate := flag.Float64("rate", 1, "mean arrivals per second (posts, tweets)")
 	labels := flag.Int("labels", 3, "label-space size (posts)")
@@ -32,17 +41,32 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	flag.Parse()
 
-	w := bufio.NewWriter(os.Stdout)
+	dst := io.Writer(os.Stdout)
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mqdp-datagen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		dst = f
+	}
+	binary := strings.HasSuffix(*out, ".mqdw")
+
+	w := bufio.NewWriter(dst)
 	defer w.Flush()
-	enc := json.NewEncoder(w)
 	var err error
 	switch *kind {
 	case "posts":
-		err = genPosts(enc, *duration, *rate, *labels, *overlap, *diurnal, *seed)
+		err = genPosts(w, binary, *duration, *rate, *labels, *overlap, *diurnal, *seed)
 	case "tweets":
-		err = genTweets(enc, *duration, *rate, *dup, *diurnal, *seed)
+		err = genTweets(w, binary, *duration, *rate, *dup, *diurnal, *seed)
 	case "news":
-		err = genNews(enc, *articles, *seed)
+		if binary {
+			err = fmt.Errorf("kind news has no binary format; use a non-.mqdw output")
+		} else {
+			err = genNews(json.NewEncoder(w), *articles, *seed)
+		}
 	default:
 		err = fmt.Errorf("unknown kind %q", *kind)
 	}
@@ -52,7 +76,7 @@ func main() {
 	}
 }
 
-func genPosts(enc *json.Encoder, duration, rate float64, labels int, overlap float64, diurnal bool, seed int64) error {
+func genPosts(w io.Writer, binary bool, duration, rate float64, labels int, overlap float64, diurnal bool, seed int64) error {
 	posts := synth.GeneratePosts(synth.PostStreamConfig{
 		Duration:   duration,
 		RatePerSec: rate,
@@ -61,7 +85,27 @@ func genPosts(enc *json.Encoder, duration, rate float64, labels int, overlap flo
 		Diurnal:    diurnal,
 		Seed:       seed,
 	})
-	type wire struct {
+	if binary {
+		// Intern names in encounter order — the same order wire.ReadPosts
+		// would intern them from the JSONL emission — so downstream tools
+		// produce byte-identical output whichever format they consumed.
+		var dict core.Dictionary
+		bw := wire.NewBinaryWriter(w, &dict)
+		var ids []core.Label
+		for _, p := range posts {
+			ids = ids[:0]
+			for _, a := range p.Labels {
+				ids = append(ids, dict.Intern(fmt.Sprintf("label%d", a)))
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			if err := bw.Write(core.Post{ID: p.ID, Value: p.Value, Labels: ids}); err != nil {
+				return err
+			}
+		}
+		return bw.Flush()
+	}
+	enc := json.NewEncoder(w)
+	type wireJSON struct {
 		ID     int64    `json:"id"`
 		Value  float64  `json:"value"`
 		Labels []string `json:"labels"`
@@ -71,14 +115,14 @@ func genPosts(enc *json.Encoder, duration, rate float64, labels int, overlap flo
 		for i, a := range p.Labels {
 			names[i] = fmt.Sprintf("label%d", a)
 		}
-		if err := enc.Encode(wire{ID: p.ID, Value: p.Value, Labels: names}); err != nil {
+		if err := enc.Encode(wireJSON{ID: p.ID, Value: p.Value, Labels: names}); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func genTweets(enc *json.Encoder, duration, rate, dup float64, diurnal bool, seed int64) error {
+func genTweets(w io.Writer, binary bool, duration, rate, dup float64, diurnal bool, seed int64) error {
 	world := synth.NewWorld(synth.WorldConfig{Seed: seed})
 	tweets := synth.TweetStream(world, synth.StreamConfig{
 		Duration:   duration,
@@ -87,13 +131,21 @@ func genTweets(enc *json.Encoder, duration, rate, dup float64, diurnal bool, see
 		Diurnal:    diurnal,
 		Seed:       seed + 1,
 	})
-	type wire struct {
+	if binary {
+		sp := make([]wire.StreamPost, len(tweets))
+		for i, tw := range tweets {
+			sp[i] = wire.StreamPost{ID: tw.ID, Time: tw.Time, Text: tw.Text}
+		}
+		return wire.WriteStreamPosts(w, sp, 0, wire.DefaultCompressThreshold)
+	}
+	enc := json.NewEncoder(w)
+	type wireJSON struct {
 		ID   int64   `json:"id"`
 		Time float64 `json:"time"`
 		Text string  `json:"text"`
 	}
 	for _, tw := range tweets {
-		if err := enc.Encode(wire{ID: tw.ID, Time: tw.Time, Text: tw.Text}); err != nil {
+		if err := enc.Encode(wireJSON{ID: tw.ID, Time: tw.Time, Text: tw.Text}); err != nil {
 			return err
 		}
 	}

@@ -5,6 +5,9 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"mqdp/internal/core"
+	"mqdp/internal/wire"
 )
 
 func decodeLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
@@ -25,7 +28,7 @@ func decodeLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
 
 func TestGenPosts(t *testing.T) {
 	var buf bytes.Buffer
-	if err := genPosts(json.NewEncoder(&buf), 120, 1, 3, 1.5, false, 1); err != nil {
+	if err := genPosts(&buf, false, 120, 1, 3, 1.5, false, 1); err != nil {
 		t.Fatal(err)
 	}
 	rows := decodeLines(t, &buf)
@@ -47,7 +50,7 @@ func TestGenPosts(t *testing.T) {
 
 func TestGenTweets(t *testing.T) {
 	var buf bytes.Buffer
-	if err := genTweets(json.NewEncoder(&buf), 120, 2, 0.1, false, 1); err != nil {
+	if err := genTweets(&buf, false, 120, 2, 0.1, false, 1); err != nil {
 		t.Fatal(err)
 	}
 	rows := decodeLines(t, &buf)
@@ -72,12 +75,71 @@ func TestGenNews(t *testing.T) {
 	}
 }
 
-func TestGenPostsDeterministic(t *testing.T) {
-	var a, b bytes.Buffer
-	if err := genPosts(json.NewEncoder(&a), 60, 1, 2, 1.2, true, 7); err != nil {
+// TestGenPostsBinaryMatchesJSON decodes a binary posts dataset and checks
+// it is record-for-record identical to the JSONL emission.
+func TestGenPostsBinaryMatchesJSON(t *testing.T) {
+	var jb, bb bytes.Buffer
+	if err := genPosts(&jb, false, 120, 1, 3, 1.5, false, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := genPosts(json.NewEncoder(&b), 60, 1, 2, 1.2, true, 7); err != nil {
+	if err := genPosts(&bb, true, 120, 1, 3, 1.5, false, 1); err != nil {
+		t.Fatal(err)
+	}
+	var jdict, bdict core.Dictionary
+	want, err := wire.ReadPostsAuto(bytes.NewReader(jb.Bytes()), &jdict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := wire.ReadPostsAuto(bytes.NewReader(bb.Bytes()), &bdict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) || len(got) == 0 {
+		t.Fatalf("binary decoded %d posts, JSONL %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID || got[i].Value != want[i].Value {
+			t.Fatalf("post %d: binary %+v, JSONL %+v", i, got[i], want[i])
+		}
+		for j, a := range want[i].Labels {
+			if bdict.Name(got[i].Labels[j]) != jdict.Name(a) {
+				t.Fatalf("post %d label %d: binary %q, JSONL %q",
+					i, j, bdict.Name(got[i].Labels[j]), jdict.Name(a))
+			}
+		}
+	}
+}
+
+// TestGenTweetsBinaryMatchesJSON does the same for the tweet stream shape.
+func TestGenTweetsBinaryMatchesJSON(t *testing.T) {
+	var jb, bb bytes.Buffer
+	if err := genTweets(&jb, false, 120, 2, 0.1, false, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := genTweets(&bb, true, 120, 2, 0.1, false, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := wire.ReadStreamPosts(bytes.NewReader(bb.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := decodeLines(t, &jb)
+	if len(got) != len(rows) || len(got) == 0 {
+		t.Fatalf("binary decoded %d tweets, JSONL %d", len(got), len(rows))
+	}
+	for i, r := range rows {
+		if got[i].ID != int64(r["id"].(float64)) || got[i].Text != r["text"].(string) {
+			t.Fatalf("tweet %d: binary %+v, JSONL %+v", i, got[i], r)
+		}
+	}
+}
+
+func TestGenPostsDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := genPosts(&a, false, 60, 1, 2, 1.2, true, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := genPosts(&b, false, 60, 1, 2, 1.2, true, 7); err != nil {
 		t.Fatal(err)
 	}
 	if a.String() != b.String() {

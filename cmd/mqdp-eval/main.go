@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	input := flag.String("input", "-", "input file of JSONL posts, or - for stdin")
+	input := flag.String("input", "-", "input file of JSONL or binary .mqdw posts, or - for stdin")
 	lambda := flag.Float64("lambda", 60, "coverage threshold λ")
 	tau := flag.Float64("tau", 30, "streaming decision delay τ")
 	withOPT := flag.Bool("opt", false, "also run the exact DP (small instances only)")
@@ -47,7 +47,7 @@ func main() {
 // identical to serial; only the timing column reacts).
 func run(r io.Reader, w io.Writer, lambda, tau float64, withOPT bool, parallelism int) error {
 	var dict core.Dictionary
-	posts, err := wire.ReadPosts(r, &dict)
+	posts, err := wire.ReadPostsAuto(r, &dict)
 	if err != nil {
 		return err
 	}

@@ -1,8 +1,10 @@
 // Command mqdp-stream diversifies a post stream (StreamMQDP, Problem 2):
-// it reads JSONL posts in timestamp order and prints each emission as soon
+// it reads posts in timestamp order — JSON lines or a binary .mqdw frame
+// stream, detected by the magic bytes — and prints each emission as soon
 // as its decision deadline elapses in event time.
 //
 //	mqdp-datagen -kind posts -duration 600 | mqdp-stream -lambda 30 -tau 10 -algo streamscan+
+//	mqdp-datagen -kind posts -o posts.mqdw && mqdp-stream -input posts.mqdw -lambda 30
 package main
 
 import (
@@ -30,7 +32,7 @@ type wireEmission struct {
 }
 
 func main() {
-	input := flag.String("input", "-", "input file of JSONL posts in time order, or - for stdin")
+	input := flag.String("input", "-", "input file of JSONL or binary .mqdw posts in time order, or - for stdin")
 	lambda := flag.Float64("lambda", 60, "coverage threshold λ")
 	tau := flag.Float64("tau", 30, "maximum reporting delay τ")
 	algo := flag.String("algo", "streamscan", "algorithm: streamscan, streamscan+, streamgreedy, streamgreedy+, instant")
@@ -100,9 +102,60 @@ func run(r io.Reader, out, errw io.Writer, lambda, tau float64, algoName string)
 		return nil
 	}
 
+	seen, emitted := 0, 0
+	process := func(p mqdp.Post, at string) error {
+		es, err := proc.Process(p)
+		if err != nil {
+			return fmt.Errorf("%s: %w", at, err)
+		}
+		seen++
+		emitted += len(es)
+		return emit(es)
+	}
+
+	br := bufio.NewReaderSize(r, 64*1024)
+	if wire.SniffBinary(br) {
+		// Binary frames carry dense interned labels already sorted and
+		// deduplicated, so batches feed the processor directly.
+		rd := wire.NewBinaryReader(br, &dict)
+		batchNo := 0
+		for {
+			batch, err := rd.ReadBatch()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return fmt.Errorf("frame %d: %w", batchNo+1, err)
+			}
+			batchNo++
+			for _, p := range batch {
+				if n := len(p.Labels); n > 0 && int(p.Labels[n-1]) >= maxLabels {
+					return fmt.Errorf("frame %d: more than %d distinct labels", batchNo, maxLabels)
+				}
+				if err := process(p, fmt.Sprintf("frame %d", batchNo)); err != nil {
+					return err
+				}
+			}
+		}
+	} else if err := runJSONL(br, &dict, maxLabels, process); err != nil {
+		return err
+	}
+	es := proc.Flush()
+	emitted += len(es)
+	if err := emit(es); err != nil {
+		return err
+	}
+	fmt.Fprintf(errw, "mqdp-stream: %s emitted %d of %d posts (λ=%v, τ=%v)\n",
+		proc.Name(), emitted, seen, lambda, tau)
+	return nil
+}
+
+// runJSONL replays a JSONL post stream through process, interning label
+// names into dict online.
+func runJSONL(r io.Reader, dict *core.Dictionary, maxLabels int, process func(mqdp.Post, string) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	seen, emitted, lineNo := 0, 0, 0
+	lineNo := 0
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -123,27 +176,12 @@ func run(r io.Reader, out, errw io.Writer, lambda, tau float64, algoName string)
 		// Processors expect sorted, deduplicated label sets.
 		sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
 		labels = dedupLabels(labels)
-		es, err := proc.Process(mqdp.Post{ID: wp.ID, Value: wp.Value, Labels: labels})
-		if err != nil {
-			return fmt.Errorf("line %d: %w", lineNo, err)
-		}
-		seen++
-		emitted += len(es)
-		if err := emit(es); err != nil {
+		post := mqdp.Post{ID: wp.ID, Value: wp.Value, Labels: labels}
+		if err := process(post, fmt.Sprintf("line %d", lineNo)); err != nil {
 			return err
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return err
-	}
-	es := proc.Flush()
-	emitted += len(es)
-	if err := emit(es); err != nil {
-		return err
-	}
-	fmt.Fprintf(errw, "mqdp-stream: %s emitted %d of %d posts (λ=%v, τ=%v)\n",
-		proc.Name(), emitted, seen, lambda, tau)
-	return nil
+	return sc.Err()
 }
 
 // dedupLabels removes adjacent duplicates from a sorted label slice.

@@ -5,6 +5,9 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"mqdp/internal/core"
+	"mqdp/internal/wire"
 )
 
 const streamInput = `{"id":1,"value":0,"labels":["a"]}
@@ -42,6 +45,35 @@ func TestRunAllProcessors(t *testing.T) {
 		if !strings.Contains(errw.String(), "emitted") {
 			t.Errorf("%s: missing summary %q", algo, errw.String())
 		}
+	}
+}
+
+// TestRunBinaryInput replays the same stream as binary frames: the
+// emission sequence must be byte-identical to the JSONL replay.
+func TestRunBinaryInput(t *testing.T) {
+	var dict core.Dictionary
+	posts, err := wire.ReadPosts(strings.NewReader(streamInput), &dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bin bytes.Buffer
+	bw := wire.NewBinaryWriter(&bin, &dict)
+	bw.BatchSize = 2 // force multiple frames with dictionary deltas
+	if err := bw.WriteBatch(posts); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var jsonOut, binOut, errw bytes.Buffer
+	if err := run(strings.NewReader(streamInput), &jsonOut, &errw, 1, 1, "streamscan"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bytes.NewReader(bin.Bytes()), &binOut, &errw, 1, 1, "streamscan"); err != nil {
+		t.Fatal(err)
+	}
+	if jsonOut.String() != binOut.String() {
+		t.Errorf("binary emissions differ from JSONL:\nJSONL: %s\nbinary: %s", jsonOut.String(), binOut.String())
 	}
 }
 

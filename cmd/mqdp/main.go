@@ -5,10 +5,14 @@
 //	{"id": 17, "value": 1370000000, "labels": ["obama", "economy"]}
 //
 // where value is the post's coordinate on the diversity dimension (e.g. a
-// unix timestamp or a sentiment score). The selected representative posts
-// are printed back as JSON lines; a summary goes to stderr.
+// unix timestamp or a sentiment score). Binary .mqdw files (mqdp-datagen
+// -o posts.mqdw) are detected automatically by their magic bytes. The
+// selected representative posts are printed back in the input's spirit —
+// JSON lines by default, or the binary frame format when -output ends in
+// .mqdw; a summary goes to stderr.
 //
 //	mqdp -lambda 3600 -algo greedysc < posts.jsonl > cover.jsonl
+//	mqdp -lambda 3600 -input posts.mqdw -output cover.mqdw
 //	mqdp-datagen -kind posts | mqdp -lambda 60 -algo scan+
 package main
 
@@ -25,7 +29,8 @@ import (
 )
 
 func main() {
-	input := flag.String("input", "-", "input file of JSONL posts, or - for stdin")
+	input := flag.String("input", "-", "input file of JSONL or binary .mqdw posts, or - for stdin")
+	output := flag.String("output", "-", "output file for the cover (.mqdw selects the binary format), or - for stdout")
 	lambda := flag.Float64("lambda", 60, "coverage threshold λ on the diversity dimension")
 	algo := flag.String("algo", "scan", "algorithm: scan, scan+, greedysc, opt, exhaustive")
 	proportional := flag.Bool("proportional", false, "use §6 density-adaptive thresholds (λ is λ0)")
@@ -43,17 +48,28 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	if err := run(r, os.Stdout, os.Stderr, *lambda, *algo, *proportional, *stats, *parallelism); err != nil {
+	out := io.Writer(os.Stdout)
+	if *output != "-" {
+		f, err := os.Create(*output)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mqdp: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	binaryOut := strings.HasSuffix(*output, ".mqdw")
+	if err := run(r, out, os.Stderr, *lambda, *algo, *proportional, *stats, *parallelism, binaryOut); err != nil {
 		fmt.Fprintf(os.Stderr, "mqdp: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-// run reads JSONL posts from r, solves, and writes the cover to out and a
-// summary line to errw.
-func run(r io.Reader, out, errw io.Writer, lambda float64, algoName string, proportional, withStats bool, parallelism int) error {
+// run reads posts from r (JSONL or binary, sniffed), solves, and writes
+// the cover to out and a summary line to errw.
+func run(r io.Reader, out, errw io.Writer, lambda float64, algoName string, proportional, withStats bool, parallelism int, binaryOut bool) error {
 	var dict core.Dictionary
-	posts, err := wire.ReadPosts(r, &dict)
+	posts, err := wire.ReadPostsAuto(r, &dict)
 	if err != nil {
 		return err
 	}
@@ -74,14 +90,26 @@ func run(r io.Reader, out, errw io.Writer, lambda float64, algoName string, prop
 	if err != nil {
 		return err
 	}
-	w := wire.NewWriter(out, &dict)
-	for _, i := range cover.Selected {
-		if err := w.Write(inst.Post(i)); err != nil {
+	if binaryOut {
+		bw := wire.NewBinaryWriter(out, &dict)
+		for _, i := range cover.Selected {
+			if err := bw.Write(inst.Post(i)); err != nil {
+				return err
+			}
+		}
+		if err := bw.Flush(); err != nil {
 			return err
 		}
-	}
-	if err := w.Flush(); err != nil {
-		return err
+	} else {
+		w := wire.NewWriter(out, &dict)
+		for _, i := range cover.Selected {
+			if err := w.Write(inst.Post(i)); err != nil {
+				return err
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintf(errw, "mqdp: %s selected %d of %d posts (λ=%v, %d labels) in %v\n",
 		cover.Algorithm, cover.Size(), inst.Len(), lambda, dict.Len(), cover.Elapsed.Round(1000))

@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"mqdp/internal/core"
+	"mqdp/internal/wire"
 )
 
 const sampleInput = `{"id":1,"value":0,"labels":["a"]}
@@ -15,7 +18,7 @@ const sampleInput = `{"id":1,"value":0,"labels":["a"]}
 func TestRunAllAlgorithms(t *testing.T) {
 	for _, algo := range []string{"scan", "scan+", "greedysc", "opt", "exhaustive"} {
 		var out, errw bytes.Buffer
-		if err := run(strings.NewReader(sampleInput), &out, &errw, 1, algo, false, false, 1); err != nil {
+		if err := run(strings.NewReader(sampleInput), &out, &errw, 1, algo, false, false, 1, false); err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
 		lines := strings.Count(out.String(), "\n")
@@ -30,7 +33,7 @@ func TestRunAllAlgorithms(t *testing.T) {
 
 func TestRunProportional(t *testing.T) {
 	var out, errw bytes.Buffer
-	if err := run(strings.NewReader(sampleInput), &out, &errw, 1, "scan", true, false, 1); err != nil {
+	if err := run(strings.NewReader(sampleInput), &out, &errw, 1, "scan", true, false, 1, false); err != nil {
 		t.Fatal(err)
 	}
 	if out.Len() == 0 {
@@ -40,13 +43,13 @@ func TestRunProportional(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out, errw bytes.Buffer
-	if err := run(strings.NewReader(sampleInput), &out, &errw, 1, "bogus", false, false, 1); err == nil {
+	if err := run(strings.NewReader(sampleInput), &out, &errw, 1, "bogus", false, false, 1, false); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
-	if err := run(strings.NewReader("{broken"), &out, &errw, 1, "scan", false, false, 1); err == nil {
+	if err := run(strings.NewReader("{broken"), &out, &errw, 1, "scan", false, false, 1, false); err == nil {
 		t.Error("broken input accepted")
 	}
-	if err := run(strings.NewReader(sampleInput), &out, &errw, -5, "scan", false, false, 1); err == nil {
+	if err := run(strings.NewReader(sampleInput), &out, &errw, -5, "scan", false, false, 1, false); err == nil {
 		t.Error("negative lambda accepted")
 	}
 }
@@ -68,9 +71,52 @@ func TestParseAlgo(t *testing.T) {
 	}
 }
 
+// TestRunBinaryRoundTrip drives run with binary input and output: the
+// cover must match the JSONL run post-for-post.
+func TestRunBinaryRoundTrip(t *testing.T) {
+	var dict core.Dictionary
+	posts, err := wire.ReadPosts(strings.NewReader(sampleInput), &dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bin bytes.Buffer
+	bw := wire.NewBinaryWriter(&bin, &dict)
+	if err := bw.WriteBatch(posts); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var jsonOut, binOut, errw bytes.Buffer
+	if err := run(strings.NewReader(sampleInput), &jsonOut, &errw, 1, "scan", false, false, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bytes.NewReader(bin.Bytes()), &binOut, &errw, 1, "scan", false, false, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	var jdict, bdict core.Dictionary
+	want, err := wire.ReadPostsAuto(bytes.NewReader(jsonOut.Bytes()), &jdict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := wire.ReadPostsAuto(bytes.NewReader(binOut.Bytes()), &bdict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("binary cover has %d posts, JSONL has %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID || got[i].Value != want[i].Value {
+			t.Errorf("post %d: binary %+v, JSONL %+v", i, got[i], want[i])
+		}
+	}
+}
+
 func TestRunStatsFlag(t *testing.T) {
 	var out, errw bytes.Buffer
-	if err := run(strings.NewReader(sampleInput), &out, &errw, 1, "greedysc", false, true, 1); err != nil {
+	if err := run(strings.NewReader(sampleInput), &out, &errw, 1, "greedysc", false, true, 1, false); err != nil {
 		t.Fatal(err)
 	}
 	report := errw.String()

@@ -17,6 +17,7 @@ import (
 
 	"mqdp/internal/obs"
 	"mqdp/internal/resilience"
+	"mqdp/internal/wire"
 )
 
 // defaultHTTPClient backs clients whose HTTPClient is nil. Unlike
@@ -41,6 +42,15 @@ type Client struct {
 	// idempotency keys, and an optional circuit breaker fails fast
 	// after consecutive failures.
 	Retry *RetryPolicy
+	// DisableBinaryWire forces JSON bodies everywhere. By default the
+	// client prefers the binary frame format (Content-Type on ingest,
+	// Accept on polls) and falls back to JSON permanently after the
+	// first 415 from a server that doesn't speak it.
+	DisableBinaryWire bool
+
+	// binaryUnsupported latches after a 415: the server doesn't (or no
+	// longer) accepts frames, so all later calls go straight to JSON.
+	binaryUnsupported atomic.Bool
 
 	// Retry-decision observability; registered by SetObs, readable
 	// anytime via RetryStats.
@@ -190,30 +200,59 @@ func StatusCode(err error) int {
 	return 0
 }
 
+// useBinary reports whether this call should attempt the binary frame
+// format.
+func (c *Client) useBinary() bool {
+	return !c.DisableBinaryWire && !c.binaryUnsupported.Load()
+}
+
 // do runs one request with no retries (context.Background, legacy shape).
 func (c *Client) do(method, path string, body, out any) error {
 	return c.doCtx(context.Background(), method, path, body, out, "")
 }
 
-// doCtx runs exactly one attempt: marshal, send, decode. A non-2xx
-// response becomes an *APIError wrapped with "method path" context; a
-// transport failure is wrapped the same way so every error identifies
-// the call that failed.
+// doCtx runs exactly one JSON attempt: marshal, send, decode.
 func (c *Client) doCtx(ctx context.Context, method, path string, body, out any, idemKey string) error {
-	var rd io.Reader
+	var buf []byte
+	contentType := ""
 	if body != nil {
-		buf, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if buf, err = json.Marshal(body); err != nil {
 			return err
 		}
-		rd = bytes.NewReader(buf)
+		contentType = wire.ContentTypeJSON
+	}
+	return c.doHTTP(ctx, method, path, buf, contentType, "", idemKey, jsonSink(out))
+}
+
+// jsonSink decodes a 2xx response body as JSON into out (nil skips it).
+func jsonSink(out any) func(*http.Response) error {
+	if out == nil {
+		return nil
+	}
+	return func(resp *http.Response) error {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+}
+
+// doHTTP runs exactly one attempt: send a preencoded body, map non-2xx to
+// *APIError wrapped with "method path" context (transport failures are
+// wrapped the same way so every error identifies the call that failed),
+// and hand 2xx responses to sink.
+func (c *Client) doHTTP(ctx context.Context, method, path string, body []byte, contentType, accept, idemKey string, sink func(*http.Response) error) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 	if err != nil {
 		return err
 	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
 	}
 	if idemKey != "" {
 		req.Header.Set("Idempotency-Key", idemKey)
@@ -238,10 +277,10 @@ func (c *Client) doCtx(ctx context.Context, method, path string, body, out any, 
 		}
 		return fmt.Errorf("server: %s %s: %w", method, opPath, ae)
 	}
-	if out == nil {
+	if sink == nil {
 		return nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return sink(resp)
 }
 
 // serverFault classifies an error for the breaker: service-health
@@ -291,29 +330,37 @@ func retrySleep(ctx context.Context, err error, bo *resilience.Backoff) error {
 	return resilience.Sleep(ctx, bo.Next())
 }
 
-// call drives one logical request through the retry policy. idempotent
-// marks calls safe to repeat after an ambiguous failure.
+// call drives one logical JSON request through the retry policy.
+// idempotent marks calls safe to repeat after an ambiguous failure.
 func (c *Client) call(ctx context.Context, method, path string, body, out any, idempotent bool) error {
+	return c.callAttempt(ctx, method, path, idempotent, func(ctx context.Context) error {
+		return c.doCtx(ctx, method, path, body, out, "")
+	})
+}
+
+// callAttempt drives one logical request (whatever its encoding) through
+// the retry policy.
+func (c *Client) callAttempt(ctx context.Context, method, path string, idempotent bool, attempt func(context.Context) error) error {
 	rp := c.Retry
 	if rp == nil {
-		return c.doCtx(ctx, method, path, body, out, "")
+		return attempt(ctx)
 	}
 	br := c.breakerFor(rp)
 	bo := rp.backoff(rp.Seed + c.calls.Add(1))
 	var err error
-	for attempt := 1; ; attempt++ {
+	for try := 1; ; try++ {
 		if br != nil && !br.Allow() {
 			opPath, _, _ := strings.Cut(path, "?")
 			return fmt.Errorf("server: %s %s: %w", method, opPath, resilience.ErrBreakerOpen)
 		}
-		err = c.doCtx(ctx, method, path, body, out, "")
+		err = attempt(ctx)
 		if br != nil {
 			br.Record(!serverFault(err))
 		}
 		if err == nil {
 			return nil
 		}
-		if !retryable(idempotent, err) || attempt >= rp.maxAttempts() || ctx.Err() != nil {
+		if !retryable(idempotent, err) || try >= rp.maxAttempts() || ctx.Err() != nil {
 			return err
 		}
 		c.retries.Inc()
@@ -420,11 +467,37 @@ func (c *Client) IngestAcceptedContext(ctx context.Context, posts ...Post) (acce
 	}
 }
 
-// doIngest runs one POST /ingest attempt. got reports whether a genuine
-// server outcome (an IngestResult, success or error) was received — the
-// signal that distinguishes "the server decided" from "we cannot know".
+// doIngest runs one POST /ingest attempt, preferring the binary frame
+// format and falling back (permanently) to JSON when the server answers
+// 415. got reports whether a genuine server outcome (an IngestResult,
+// success or error) was received — the signal that distinguishes "the
+// server decided" from "we cannot know". A 415 never applies the batch,
+// so the JSON resend inside the same attempt stays exactly-once.
 func (c *Client) doIngest(ctx context.Context, posts []Post, key string) (res IngestResult, got bool, err error) {
-	err = c.doCtx(ctx, http.MethodPost, "/ingest", posts, &res, key)
+	if c.useBinary() {
+		res, got, err = c.doIngestOnce(ctx, posts, key, true)
+		if StatusCode(err) != http.StatusUnsupportedMediaType {
+			return res, got, err
+		}
+		c.binaryUnsupported.Store(true)
+	}
+	return c.doIngestOnce(ctx, posts, key, false)
+}
+
+func (c *Client) doIngestOnce(ctx context.Context, posts []Post, key string, binary bool) (res IngestResult, got bool, err error) {
+	if binary {
+		enc := wire.GetEncoder()
+		sb := wire.GetStreamBatch()
+		for _, p := range posts {
+			sb.Posts = append(sb.Posts, wire.StreamPost(p))
+		}
+		frame := enc.EncodeStreamPosts(sb.Posts, wire.DefaultCompressThreshold)
+		err = c.doHTTP(ctx, http.MethodPost, "/ingest", frame, wire.ContentTypeBinary, "", key, jsonSink(&res))
+		sb.Release()
+		wire.PutEncoder(enc)
+	} else {
+		err = c.doCtx(ctx, http.MethodPost, "/ingest", posts, &res, key)
+	}
 	if err == nil {
 		return res, true, nil
 	}
@@ -444,14 +517,45 @@ func (c *Client) Emissions(id, after int64, limit int) ([]Emission, error) {
 	return c.EmissionsContext(context.Background(), id, after, limit)
 }
 
-// EmissionsContext is Emissions honoring ctx.
+// EmissionsContext is Emissions honoring ctx. The poll negotiates the
+// binary frame format via Accept; a server that ignores it answers JSON
+// and the response is decoded by its Content-Type, so either way works.
 func (c *Client) EmissionsContext(ctx context.Context, id, after int64, limit int) ([]Emission, error) {
 	path := fmt.Sprintf("/subscriptions/%d/emissions?after=%d", id, after)
 	if limit > 0 {
 		path += fmt.Sprintf("&limit=%d", limit)
 	}
 	var out []Emission
-	if err := c.call(ctx, http.MethodGet, path, nil, &out, true); err != nil {
+	err := c.callAttempt(ctx, http.MethodGet, path, true, func(ctx context.Context) error {
+		accept := ""
+		if c.useBinary() {
+			accept = wire.ContentTypeBinary
+		}
+		return c.doHTTP(ctx, http.MethodGet, path, nil, "", accept, "", func(resp *http.Response) error {
+			out = out[:0]
+			if !wire.IsBinary(resp.Header.Get("Content-Type")) {
+				return json.NewDecoder(resp.Body).Decode(&out)
+			}
+			dec := wire.GetDecoder()
+			defer wire.PutDecoder(dec)
+			kind, body, err := dec.ReadFrame(resp.Body)
+			if err != nil {
+				return fmt.Errorf("emissions frame: %w", err)
+			}
+			if kind != wire.KindEmissions {
+				return fmt.Errorf("emissions frame: %w: unexpected kind 0x%02x", wire.ErrCorrupt, kind)
+			}
+			wes, err := wire.AppendEmissions(nil, body)
+			if err != nil {
+				return fmt.Errorf("emissions frame: %w", err)
+			}
+			for _, we := range wes {
+				out = append(out, Emission(we))
+			}
+			return nil
+		})
+	})
+	if err != nil {
 		return nil, err
 	}
 	return out, nil

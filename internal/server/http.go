@@ -1,15 +1,19 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"mqdp/internal/digest"
+	"mqdp/internal/wire"
 )
 
 // Handler exposes the Server over HTTP:
@@ -17,10 +21,17 @@ import (
 //	POST   /subscriptions                 {topics, lambda, tau, algorithm} → {"id": N}
 //	DELETE /subscriptions/{id}
 //	GET    /subscriptions/{id}/emissions?after=SEQ&limit=K → [Emission]
+//	                                      (or one binary emissions frame when the
+//	                                      request Accepts application/x-mqdp-frame)
 //	GET    /subscriptions/{id}/stats      → SubscriptionStats
 //	POST   /ingest                        Post or [Post] → {"accepted": N} (on a
 //	                                      mid-batch error: {"accepted": N, "error": ...}
 //	                                      with N = posts ingested before the failure).
+//	                                      Bodies may alternatively be one binary
+//	                                      stream-post frame (Content-Type
+//	                                      application/x-mqdp-frame, see
+//	                                      internal/wire); responses stay JSON.
+//	                                      415 when the binary format is disabled.
 //	                                      When the admission controller sheds, the
 //	                                      reply is 429 with a Retry-After header and
 //	                                      the batch is untouched; when the ingest
@@ -82,6 +93,13 @@ func Handler(s *Server) http.Handler {
 			if es == nil {
 				es = []Emission{}
 			}
+			// Content negotiation: a client accepting the binary frame
+			// format gets a KindEmissions frame; everyone else gets the
+			// identical data as JSON (the default).
+			if wire.AcceptsBinary(r.Header.Get("Accept")) && !s.binaryWireDisabled.Load() {
+				writeBinaryEmissions(w, es)
+				return
+			}
 			writeJSON(w, es)
 		case len(parts) == 2 && parts[1] == "digest" && r.Method == http.MethodGet:
 			d, err := s.Digest(id)
@@ -117,9 +135,19 @@ func Handler(s *Server) http.Handler {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
+		// Negotiation: binary-framed bodies are opt-in via Content-Type.
+		// When the format is administratively disabled, answer 415 before
+		// any other work so clients fall back to JSON immediately.
+		binary := wire.IsBinary(r.Header.Get("Content-Type"))
+		if binary && s.binaryWireDisabled.Load() {
+			http.Error(w, "binary frame format disabled; use application/json", http.StatusUnsupportedMediaType)
+			return
+		}
 		// Idempotent replay: a retrying client that never saw the response
 		// resends with the same key and gets the recorded outcome — the
-		// batch is never applied twice.
+		// batch is never applied twice. Replay is format-independent: a
+		// JSON retry of a binary-framed original (or vice versa) returns
+		// the same recorded result.
 		key := r.Header.Get("Idempotency-Key")
 		if key != "" {
 			if e, ok := s.idem.get(key); ok {
@@ -143,26 +171,15 @@ func Handler(s *Server) http.Handler {
 			ctx, cancel = context.WithTimeout(ctx, d)
 			defer cancel()
 		}
-		dec := json.NewDecoder(r.Body)
-		var raw json.RawMessage
-		if err := dec.Decode(&raw); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+		// Both decode paths hand the batch back through pooled scratch:
+		// binary frames decode with O(1) heap allocations per post, and
+		// the JSON fallback reuses its body buffer and post slice.
+		batch, freeBatch, derr := decodeIngestBody(r.Body, binary)
+		if derr != nil {
+			http.Error(w, derr.Error(), ingestDecodeStatus(derr))
 			return
 		}
-		var batch []Post
-		if len(raw) > 0 && raw[0] == '[' {
-			if err := json.Unmarshal(raw, &batch); err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
-				return
-			}
-		} else {
-			var one Post
-			if err := json.Unmarshal(raw, &one); err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
-				return
-			}
-			batch = []Post{one}
-		}
+		defer freeBatch()
 		accepted := 0
 		var ingestErr error
 		for _, p := range batch {
@@ -242,6 +259,135 @@ func Handler(s *Server) http.Handler {
 type IngestResult struct {
 	Accepted int    `json:"accepted"`
 	Error    string `json:"error,omitempty"`
+}
+
+// ingestScratch is the pooled per-request decode state for /ingest: the
+// raw body buffer and the decoded post slice are reused across requests,
+// so the JSON fallback path stops allocating per post (beyond the text
+// strings themselves, which escape into server state) just like the
+// binary path.
+type ingestScratch struct {
+	body  []byte
+	batch []Post
+}
+
+var ingestScratchPool = sync.Pool{New: func() any { return new(ingestScratch) }}
+
+// release clears post references (so pooled memory doesn't pin text
+// strings) and returns the scratch, dropping outsized buffers.
+func (sc *ingestScratch) release() {
+	for i := range sc.batch {
+		sc.batch[i] = Post{}
+	}
+	sc.batch = sc.batch[:0]
+	sc.body = sc.body[:0]
+	const keep = 8 << 20
+	if cap(sc.body) > keep {
+		sc.body = nil
+	}
+	if cap(sc.batch) > 1<<17 {
+		sc.batch = nil
+	}
+	ingestScratchPool.Put(sc)
+}
+
+// readBody fills sc.body from r without the per-request allocations of
+// io.ReadAll.
+func (sc *ingestScratch) readBody(r io.Reader) error {
+	for {
+		if cap(sc.body)-len(sc.body) < 512 {
+			sc.body = append(sc.body, make([]byte, 64<<10)...)[:len(sc.body)]
+		}
+		n, err := r.Read(sc.body[len(sc.body):cap(sc.body)])
+		sc.body = sc.body[:len(sc.body)+n]
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// decodeJSONBatch decodes a Post or [Post] JSON body into sc.batch,
+// reusing its capacity.
+func (sc *ingestScratch) decodeJSONBatch(data []byte) error {
+	sc.batch = sc.batch[:0]
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		return json.Unmarshal(trimmed, &sc.batch)
+	}
+	var one Post
+	if err := json.Unmarshal(trimmed, &one); err != nil {
+		return err
+	}
+	sc.batch = append(sc.batch, one)
+	return nil
+}
+
+// decodeIngestBody decodes an ingest request body in either wire format
+// through pooled scratch. The returned batch is valid until free is
+// called; free must be called exactly once (after the ingest loop).
+func decodeIngestBody(r io.Reader, binary bool) (batch []Post, free func(), err error) {
+	sc := ingestScratchPool.Get().(*ingestScratch)
+	if !binary {
+		if err := sc.readBody(r); err != nil {
+			sc.release()
+			return nil, nil, err
+		}
+		if err := sc.decodeJSONBatch(sc.body); err != nil {
+			sc.release()
+			return nil, nil, err
+		}
+		return sc.batch, sc.release, nil
+	}
+	dec := wire.GetDecoder()
+	defer wire.PutDecoder(dec)
+	kind, frameBody, err := dec.ReadFrame(r)
+	if err != nil {
+		sc.release()
+		return nil, nil, err
+	}
+	if kind != wire.KindStreamPosts {
+		sc.release()
+		return nil, nil, errors.New("wire: ingest frame must be a stream-post batch")
+	}
+	sb := wire.GetStreamBatch()
+	defer sb.Release()
+	sb.Posts, err = wire.AppendStreamPosts(sb.Posts[:0], frameBody)
+	if err != nil {
+		sc.release()
+		return nil, nil, err
+	}
+	sc.batch = sc.batch[:0]
+	if cap(sc.batch) < len(sb.Posts) {
+		sc.batch = make([]Post, 0, len(sb.Posts))
+	}
+	for _, sp := range sb.Posts {
+		sc.batch = append(sc.batch, Post(sp))
+	}
+	return sc.batch, sc.release, nil
+}
+
+// ingestDecodeStatus maps decode failures to HTTP statuses: oversized
+// frames are 413, everything else malformed is 400.
+func ingestDecodeStatus(err error) int {
+	if errors.Is(err, wire.ErrFrameTooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// writeBinaryEmissions renders a poll response as one KindEmissions frame.
+func writeBinaryEmissions(w http.ResponseWriter, es []Emission) {
+	enc := wire.GetEncoder()
+	defer wire.PutEncoder(enc)
+	wes := make([]wire.Emission, len(es))
+	for i, e := range es {
+		wes[i] = wire.Emission(e)
+	}
+	w.Header().Set("Content-Type", wire.ContentTypeBinary)
+	_, _ = w.Write(enc.EncodeEmissions(wes, wire.DefaultCompressThreshold))
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -162,9 +162,20 @@ type Server struct {
 	shed           obs.Counter
 	quarantines    obs.Counter
 
+	// binaryWireDisabled rejects binary-framed ingest/poll bodies with
+	// 415 so clients fall back to JSON (negotiation is per-request; the
+	// JSON API is always supported).
+	binaryWireDisabled atomic.Bool
+
 	// obsState holds the registry-wired service instruments; nil = disabled.
 	obsState atomic.Pointer[serverObs]
 }
+
+// SetBinaryWire enables or disables the binary frame format on the HTTP
+// surface (enabled by default). While disabled, binary ingest bodies get
+// 415 Unsupported Media Type — the signal the retrying Client uses to
+// fall back to JSON — and Accept negotiation on polls always answers JSON.
+func (s *Server) SetBinaryWire(enabled bool) { s.binaryWireDisabled.Store(!enabled) }
 
 // New returns a Server that drops near-duplicates within hamming distance
 // dupDistance over a window of dupWindow recent posts before matching.

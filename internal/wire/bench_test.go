@@ -1,0 +1,126 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// benchStreamPosts builds a production-shaped ingest batch.
+func benchStreamPosts(n int) []StreamPost {
+	posts := make([]StreamPost, n)
+	for i := range posts {
+		posts[i] = StreamPost{
+			ID:   int64(i + 1),
+			Time: float64(i) / 4,
+			Text: fmt.Sprintf("post %d: senate votes on the bill while markets react to the announcement", i),
+		}
+	}
+	return posts
+}
+
+// jsonStreamPost mirrors the server's JSON ingest schema for the
+// format-comparison benchmarks.
+type jsonStreamPost struct {
+	ID   int64   `json:"id"`
+	Time float64 `json:"time"`
+	Text string  `json:"text"`
+}
+
+func BenchmarkWireEncodeJSON(b *testing.B) {
+	posts := benchStreamPosts(512)
+	jp := make([]jsonStreamPost, len(posts))
+	for i, p := range posts {
+		jp[i] = jsonStreamPost(p)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := json.Marshal(jp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireDecodeJSON(b *testing.B) {
+	posts := benchStreamPosts(512)
+	jp := make([]jsonStreamPost, len(posts))
+	for i, p := range posts {
+		jp[i] = jsonStreamPost(p)
+	}
+	data, err := json.Marshal(jp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]jsonStreamPost, 0, len(posts))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out = out[:0]
+		if err := json.Unmarshal(data, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireEncodeBinary(b *testing.B) {
+	for _, mode := range []struct {
+		name      string
+		threshold int
+	}{{"raw", 1 << 30}, {"compressed", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			posts := benchStreamPosts(512)
+			enc := GetEncoder()
+			defer PutEncoder(enc)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = enc.EncodeStreamPosts(posts, mode.threshold)
+			}
+		})
+	}
+}
+
+func BenchmarkWireDecodeBinary(b *testing.B) {
+	for _, mode := range []struct {
+		name      string
+		threshold int
+	}{{"raw", 1 << 30}, {"compressed", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			posts := benchStreamPosts(512)
+			enc := GetEncoder()
+			frame := append([]byte(nil), enc.EncodeStreamPosts(posts, mode.threshold)...)
+			PutEncoder(enc)
+			dec := GetDecoder()
+			sb := GetStreamBatch()
+			defer PutDecoder(dec)
+			defer sb.Release()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, frameBody, _, err := dec.DecodeFrame(frame)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sb.Posts, err = AppendStreamPosts(sb.Posts[:0], frameBody)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkWireReadFrame(b *testing.B) {
+	posts := benchStreamPosts(512)
+	enc := GetEncoder()
+	frame := append([]byte(nil), enc.EncodeStreamPosts(posts, 1<<30)...)
+	PutEncoder(enc)
+	dec := GetDecoder()
+	defer PutDecoder(dec)
+	r := bytes.NewReader(frame)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Reset(frame)
+		if _, _, err := dec.ReadFrame(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,837 @@
+// Binary wire format: a length-prefixed frame carrying a compact batch
+// encoding, negotiated over HTTP via Content-Type/Accept and stored on
+// disk as .mqdw files alongside JSONL (auto-detected by magic bytes).
+//
+// Frame layout (little-endian):
+//
+//	offset 0  magic      2 bytes  0x8D 0x51 ("MQ" with the high bit set on
+//	                              the first byte, so no JSONL/UTF-8 stream
+//	                              can start with it)
+//	offset 2  version    1 byte   currently 1
+//	offset 3  flags      1 byte   bit 0: payload is DEFLATE-compressed
+//	offset 4  length     4 bytes  uint32 payload length as transmitted
+//	offset 8  payload    length bytes
+//
+// The (decompressed) payload is a kind byte followed by a kind-specific
+// body. All integers are unsigned varints; signed values are zigzag-coded;
+// floats are 8-byte little-endian IEEE 754 bits.
+//
+//	KindLabeledPosts: label-dictionary delta (count, then len-prefixed
+//	  names for every label interned since the previous frame), post count,
+//	  then per post: zigzag id, value bits, label count, and the sorted
+//	  label ids as a first id plus strictly positive gaps.
+//	KindStreamPosts: post count, then per post: zigzag id, time bits,
+//	  len-prefixed text.
+//	KindEmissions: emission count, then per emission: seq, zigzag post id,
+//	  time bits, len-prefixed text, topic count with len-prefixed topics,
+//	  emit-at bits.
+//
+// Decoding is pooled: GetDecoder/GetEncoder/GetStreamBatch hand out
+// sync.Pool-backed scratch whose buffers survive across frames, so batch
+// decode performs O(1) heap allocations per post (the text string) instead
+// of per-field. Buffers returned by Encode*/ReadFrame are owned by the
+// encoder/decoder and valid only until its next call.
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"sync"
+
+	"mqdp/internal/core"
+)
+
+// Content types for HTTP negotiation. JSON remains the default; clients
+// opt into frames per request via Content-Type (ingest) or Accept (polls).
+const (
+	ContentTypeJSON   = "application/json"
+	ContentTypeBinary = "application/x-mqdp-frame"
+)
+
+// IsBinary reports whether an HTTP Content-Type (or Accept) value selects
+// the binary frame format, ignoring parameters like charset.
+func IsBinary(contentType string) bool {
+	v, _, _ := strings.Cut(contentType, ";")
+	return strings.TrimSpace(v) == ContentTypeBinary
+}
+
+// AcceptsBinary reports whether an Accept header lists the frame format.
+func AcceptsBinary(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		if IsBinary(part) {
+			return true
+		}
+	}
+	return false
+}
+
+// Frame geometry.
+const (
+	magic0 = 0x8D // invalid as a UTF-8 lead byte: JSONL can never start with it
+	magic1 = 0x51 // 'Q'
+
+	// FrameVersion is the format version emitted and accepted.
+	FrameVersion = 1
+
+	// FrameHeaderLen is the fixed header size preceding every payload.
+	FrameHeaderLen = 8
+
+	flagCompressed = 0x01
+
+	// MaxFramePayload bounds a single frame's payload (transmitted and
+	// decompressed alike); larger length fields are rejected before any
+	// allocation proportional to them happens.
+	MaxFramePayload = 64 << 20
+
+	// DefaultCompressThreshold is the payload size above which encoders
+	// DEFLATE-compress the frame. Small batches skip compression: the CPU
+	// cost outweighs the bytes saved (the compressPackage idiom).
+	DefaultCompressThreshold = 4 << 10
+)
+
+// Payload kinds.
+const (
+	// KindLabeledPosts carries core posts (id, value, interned labels)
+	// plus the label-dictionary delta for the batch — the .mqdw file kind.
+	KindLabeledPosts byte = 0x01
+	// KindStreamPosts carries server ingest posts (id, time, text).
+	KindStreamPosts byte = 0x02
+	// KindEmissions carries subscription emissions for poll responses.
+	KindEmissions byte = 0x03
+)
+
+// Typed decode errors. Every malformed input maps onto one of these bases
+// (wrapped with detail), never a panic.
+var (
+	ErrBadMagic      = errors.New("wire: bad frame magic")
+	ErrBadVersion    = errors.New("wire: unsupported frame version")
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+	ErrTruncated     = errors.New("wire: truncated frame")
+	ErrCorrupt       = errors.New("wire: corrupt frame")
+)
+
+// Minimum encoded sizes per record, used to reject absurd counts before
+// allocating slices proportional to them.
+const (
+	minStreamPostBytes  = 10 // 1 id + 8 time + 1 text len
+	minLabeledPostBytes = 10 // 1 id + 8 value + 1 label count
+	minEmissionBytes    = 20 // 1 seq + 1 id + 8 time + 1 len + 1 topics + 8 emit
+)
+
+// StreamPost is the ingest post shape (field-identical to the server's
+// Post so the two convert directly).
+type StreamPost struct {
+	ID   int64
+	Time float64
+	Text string
+}
+
+// Emission is the poll emission shape (field-identical to the server's
+// Emission so the two convert directly).
+type Emission struct {
+	Seq    int64
+	PostID int64
+	Time   float64
+	Text   string
+	Topics []string
+	EmitAt float64
+}
+
+// ---------------------------------------------------------------------------
+// Varint helpers
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// body is a cursor over a payload body with typed-error reads.
+type body struct {
+	b []byte
+}
+
+func (c *body) len() int { return len(c.b) }
+
+func (c *body) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad varint", ErrCorrupt)
+	}
+	c.b = c.b[n:]
+	return v, nil
+}
+
+func (c *body) float64() (float64, error) {
+	if len(c.b) < 8 {
+		return 0, fmt.Errorf("%w: short float", ErrCorrupt)
+	}
+	bits := binary.LittleEndian.Uint64(c.b)
+	c.b = c.b[8:]
+	return math.Float64frombits(bits), nil
+}
+
+// bytes reads a uvarint length followed by that many raw bytes.
+func (c *body) bytes() ([]byte, error) {
+	n, err := c.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(c.b)) {
+		return nil, fmt.Errorf("%w: string length %d exceeds remaining %d", ErrCorrupt, n, len(c.b))
+	}
+	s := c.b[:n]
+	c.b = c.b[n:]
+	return s, nil
+}
+
+// count reads a record count and validates it against the bytes actually
+// present, so a hostile count can never drive a large allocation.
+func (c *body) count(minRecordBytes int) (int, error) {
+	n, err := c.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n > uint64(len(c.b)/minRecordBytes) {
+		return 0, fmt.Errorf("%w: count %d exceeds payload capacity", ErrCorrupt, n)
+	}
+	return int(n), nil
+}
+
+// ---------------------------------------------------------------------------
+// Encoder
+
+// Encoder builds frames into reusable scratch buffers. Not safe for
+// concurrent use; pool with GetEncoder/PutEncoder. Returned frames are
+// valid until the next Encode call on the same Encoder.
+type Encoder struct {
+	payload []byte // kind + body
+	frame   []byte // header + transmitted payload
+	fw      *flate.Writer
+}
+
+var encoderPool = sync.Pool{New: func() any { return new(Encoder) }}
+
+// GetEncoder fetches a pooled encoder.
+func GetEncoder() *Encoder { return encoderPool.Get().(*Encoder) }
+
+// PutEncoder returns e to the pool. Oversized scratch is dropped so one
+// huge batch doesn't pin its buffers forever.
+func PutEncoder(e *Encoder) {
+	const keep = 8 << 20
+	if cap(e.payload) > keep {
+		e.payload = nil
+	}
+	if cap(e.frame) > keep {
+		e.frame = nil
+	}
+	encoderPool.Put(e)
+}
+
+func (e *Encoder) appendUvarint(v uint64) { e.payload = binary.AppendUvarint(e.payload, v) }
+func (e *Encoder) appendZigzag(v int64)   { e.payload = binary.AppendUvarint(e.payload, zigzag(v)) }
+func (e *Encoder) appendFloat64(f float64) {
+	e.payload = binary.LittleEndian.AppendUint64(e.payload, math.Float64bits(f))
+}
+func (e *Encoder) appendString(s string) {
+	e.appendUvarint(uint64(len(s)))
+	e.payload = append(e.payload, s...)
+}
+
+// EncodeStreamPosts encodes one KindStreamPosts frame. Payloads larger
+// than compressThreshold are compressed (≤ 0 means always; use a huge
+// threshold to disable).
+func (e *Encoder) EncodeStreamPosts(posts []StreamPost, compressThreshold int) []byte {
+	e.payload = append(e.payload[:0], KindStreamPosts)
+	e.appendUvarint(uint64(len(posts)))
+	for i := range posts {
+		e.appendZigzag(posts[i].ID)
+		e.appendFloat64(posts[i].Time)
+		e.appendString(posts[i].Text)
+	}
+	return e.finish(compressThreshold)
+}
+
+// EncodeEmissions encodes one KindEmissions frame.
+func (e *Encoder) EncodeEmissions(es []Emission, compressThreshold int) []byte {
+	e.payload = append(e.payload[:0], KindEmissions)
+	e.appendUvarint(uint64(len(es)))
+	for i := range es {
+		em := &es[i]
+		e.appendUvarint(uint64(em.Seq))
+		e.appendZigzag(em.PostID)
+		e.appendFloat64(em.Time)
+		e.appendString(em.Text)
+		e.appendUvarint(uint64(len(em.Topics)))
+		for _, t := range em.Topics {
+			e.appendString(t)
+		}
+		e.appendFloat64(em.EmitAt)
+	}
+	return e.finish(compressThreshold)
+}
+
+// EncodeLabeledPosts encodes one KindLabeledPosts frame. newNames are the
+// label names interned since the previous frame on this logical stream
+// (the dictionary delta); every post's Labels must be sorted, deduplicated
+// ids below the cumulative dictionary length, as core guarantees.
+func (e *Encoder) EncodeLabeledPosts(posts []core.Post, newNames []string, compressThreshold int) ([]byte, error) {
+	e.payload = append(e.payload[:0], KindLabeledPosts)
+	e.appendUvarint(uint64(len(newNames)))
+	for _, name := range newNames {
+		e.appendString(name)
+	}
+	e.appendUvarint(uint64(len(posts)))
+	for i := range posts {
+		p := &posts[i]
+		e.appendZigzag(p.ID)
+		e.appendFloat64(p.Value)
+		e.appendUvarint(uint64(len(p.Labels)))
+		prev := core.Label(-1)
+		for j, l := range p.Labels {
+			if l <= prev || l < 0 {
+				return nil, fmt.Errorf("wire: post %d labels not sorted/deduplicated", p.ID)
+			}
+			if j == 0 {
+				e.appendUvarint(uint64(l))
+			} else {
+				e.appendUvarint(uint64(l - prev))
+			}
+			prev = l
+		}
+	}
+	return e.finish(compressThreshold), nil
+}
+
+// finish wraps e.payload in a frame header, compressing when the payload
+// clears the threshold and compression actually shrinks it.
+func (e *Encoder) finish(compressThreshold int) []byte {
+	payload := e.payload
+	flags := byte(0)
+	if compressThreshold >= 0 && len(payload) > compressThreshold {
+		if comp, ok := e.compress(payload); ok {
+			payload = comp
+			flags |= flagCompressed
+		}
+	}
+	e.frame = append(e.frame[:0], magic0, magic1, FrameVersion, flags)
+	e.frame = binary.LittleEndian.AppendUint32(e.frame, uint32(len(payload)))
+	e.frame = append(e.frame, payload...)
+	return e.frame
+}
+
+// compress DEFLATEs src into the tail of e.frame's scratch space. ok is
+// false when compression does not shrink the payload.
+func (e *Encoder) compress(src []byte) ([]byte, bool) {
+	var buf bytes.Buffer
+	buf.Grow(len(src) / 2)
+	if e.fw == nil {
+		e.fw, _ = flate.NewWriter(&buf, flate.BestSpeed)
+	} else {
+		e.fw.Reset(&buf)
+	}
+	if _, err := e.fw.Write(src); err != nil {
+		return nil, false
+	}
+	if err := e.fw.Close(); err != nil {
+		return nil, false
+	}
+	if buf.Len() >= len(src) {
+		return nil, false
+	}
+	return buf.Bytes(), true
+}
+
+// ---------------------------------------------------------------------------
+// Decoder
+
+// Decoder reads frames into reusable scratch buffers. Not safe for
+// concurrent use; pool with GetDecoder/PutDecoder. Payloads returned by
+// ReadFrame/DecodeFrame are valid until the next call on the same Decoder.
+type Decoder struct {
+	hdr  [FrameHeaderLen]byte
+	raw  []byte // transmitted payload
+	dcmp []byte // decompression scratch
+	br   bytes.Reader
+	fr   io.ReadCloser // flate reader, reused via flate.Resetter
+}
+
+var decoderPool = sync.Pool{New: func() any { return new(Decoder) }}
+
+// GetDecoder fetches a pooled decoder.
+func GetDecoder() *Decoder { return decoderPool.Get().(*Decoder) }
+
+// PutDecoder returns d to the pool, dropping oversized scratch.
+func PutDecoder(d *Decoder) {
+	const keep = 8 << 20
+	if cap(d.raw) > keep {
+		d.raw = nil
+	}
+	if cap(d.dcmp) > keep {
+		d.dcmp = nil
+	}
+	decoderPool.Put(d)
+}
+
+// ReadFrame reads and validates one frame from r, returning its kind and
+// decompressed body (payload minus the kind byte). A clean end of stream
+// returns io.EOF; a stream that stops mid-frame returns ErrTruncated.
+func (d *Decoder) ReadFrame(r io.Reader) (kind byte, frameBody []byte, err error) {
+	if _, err := io.ReadFull(r, d.hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("%w: header: %v", ErrTruncated, err)
+	}
+	return d.decodeAfterHeader(r)
+}
+
+// DecodeFrame decodes one complete frame from data, returning the bytes
+// consumed so callers can walk concatenated frames in memory.
+func (d *Decoder) DecodeFrame(data []byte) (kind byte, frameBody []byte, n int, err error) {
+	d.br.Reset(data)
+	kind, frameBody, err = d.ReadFrame(&d.br)
+	return kind, frameBody, len(data) - d.br.Len(), err
+}
+
+func (d *Decoder) decodeAfterHeader(r io.Reader) (byte, []byte, error) {
+	if d.hdr[0] != magic0 || d.hdr[1] != magic1 {
+		return 0, nil, fmt.Errorf("%w: 0x%02x%02x", ErrBadMagic, d.hdr[0], d.hdr[1])
+	}
+	if d.hdr[2] != FrameVersion {
+		return 0, nil, fmt.Errorf("%w: %d", ErrBadVersion, d.hdr[2])
+	}
+	flags := d.hdr[3]
+	n := binary.LittleEndian.Uint32(d.hdr[4:])
+	if n > MaxFramePayload {
+		return 0, nil, fmt.Errorf("%w: payload %d > %d", ErrFrameTooLarge, n, MaxFramePayload)
+	}
+	var err error
+	if d.raw, err = readChunked(r, d.raw[:0], int(n)); err != nil {
+		return 0, nil, err
+	}
+	payload := d.raw
+	if flags&flagCompressed != 0 {
+		if payload, err = d.decompress(payload); err != nil {
+			return 0, nil, err
+		}
+	}
+	if len(payload) == 0 {
+		return 0, nil, fmt.Errorf("%w: empty payload", ErrCorrupt)
+	}
+	return payload[0], payload[1:], nil
+}
+
+// readChunked fills dst to want bytes in bounded steps, so a frame whose
+// length field lies about a huge payload only ever allocates proportionally
+// to the bytes the peer actually sent.
+func readChunked(r io.Reader, dst []byte, want int) ([]byte, error) {
+	const step = 256 << 10
+	for len(dst) < want {
+		n := want - len(dst)
+		if n > step {
+			n = step
+		}
+		if cap(dst)-len(dst) < n {
+			dst = append(dst, make([]byte, n)...)[:len(dst)]
+		}
+		read, err := io.ReadFull(r, dst[len(dst):len(dst)+n])
+		dst = dst[:len(dst)+read]
+		if err != nil {
+			return dst, fmt.Errorf("%w: payload: have %d of %d bytes", ErrTruncated, len(dst), want)
+		}
+	}
+	return dst, nil
+}
+
+// decompress inflates src into d.dcmp, enforcing MaxFramePayload on the
+// decompressed size as well (a tiny frame must not balloon unboundedly).
+func (d *Decoder) decompress(src []byte) ([]byte, error) {
+	d.br.Reset(src)
+	if d.fr == nil {
+		d.fr = flate.NewReader(&d.br)
+	} else if err := d.fr.(flate.Resetter).Reset(&d.br, nil); err != nil {
+		return nil, fmt.Errorf("%w: flate reset: %v", ErrCorrupt, err)
+	}
+	d.dcmp = d.dcmp[:0]
+	const step = 256 << 10
+	for {
+		if len(d.dcmp) > MaxFramePayload {
+			return nil, fmt.Errorf("%w: decompressed payload exceeds %d", ErrFrameTooLarge, MaxFramePayload)
+		}
+		if cap(d.dcmp)-len(d.dcmp) < step {
+			d.dcmp = append(d.dcmp, make([]byte, step)...)[:len(d.dcmp)]
+		}
+		n, err := d.fr.Read(d.dcmp[len(d.dcmp):cap(d.dcmp)])
+		d.dcmp = d.dcmp[:len(d.dcmp)+n]
+		if err == io.EOF {
+			return d.dcmp, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: flate: %v", ErrCorrupt, err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Batch codecs
+
+// AppendStreamPosts decodes a KindStreamPosts body, appending onto dst.
+// The only per-post heap allocation is the text string.
+func AppendStreamPosts(dst []StreamPost, frameBody []byte) ([]StreamPost, error) {
+	c := body{frameBody}
+	n, err := c.count(minStreamPostBytes)
+	if err != nil {
+		return dst, err
+	}
+	if cap(dst)-len(dst) < n {
+		dst = append(make([]StreamPost, 0, len(dst)+n), dst...)
+	}
+	for i := 0; i < n; i++ {
+		var p StreamPost
+		id, err := c.uvarint()
+		if err != nil {
+			return dst, err
+		}
+		p.ID = unzigzag(id)
+		if p.Time, err = c.float64(); err != nil {
+			return dst, err
+		}
+		text, err := c.bytes()
+		if err != nil {
+			return dst, err
+		}
+		p.Text = string(text)
+		dst = append(dst, p)
+	}
+	if c.len() != 0 {
+		return dst, fmt.Errorf("%w: %d trailing bytes after %d posts", ErrCorrupt, c.len(), n)
+	}
+	return dst, nil
+}
+
+// AppendEmissions decodes a KindEmissions body, appending onto dst.
+func AppendEmissions(dst []Emission, frameBody []byte) ([]Emission, error) {
+	c := body{frameBody}
+	n, err := c.count(minEmissionBytes)
+	if err != nil {
+		return dst, err
+	}
+	if cap(dst)-len(dst) < n {
+		dst = append(make([]Emission, 0, len(dst)+n), dst...)
+	}
+	for i := 0; i < n; i++ {
+		var em Emission
+		seq, err := c.uvarint()
+		if err != nil {
+			return dst, err
+		}
+		em.Seq = int64(seq)
+		id, err := c.uvarint()
+		if err != nil {
+			return dst, err
+		}
+		em.PostID = unzigzag(id)
+		if em.Time, err = c.float64(); err != nil {
+			return dst, err
+		}
+		text, err := c.bytes()
+		if err != nil {
+			return dst, err
+		}
+		em.Text = string(text)
+		topics, err := c.count(1)
+		if err != nil {
+			return dst, err
+		}
+		if topics > 0 {
+			em.Topics = make([]string, topics)
+			for j := 0; j < topics; j++ {
+				tb, err := c.bytes()
+				if err != nil {
+					return dst, err
+				}
+				em.Topics[j] = string(tb)
+			}
+		}
+		if em.EmitAt, err = c.float64(); err != nil {
+			return dst, err
+		}
+		dst = append(dst, em)
+	}
+	if c.len() != 0 {
+		return dst, fmt.Errorf("%w: %d trailing bytes after %d emissions", ErrCorrupt, c.len(), n)
+	}
+	return dst, nil
+}
+
+// AppendLabeledPosts decodes a KindLabeledPosts body, appending onto dst
+// and interning the batch's dictionary delta into dict. Label ids decode
+// strictly ascending per post (the gap coding enforces it) and must fall
+// inside the cumulative dictionary.
+func AppendLabeledPosts(dst []core.Post, frameBody []byte, dict *core.Dictionary) ([]core.Post, error) {
+	c := body{frameBody}
+	newNames, err := c.count(1)
+	if err != nil {
+		return dst, err
+	}
+	for i := 0; i < newNames; i++ {
+		name, err := c.bytes()
+		if err != nil {
+			return dst, err
+		}
+		want := core.Label(dict.Len())
+		if got := dict.Intern(string(name)); got != want {
+			return dst, fmt.Errorf("%w: dictionary delta re-interns %q (id %d, expected %d)", ErrCorrupt, name, got, want)
+		}
+	}
+	n, err := c.count(minLabeledPostBytes)
+	if err != nil {
+		return dst, err
+	}
+	if cap(dst)-len(dst) < n {
+		dst = append(make([]core.Post, 0, len(dst)+n), dst...)
+	}
+	for i := 0; i < n; i++ {
+		var p core.Post
+		id, err := c.uvarint()
+		if err != nil {
+			return dst, err
+		}
+		p.ID = unzigzag(id)
+		if p.Value, err = c.float64(); err != nil {
+			return dst, err
+		}
+		nl, err := c.count(1)
+		if err != nil {
+			return dst, err
+		}
+		if nl > 0 {
+			p.Labels = make([]core.Label, nl)
+			var cur uint64
+			for j := 0; j < nl; j++ {
+				v, err := c.uvarint()
+				if err != nil {
+					return dst, err
+				}
+				if j == 0 {
+					cur = v
+				} else {
+					if v == 0 {
+						return dst, fmt.Errorf("%w: zero label gap (duplicate label)", ErrCorrupt)
+					}
+					cur += v
+				}
+				if cur >= uint64(dict.Len()) {
+					return dst, fmt.Errorf("%w: label id %d outside dictionary (len %d)", ErrCorrupt, cur, dict.Len())
+				}
+				p.Labels[j] = core.Label(cur)
+			}
+		}
+		dst = append(dst, p)
+	}
+	if c.len() != 0 {
+		return dst, fmt.Errorf("%w: %d trailing bytes after %d posts", ErrCorrupt, c.len(), n)
+	}
+	return dst, nil
+}
+
+// ---------------------------------------------------------------------------
+// Pooled stream batches
+
+// StreamBatch is a pooled carrier for decoded ingest posts.
+type StreamBatch struct {
+	Posts []StreamPost
+}
+
+var streamBatchPool = sync.Pool{New: func() any { return new(StreamBatch) }}
+
+// GetStreamBatch fetches a pooled batch with Posts reset to length 0.
+func GetStreamBatch() *StreamBatch { return streamBatchPool.Get().(*StreamBatch) }
+
+// Release clears the batch (dropping its string references so pooled
+// memory does not pin post texts) and returns it to the pool.
+func (b *StreamBatch) Release() {
+	for i := range b.Posts {
+		b.Posts[i] = StreamPost{}
+	}
+	b.Posts = b.Posts[:0]
+	if cap(b.Posts) > 1<<17 {
+		b.Posts = nil
+	}
+	streamBatchPool.Put(b)
+}
+
+// ---------------------------------------------------------------------------
+// File I/O: .mqdw streams of labeled-post frames
+
+// SniffBinary reports whether the next bytes of br are a binary frame
+// stream, without consuming them. An empty or short stream sniffs false.
+func SniffBinary(br *bufio.Reader) bool {
+	head, err := br.Peek(2)
+	return err == nil && head[0] == magic0 && head[1] == magic1
+}
+
+// BinaryWriter streams core posts as KindLabeledPosts frames with
+// per-batch label-dictionary deltas — the .mqdw file writer. Posts are
+// buffered into frames of BatchSize; call Flush before closing the file.
+type BinaryWriter struct {
+	// BatchSize is the posts-per-frame cutoff (default 512).
+	BatchSize int
+	// CompressThreshold is the per-frame compression cutoff in bytes
+	// (default DefaultCompressThreshold; negative disables).
+	CompressThreshold int
+
+	w    *bufio.Writer
+	dict *core.Dictionary
+	sent int // dictionary prefix already emitted
+	enc  Encoder
+
+	// Buffered batch, columnar so caller-owned label slices are copied.
+	ids    []int64
+	vals   []float64
+	counts []int
+	arena  []core.Label
+	posts  []core.Post // rebuilt views into arena at flush time
+}
+
+// NewBinaryWriter wraps w; label names come from dict, which may already
+// hold labels (they are emitted in the first frame's delta).
+func NewBinaryWriter(w io.Writer, dict *core.Dictionary) *BinaryWriter {
+	return &BinaryWriter{
+		BatchSize:         512,
+		CompressThreshold: DefaultCompressThreshold,
+		w:                 bufio.NewWriter(w),
+		dict:              dict,
+	}
+}
+
+// Write buffers one post, flushing a frame when the batch fills.
+func (bw *BinaryWriter) Write(p core.Post) error {
+	bw.ids = append(bw.ids, p.ID)
+	bw.vals = append(bw.vals, p.Value)
+	bw.counts = append(bw.counts, len(p.Labels))
+	bw.arena = append(bw.arena, p.Labels...)
+	if len(bw.ids) >= bw.BatchSize {
+		return bw.flushBatch()
+	}
+	return nil
+}
+
+// WriteBatch buffers a batch of posts; frames still cut at BatchSize.
+func (bw *BinaryWriter) WriteBatch(posts []core.Post) error {
+	for _, p := range posts {
+		if err := bw.Write(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush emits any buffered posts as a final frame and drains the writer;
+// call before exiting.
+func (bw *BinaryWriter) Flush() error {
+	if len(bw.ids) > 0 {
+		if err := bw.flushBatch(); err != nil {
+			return err
+		}
+	}
+	return bw.w.Flush()
+}
+
+func (bw *BinaryWriter) flushBatch() error {
+	bw.posts = bw.posts[:0]
+	off := 0
+	for i := range bw.ids {
+		n := bw.counts[i]
+		bw.posts = append(bw.posts, core.Post{
+			ID:     bw.ids[i],
+			Value:  bw.vals[i],
+			Labels: bw.arena[off : off+n],
+		})
+		off += n
+	}
+	newNames := bw.dict.Names()[bw.sent:]
+	frame, err := bw.enc.EncodeLabeledPosts(bw.posts, newNames, bw.CompressThreshold)
+	if err != nil {
+		return err
+	}
+	bw.sent = bw.dict.Len()
+	bw.ids, bw.vals, bw.counts, bw.arena = bw.ids[:0], bw.vals[:0], bw.counts[:0], bw.arena[:0]
+	_, err = bw.w.Write(frame)
+	return err
+}
+
+// BinaryReader streams core posts back out of a .mqdw frame stream,
+// interning dictionary deltas into dict as frames arrive.
+type BinaryReader struct {
+	r    io.Reader
+	dict *core.Dictionary
+	d    Decoder
+}
+
+// NewBinaryReader wraps r (buffer it for files); labels intern into dict.
+func NewBinaryReader(r io.Reader, dict *core.Dictionary) *BinaryReader {
+	return &BinaryReader{r: r, dict: dict}
+}
+
+// ReadBatch decodes the next frame's posts. The returned slice is owned by
+// the caller. io.EOF signals a clean end of stream.
+func (br *BinaryReader) ReadBatch() ([]core.Post, error) {
+	kind, frameBody, err := br.d.ReadFrame(br.r)
+	if err != nil {
+		return nil, err
+	}
+	if kind != KindLabeledPosts {
+		return nil, fmt.Errorf("%w: frame kind 0x%02x, want labeled posts", ErrCorrupt, kind)
+	}
+	return AppendLabeledPosts(nil, frameBody, br.dict)
+}
+
+// WriteStreamPosts frames posts (id, time, text) in batches of batchSize
+// (≤ 0 means 512) — the .mqdw tweet-stream shape mqdp-datagen emits.
+func WriteStreamPosts(w io.Writer, posts []StreamPost, batchSize, compressThreshold int) error {
+	if batchSize <= 0 {
+		batchSize = 512
+	}
+	bw := bufio.NewWriter(w)
+	enc := GetEncoder()
+	defer PutEncoder(enc)
+	for len(posts) > 0 {
+		n := batchSize
+		if n > len(posts) {
+			n = len(posts)
+		}
+		if _, err := bw.Write(enc.EncodeStreamPosts(posts[:n], compressThreshold)); err != nil {
+			return err
+		}
+		posts = posts[n:]
+	}
+	return bw.Flush()
+}
+
+// ReadStreamPosts decodes a stream of KindStreamPosts frames until EOF.
+func ReadStreamPosts(r io.Reader) ([]StreamPost, error) {
+	d := GetDecoder()
+	defer PutDecoder(d)
+	var posts []StreamPost
+	for {
+		kind, frameBody, err := d.ReadFrame(r)
+		if err == io.EOF {
+			return posts, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if kind != KindStreamPosts {
+			return nil, fmt.Errorf("%w: frame kind 0x%02x, want stream posts", ErrCorrupt, kind)
+		}
+		if posts, err = AppendStreamPosts(posts, frameBody); err != nil {
+			return nil, err
+		}
+	}
+}

@@ -1,0 +1,352 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mqdp/internal/core"
+)
+
+func TestStreamPostsRoundTrip(t *testing.T) {
+	posts := []StreamPost{
+		{ID: 1, Time: 0, Text: "obama speaks tonight"},
+		{ID: -7, Time: 12.5, Text: ""},
+		{ID: math.MaxInt64, Time: -1e300, Text: strings.Repeat("λ", 100)},
+	}
+	for _, threshold := range []int{-1, 0, 1 << 30} { // always / aggressive / never compress
+		enc := GetEncoder()
+		frame := append([]byte(nil), enc.EncodeStreamPosts(posts, threshold)...)
+		PutEncoder(enc)
+
+		dec := GetDecoder()
+		kind, frameBody, err := dec.ReadFrame(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("threshold %d: %v", threshold, err)
+		}
+		if kind != KindStreamPosts {
+			t.Fatalf("kind = 0x%02x", kind)
+		}
+		got, err := AppendStreamPosts(nil, frameBody)
+		PutDecoder(dec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(posts) {
+			t.Fatalf("decoded %d posts, want %d", len(got), len(posts))
+		}
+		for i := range posts {
+			if got[i] != posts[i] {
+				t.Errorf("post %d = %+v, want %+v", i, got[i], posts[i])
+			}
+		}
+	}
+}
+
+func TestEmissionsRoundTrip(t *testing.T) {
+	es := []Emission{
+		{Seq: 1, PostID: 10, Time: 1.5, Text: "senate votes", Topics: []string{"senate", "bill"}, EmitAt: 2},
+		{Seq: 2, PostID: -3, Time: 0, Text: "", Topics: nil, EmitAt: 0},
+	}
+	enc := GetEncoder()
+	frame := append([]byte(nil), enc.EncodeEmissions(es, DefaultCompressThreshold)...)
+	PutEncoder(enc)
+	dec := GetDecoder()
+	defer PutDecoder(dec)
+	kind, frameBody, err := dec.ReadFrame(bytes.NewReader(frame))
+	if err != nil || kind != KindEmissions {
+		t.Fatalf("kind 0x%02x, err %v", kind, err)
+	}
+	got, err := AppendEmissions(nil, frameBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(es) {
+		t.Fatalf("decoded %d, want %d", len(got), len(es))
+	}
+	for i := range es {
+		a, b := got[i], es[i]
+		if a.Seq != b.Seq || a.PostID != b.PostID || a.Time != b.Time || a.Text != b.Text || a.EmitAt != b.EmitAt || len(a.Topics) != len(b.Topics) {
+			t.Errorf("emission %d = %+v, want %+v", i, a, b)
+		}
+		for j := range b.Topics {
+			if a.Topics[j] != b.Topics[j] {
+				t.Errorf("emission %d topic %d = %q", i, j, a.Topics[j])
+			}
+		}
+	}
+}
+
+// TestBinaryFileRoundTrip drives the .mqdw path: multiple frames, a label
+// dictionary that grows across batches, and a pre-seeded reader dictionary.
+func TestBinaryFileRoundTrip(t *testing.T) {
+	var dict core.Dictionary
+	rng := rand.New(rand.NewSource(7))
+	var in []core.Post
+	for i := 0; i < 1000; i++ {
+		// Intern labels lazily so deltas land in several frames.
+		nl := 1 + rng.Intn(3)
+		seen := map[core.Label]bool{}
+		var labels []core.Label
+		for j := 0; j < nl; j++ {
+			l := dict.Intern(fmt.Sprintf("label%d", rng.Intn(5+i/50)))
+			if !seen[l] {
+				seen[l] = true
+				labels = append(labels, l)
+			}
+		}
+		sortLabels(labels)
+		in = append(in, core.Post{ID: int64(i), Value: float64(i) / 3, Labels: labels})
+	}
+	var buf bytes.Buffer
+	bw := NewBinaryWriter(&buf, &dict)
+	bw.BatchSize = 64
+	bw.CompressThreshold = 256
+	for _, p := range in {
+		if err := bw.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var dict2 core.Dictionary
+	out, err := ReadPostsAuto(bytes.NewReader(buf.Bytes()), &dict2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip lost posts: %d vs %d", len(out), len(in))
+	}
+	if dict2.Len() != dict.Len() {
+		t.Fatalf("dictionary %d labels, want %d", dict2.Len(), dict.Len())
+	}
+	for i := range in {
+		if out[i].ID != in[i].ID || out[i].Value != in[i].Value {
+			t.Fatalf("post %d mismatch: %+v vs %+v", i, out[i], in[i])
+		}
+		if len(out[i].Labels) != len(in[i].Labels) {
+			t.Fatalf("post %d labels %v vs %v", i, out[i].Labels, in[i].Labels)
+		}
+		for j := range in[i].Labels {
+			if dict2.Name(out[i].Labels[j]) != dict.Name(in[i].Labels[j]) {
+				t.Fatalf("post %d label %d name mismatch", i, j)
+			}
+		}
+	}
+}
+
+func sortLabels(ls []core.Label) {
+	for i := 1; i < len(ls); i++ {
+		for j := i; j > 0 && ls[j] < ls[j-1]; j-- {
+			ls[j], ls[j-1] = ls[j-1], ls[j]
+		}
+	}
+}
+
+// TestReadPostsAutoJSONL checks the sniffer leaves JSONL handling intact.
+func TestReadPostsAutoJSONL(t *testing.T) {
+	var dict core.Dictionary
+	posts, err := ReadPostsAuto(strings.NewReader(`{"id":1,"value":10,"labels":["a"]}`), &dict)
+	if err != nil || len(posts) != 1 {
+		t.Fatalf("posts = %v, err = %v", posts, err)
+	}
+	if _, err := ReadPostsAuto(strings.NewReader(""), &dict); err != nil {
+		t.Fatalf("empty input: %v", err)
+	}
+}
+
+func TestDecodeTypedErrors(t *testing.T) {
+	enc := GetEncoder()
+	good := append([]byte(nil), enc.EncodeStreamPosts([]StreamPost{{ID: 1, Time: 2, Text: "x"}}, -1)...)
+	PutEncoder(enc)
+
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"bad magic", []byte{0x00, 0x00, 1, 0, 0, 0, 0, 0}, ErrBadMagic},
+		{"bad version", []byte{magic0, magic1, 99, 0, 0, 0, 0, 0}, ErrBadVersion},
+		{"oversized length", func() []byte {
+			f := append([]byte(nil), good...)
+			f[4], f[5], f[6], f[7] = 0xff, 0xff, 0xff, 0xff
+			return f
+		}(), ErrFrameTooLarge},
+		{"truncated header", good[:5], ErrTruncated},
+		{"truncated payload", good[:len(good)-2], ErrTruncated},
+		{"corrupt compressed", []byte{magic0, magic1, FrameVersion, flagCompressed, 4, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef}, ErrCorrupt},
+		{"empty payload", []byte{magic0, magic1, FrameVersion, 0, 0, 0, 0, 0}, ErrCorrupt},
+	}
+	for _, tc := range cases {
+		dec := GetDecoder()
+		_, _, err := dec.ReadFrame(bytes.NewReader(tc.data))
+		PutDecoder(dec)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestDecodeHostileCounts feeds bodies whose counts/lengths claim far more
+// records than the payload holds: decode must fail typed without
+// allocating proportionally to the claim.
+func TestDecodeHostileCounts(t *testing.T) {
+	// Claim 2^40 posts in a 12-byte body.
+	huge := append(appendUvarintTest(nil, 1<<40), 1, 2, 3)
+	if _, err := AppendStreamPosts(nil, huge); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("hostile count: %v", err)
+	}
+	if _, err := AppendEmissions(nil, huge); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("hostile emission count: %v", err)
+	}
+	var dict core.Dictionary
+	if _, err := AppendLabeledPosts(nil, huge, &dict); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("hostile label count: %v", err)
+	}
+	// One post whose text length overruns the body.
+	overrun := appendUvarintTest(nil, 1)          // count = 1
+	overrun = append(overrun, 2)                  // id
+	overrun = append(overrun, make([]byte, 8)...) // time
+	overrun = appendUvarintTest(overrun, 1<<30)   // text len
+	if _, err := AppendStreamPosts(nil, overrun); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("overrun text: %v", err)
+	}
+}
+
+func appendUvarintTest(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+// TestLabeledDeltaGapCoding rejects unsorted label sets at encode time and
+// zero gaps / out-of-dictionary ids at decode time.
+func TestLabeledDeltaGapCoding(t *testing.T) {
+	var dict core.Dictionary
+	dict.Intern("a")
+	dict.Intern("b")
+	enc := GetEncoder()
+	defer PutEncoder(enc)
+	if _, err := enc.EncodeLabeledPosts([]core.Post{{ID: 1, Labels: []core.Label{1, 0}}}, nil, -1); err == nil {
+		t.Error("unsorted labels encoded")
+	}
+	if _, err := enc.EncodeLabeledPosts([]core.Post{{ID: 1, Labels: []core.Label{0, 0}}}, nil, -1); err == nil {
+		t.Error("duplicate labels encoded")
+	}
+	// Label id beyond the decoder's dictionary.
+	frame, err := enc.EncodeLabeledPosts([]core.Post{{ID: 1, Labels: []core.Label{1}}}, nil, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var empty core.Dictionary
+	dec := GetDecoder()
+	defer PutDecoder(dec)
+	_, frameBody, _, err := dec.DecodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AppendLabeledPosts(nil, frameBody, &empty); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("out-of-dictionary label: %v", err)
+	}
+}
+
+// TestStreamDecodeAllocs pins the acceptance bound: decoding a binary
+// batch performs ≤ 2 heap allocations per post (in practice ~1, the text
+// string) once the pooled scratch is warm.
+func TestStreamDecodeAllocs(t *testing.T) {
+	const n = 256
+	posts := make([]StreamPost, n)
+	for i := range posts {
+		posts[i] = StreamPost{ID: int64(i), Time: float64(i), Text: "some representative post text body"}
+	}
+	enc := GetEncoder()
+	frame := append([]byte(nil), enc.EncodeStreamPosts(posts, 1<<30)...)
+	PutEncoder(enc)
+
+	dec := GetDecoder()
+	sb := GetStreamBatch()
+	defer PutDecoder(dec)
+	defer sb.Release()
+	// Warm the scratch to steady state.
+	decodeOnce := func() {
+		_, frameBody, _, err := dec.DecodeFrame(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var derr error
+		sb.Posts, derr = AppendStreamPosts(sb.Posts[:0], frameBody)
+		if derr != nil || len(sb.Posts) != n {
+			t.Fatalf("decode: %d posts, %v", len(sb.Posts), derr)
+		}
+	}
+	decodeOnce()
+	allocs := testing.AllocsPerRun(50, decodeOnce)
+	if perPost := allocs / n; perPost > 2 {
+		t.Errorf("decode allocates %.2f per post (%.0f total), want ≤ 2", perPost, allocs)
+	}
+}
+
+// TestReadFrameEOFSemantics distinguishes a clean end of stream from a
+// stream cut mid-frame.
+func TestReadFrameEOFSemantics(t *testing.T) {
+	dec := GetDecoder()
+	defer PutDecoder(dec)
+	if _, _, err := dec.ReadFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Errorf("empty stream: %v, want io.EOF", err)
+	}
+	enc := GetEncoder()
+	frame := append([]byte(nil), enc.EncodeStreamPosts([]StreamPost{{ID: 1, Text: "x"}}, -1)...)
+	PutEncoder(enc)
+	r := bytes.NewReader(frame[:len(frame)-1])
+	if _, _, err := dec.ReadFrame(r); !errors.Is(err, ErrTruncated) {
+		t.Errorf("cut mid-frame: %v, want ErrTruncated", err)
+	}
+}
+
+func TestSniffBinary(t *testing.T) {
+	enc := GetEncoder()
+	frame := append([]byte(nil), enc.EncodeStreamPosts(nil, -1)...)
+	PutEncoder(enc)
+	if !SniffBinary(bufio.NewReader(bytes.NewReader(frame))) {
+		t.Error("frame not sniffed as binary")
+	}
+	if SniffBinary(bufio.NewReader(strings.NewReader(`{"id":1}`))) {
+		t.Error("JSONL sniffed as binary")
+	}
+	if SniffBinary(bufio.NewReader(strings.NewReader(""))) {
+		t.Error("empty sniffed as binary")
+	}
+}
+
+func TestWriteReadStreamPosts(t *testing.T) {
+	posts := make([]StreamPost, 1500)
+	for i := range posts {
+		posts[i] = StreamPost{ID: int64(i), Time: float64(i) / 2, Text: fmt.Sprintf("tweet %d", i)}
+	}
+	var buf bytes.Buffer
+	if err := WriteStreamPosts(&buf, posts, 0, DefaultCompressThreshold); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadStreamPosts(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(posts) {
+		t.Fatalf("decoded %d, want %d", len(got), len(posts))
+	}
+	for i := range posts {
+		if got[i] != posts[i] {
+			t.Fatalf("post %d = %+v, want %+v", i, got[i], posts[i])
+		}
+	}
+}

@@ -1,6 +1,11 @@
 package wire
 
 import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -34,4 +39,117 @@ func FuzzReadPosts(f *testing.F) {
 			}
 		}
 	})
+}
+
+// FuzzDecodeFrame throws arbitrary bytes at the full binary decode path:
+// frame header, optional decompression, and every batch codec. The
+// invariants: no panic, no over-allocation (enforced structurally by the
+// count checks), and every failure is one of the typed base errors.
+func FuzzDecodeFrame(f *testing.F) {
+	enc := GetEncoder()
+	f.Add(append([]byte(nil), enc.EncodeStreamPosts([]StreamPost{{ID: 1, Time: 2, Text: "hello"}}, -1)...))
+	f.Add(append([]byte(nil), enc.EncodeStreamPosts(make([]StreamPost, 600), 0)...)) // compressed
+	f.Add(append([]byte(nil), enc.EncodeEmissions([]Emission{{Seq: 1, Topics: []string{"t"}}}, 1<<30)...))
+	var dict core.Dictionary
+	dict.Intern("a")
+	lf, _ := enc.EncodeLabeledPosts([]core.Post{{ID: 3, Value: 1, Labels: []core.Label{0}}}, []string{"a"}, -1)
+	f.Add(append([]byte(nil), lf...))
+	PutEncoder(enc)
+	f.Add([]byte{magic0, magic1, FrameVersion, 0, 0xff, 0xff, 0xff, 0x7f})
+	f.Add([]byte{magic0, magic1})
+	f.Add([]byte(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := GetDecoder()
+		defer PutDecoder(dec)
+		kind, body, _, err := dec.DecodeFrame(data) // must not panic
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrBadVersion) &&
+				!errors.Is(err, ErrFrameTooLarge) && !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		switch kind {
+		case KindStreamPosts:
+			if _, err := AppendStreamPosts(nil, body); err != nil && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("untyped stream error: %v", err)
+			}
+		case KindEmissions:
+			if _, err := AppendEmissions(nil, body); err != nil && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("untyped emission error: %v", err)
+			}
+		case KindLabeledPosts:
+			var d core.Dictionary
+			posts, err := AppendLabeledPosts(nil, body, &d)
+			if err != nil {
+				if !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("untyped labeled error: %v", err)
+				}
+				return
+			}
+			for _, p := range posts {
+				for i := 1; i < len(p.Labels); i++ {
+					if p.Labels[i] <= p.Labels[i-1] {
+						t.Fatalf("decoded labels not sorted/deduplicated: %v", p.Labels)
+					}
+				}
+			}
+		}
+	})
+}
+
+// FuzzBinaryRoundTrip is the property test: pseudo-random batches derived
+// from the fuzzed seed must encode and decode identically, with and
+// without compression.
+func FuzzBinaryRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint8(4), false)
+	f.Add(int64(42), uint8(100), true)
+	f.Add(int64(-9), uint8(0), true)
+	f.Fuzz(func(t *testing.T, seed int64, n uint8, compress bool) {
+		rng := rand.New(rand.NewSource(seed))
+		threshold := 1 << 30
+		if compress {
+			threshold = 0
+		}
+		posts := make([]StreamPost, int(n))
+		for i := range posts {
+			posts[i] = StreamPost{
+				ID:   rng.Int63() - rng.Int63(),
+				Time: rng.NormFloat64() * 1e6,
+				Text: randText(rng),
+			}
+		}
+		enc := GetEncoder()
+		frame := append([]byte(nil), enc.EncodeStreamPosts(posts, threshold)...)
+		PutEncoder(enc)
+		dec := GetDecoder()
+		defer PutDecoder(dec)
+		kind, body, err := dec.ReadFrame(bytes.NewReader(frame))
+		if err != nil || kind != KindStreamPosts {
+			t.Fatalf("decode: kind 0x%02x, %v", kind, err)
+		}
+		got, err := AppendStreamPosts(nil, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(posts) {
+			t.Fatalf("decoded %d posts, want %d", len(got), len(posts))
+		}
+		for i := range posts {
+			same := got[i].ID == posts[i].ID && got[i].Text == posts[i].Text &&
+				(got[i].Time == posts[i].Time || (got[i].Time != got[i].Time && posts[i].Time != posts[i].Time))
+			if !same {
+				t.Fatalf("post %d = %+v, want %+v", i, got[i], posts[i])
+			}
+		}
+	})
+}
+
+func randText(rng *rand.Rand) string {
+	words := rng.Intn(8)
+	var sb strings.Builder
+	for i := 0; i < words; i++ {
+		fmt.Fprintf(&sb, "w%d ", rng.Intn(1000))
+	}
+	return sb.String()
 }

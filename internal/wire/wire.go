@@ -47,9 +47,33 @@ func ReadPosts(r io.Reader, dict *core.Dictionary) ([]core.Post, error) {
 		posts = append(posts, p)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("wire: %w", err)
+		// Scanner errors (e.g. bufio.ErrTooLong on a line over maxLineBytes)
+		// happen on the line after the last successful Scan: report it like
+		// any other per-line decode error instead of a bare bufio message.
+		return nil, fmt.Errorf("wire: line %d: %w", lineNo+1, err)
 	}
 	return posts, nil
+}
+
+// ReadPostsAuto reads posts from r in either interchange format, sniffing
+// the first bytes: binary .mqdw frames (magic 0x8D 0x51) or JSONL.
+func ReadPostsAuto(r io.Reader, dict *core.Dictionary) ([]core.Post, error) {
+	br := bufio.NewReaderSize(r, 64*1024)
+	if !SniffBinary(br) {
+		return ReadPosts(br, dict)
+	}
+	rd := NewBinaryReader(br, dict)
+	var posts []core.Post
+	for {
+		batch, err := rd.ReadBatch()
+		if err == io.EOF {
+			return posts, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		posts = append(posts, batch...)
+	}
 }
 
 func decodePost(line string, dict *core.Dictionary) (core.Post, error) {

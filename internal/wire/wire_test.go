@@ -1,7 +1,9 @@
 package wire
 
 import (
+	"bufio"
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -92,5 +94,25 @@ func TestReadPostsSharedDictionary(t *testing.T) {
 	}
 	if dict.Len() != 2 {
 		t.Errorf("dict grew to %d", dict.Len())
+	}
+}
+
+// TestReadPostsLineTooLong pins the satellite fix: a line exceeding
+// maxLineBytes must surface bufio.ErrTooLong wrapped with the line number,
+// not the scanner's bare "token too long".
+func TestReadPostsLineTooLong(t *testing.T) {
+	long := `{"id":3,"value":1,"labels":["` + strings.Repeat("x", maxLineBytes) + `"]}`
+	src := `{"id":1,"value":1,"labels":["a"]}` + "\n" +
+		`{"id":2,"value":2,"labels":["b"]}` + "\n" + long
+	var dict core.Dictionary
+	_, err := ReadPosts(strings.NewReader(src), &dict)
+	if err == nil {
+		t.Fatal("oversized line accepted")
+	}
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Errorf("err = %v, want bufio.ErrTooLong in chain", err)
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("err = %q, want the failing line number (line 3)", err)
 	}
 }
