@@ -2,14 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-json bench-index bench-wire bench-obs chaos experiments smoke fuzz fuzz-smoke vet lint check clean
+.PHONY: all build test test-race bench bench-json bench-index bench-wire bench-push bench-obs chaos push-soak experiments smoke fuzz fuzz-smoke vet lint check clean
 
 all: build test
 
 # The default verification gate: build, tests, static checks, the chaos
-# suite under the race detector, the instrumented-vs-disabled solver
-# overhead comparison, and the wire fuzz corpus smoke.
-check: build test vet chaos bench-obs fuzz-smoke
+# suite under the race detector, the push-delivery soak, the
+# instrumented-vs-disabled solver overhead comparison, and the wire fuzz
+# corpus smoke.
+check: build test vet chaos push-soak bench-obs fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -47,6 +48,19 @@ bench-wire:
 # runs are deterministic.
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos|TestShutdownMidIngest' ./internal/server
+
+# Push-delivery soak under the race detector: many idle SSE streams plus
+# a few hot ones through sustained ingest, asserting the goroutine count
+# stays flat and the active-stream gauge drains to zero, alongside the
+# stream/poll/unsubscribe churn hammer.
+push-soak:
+	$(GO) test -race -count=1 -run 'TestPushSoak|TestStreamChurnHammer' ./internal/server
+
+# Regenerate the push-vs-poll delivery-latency baseline (BENCH_push.json):
+# the same paced feed consumed over an SSE stream and over interval polls,
+# reporting per-emission delivery latency for each.
+bench-push:
+	$(GO) run ./cmd/mqdp-bench -json-push > BENCH_push.json
 
 # Compare BenchmarkScan with instrumentation disabled vs enabled: the
 # disabled path must sit within noise of the pre-obs solver.

@@ -59,6 +59,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the solver timing baseline as JSON and exit")
 	jsonIndex := flag.Bool("json-index", false, "emit the index read-path baseline as JSON and exit")
 	jsonWire := flag.Bool("json-wire", false, "emit the wire-format codec/e2e baseline as JSON and exit")
+	jsonPush := flag.Bool("json-push", false, "emit the push-vs-poll delivery-latency baseline as JSON and exit")
 	traceDump := flag.String("trace-dump", "", "write the solver span journal to this file after the run (- for stderr); empty disables tracing")
 	flag.Parse()
 
@@ -109,6 +110,13 @@ func main() {
 	}
 	if *jsonWire {
 		if err := writeWireBaseline(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "mqdp-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *jsonPush {
+		if err := writePushBaseline(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "mqdp-bench: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,209 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"mqdp/internal/server"
+	"mqdp/internal/synth"
+)
+
+// PushBaseline is the machine-readable push-vs-poll delivery record
+// emitted by -json-push and checked in as BENCH_push.json (regenerate
+// with `make bench-push`). One server ingests a paced synthetic tweet
+// stream while two identically subscribed consumers watch it: an SSE
+// push stream and an interval poller. Per emission, delivery latency is
+// the wall time from the ingest call that produced it to the consumer
+// observing it — so the comparison includes the full HTTP path on both
+// sides, and the poller's half-interval expected wait shows up directly.
+type PushBaseline struct {
+	Schema    int                `json:"schema"`
+	GoVersion string             `json:"go_version"`
+	NumCPU    int                `json:"num_cpu"`
+	Workload  PushWorkload       `json:"workload"`
+	Modes     []PushModeStat     `json:"modes"`
+	Speedup   map[string]float64 `json:"poll_over_push"`
+}
+
+// PushWorkload records the paced stream the latencies were taken on.
+type PushWorkload struct {
+	Posts          int     `json:"posts"`
+	RatePerSec     float64 `json:"rate_per_sec"`
+	Seed           int64   `json:"seed"`
+	PollIntervalMS int64   `json:"poll_interval_ms"`
+}
+
+// PushModeStat is one consumer's delivery-latency distribution.
+type PushModeStat struct {
+	Mode      string  `json:"mode"` // "push" or "poll"
+	Emissions int     `json:"emissions"`
+	MeanMS    float64 `json:"mean_ms"`
+	P50MS     float64 `json:"p50_ms"`
+	P95MS     float64 `json:"p95_ms"`
+	MaxMS     float64 `json:"max_ms"`
+}
+
+const (
+	pushBenchPosts    = 400
+	pushBenchRate     = 400.0 // posts per second of wall time
+	pushBenchSeed     = 42
+	pushBenchInterval = 50 * time.Millisecond
+)
+
+func writePushBaseline(w *os.File) error {
+	world := synth.NewWorld(synth.WorldConfig{Seed: pushBenchSeed})
+	tweets := synth.TweetStream(world, synth.StreamConfig{
+		Duration:   pushBenchPosts,
+		RatePerSec: 1,
+		DupRatio:   0,
+		Seed:       pushBenchSeed + 1,
+	})
+	if len(tweets) > pushBenchPosts {
+		tweets = tweets[:pushBenchPosts]
+	}
+
+	core := server.New(0, 0)
+	ts := httptest.NewServer(server.Handler(core))
+	defer ts.Close()
+	cl := server.NewClient(ts.URL)
+
+	rng := rand.New(rand.NewSource(pushBenchSeed))
+	topics := world.MatchTopics(world.SampleLabelSet(rng, 24))
+	pushID, err := cl.Subscribe(server.SubscriptionConfig{Topics: topics, Algorithm: "instant"})
+	if err != nil {
+		return err
+	}
+	pollID, err := cl.Subscribe(server.SubscriptionConfig{Topics: topics, Algorithm: "instant"})
+	if err != nil {
+		return err
+	}
+
+	// sentAt records, per post id, when its ingest call started. Both
+	// subscriptions see the same posts, so one table serves both
+	// consumers; the mutex covers the pacer writing against them reading.
+	var sentMu sync.Mutex
+	sentAt := make(map[int64]time.Time, len(tweets))
+	since := func(postID int64) (time.Duration, bool) {
+		sentMu.Lock()
+		t0, ok := sentAt[postID]
+		sentMu.Unlock()
+		if !ok {
+			return 0, false
+		}
+		return time.Since(t0), true
+	}
+	var pushLat, pollLat []time.Duration
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pushDone := make(chan error, 1)
+	go func() {
+		pushDone <- cl.Stream(ctx, pushID, 0, func(ev server.StreamEvent) error {
+			if ev.Emission != nil {
+				if d, ok := since(ev.Emission.PostID); ok {
+					pushLat = append(pushLat, d)
+				}
+			}
+			return nil
+		})
+	}()
+	pollDone := make(chan struct{})
+	go func() {
+		defer close(pollDone)
+		after := int64(0)
+		tick := time.NewTicker(pushBenchInterval)
+		defer tick.Stop()
+		for {
+			es, err := cl.Emissions(pollID, after, 0)
+			if err == nil {
+				for _, e := range es {
+					if d, ok := since(e.PostID); ok {
+						pollLat = append(pollLat, d)
+					}
+					after = e.Seq
+				}
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+
+	// Pace the feed at the target wall-clock rate. sentAt is written only
+	// before the ingest that publishes the post, so the consumer goroutines
+	// always read a settled entry.
+	interval := time.Duration(float64(time.Second) / pushBenchRate)
+	for _, tw := range tweets {
+		sentMu.Lock()
+		sentAt[tw.ID] = time.Now()
+		sentMu.Unlock()
+		if err := cl.Ingest(server.Post{ID: tw.ID, Time: tw.Time, Text: tw.Text}); err != nil {
+			return err
+		}
+		time.Sleep(interval)
+	}
+	// Let the pollers take their final lap before stopping the consumers.
+	time.Sleep(2 * pushBenchInterval)
+	cancel()
+	<-pushDone
+	<-pollDone
+	core.Flush()
+
+	b := PushBaseline{
+		Schema:    1,
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Workload: PushWorkload{
+			Posts:          len(tweets),
+			RatePerSec:     pushBenchRate,
+			Seed:           pushBenchSeed,
+			PollIntervalMS: pushBenchInterval.Milliseconds(),
+		},
+		Modes: []PushModeStat{
+			latencyStat("push", pushLat),
+			latencyStat("poll", pollLat),
+		},
+		Speedup: map[string]float64{},
+	}
+	if len(pushLat) > 0 && len(pollLat) > 0 {
+		b.Speedup["mean"] = ratio(b.Modes[1].MeanMS, b.Modes[0].MeanMS)
+		b.Speedup["p95"] = ratio(b.Modes[1].P95MS, b.Modes[0].P95MS)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+func latencyStat(mode string, lat []time.Duration) PushModeStat {
+	st := PushModeStat{Mode: mode, Emissions: len(lat)}
+	if len(lat) == 0 {
+		return st
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	st.MeanMS = ms(sum / time.Duration(len(lat)))
+	st.P50MS = ms(lat[len(lat)/2])
+	st.P95MS = ms(lat[len(lat)*95/100])
+	st.MaxMS = ms(lat[len(lat)-1])
+	return st
+}
+
+func ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -10,10 +10,17 @@
 //	                         "lambda":3600, "tau":30, "algorithm":"streamscan+"} → {"id":1}
 //	POST   /ingest          {"id":1,"time":1370000000,"text":"..."} or a JSON array of posts
 //	                        → {"accepted":N} ({"accepted":N,"error":...} on a mid-batch failure)
-//	GET    /subscriptions/1/emissions?after=0&limit=100
+//	GET    /subscriptions/1/emissions?after=0&limit=100      (add &wait=30s to long-poll)
+//	GET    /subscriptions/1/stream  (Server-Sent Events push; try curl -N)
+//	GET    /subscriptions/1/topk    (continuous diversified top-k view)
 //	GET    /subscriptions/1/stats · GET /stats · GET /metrics · GET /healthz
 //	GET    /metrics/prometheus  (text exposition of every wired instrument)
 //	POST   /flush · DELETE /subscriptions/1
+//
+// Push delivery: -push=false turns the SSE endpoint off (clients fall
+// back to long-polling), and -max-streams caps concurrently served push
+// waiters — SSE streams plus blocked long-polls — refusing the excess
+// with 503 + Retry-After.
 //
 // Overload protection (all off by default): -max-inflight caps concurrent
 // ingest requests, -ingest-rate/-ingest-burst bound the ingest request
@@ -73,6 +80,8 @@ func main() {
 	ingestBurst := flag.Int("ingest-burst", 1, "token-bucket burst for -ingest-rate")
 	ingestDeadline := flag.Duration("ingest-deadline", 0, "server-side wall-time budget per ingest request (0 = none)")
 	shedPolicy := flag.String("shed-policy", "shed", `over-capacity ingest behavior: "shed" (429 + Retry-After) or "block"`)
+	push := flag.Bool("push", true, "serve SSE push delivery on /subscriptions/{id}/stream")
+	maxStreams := flag.Int("max-streams", 0, "max concurrently served push waiters, SSE + blocked long-polls (0 = unlimited)")
 	faultSchedule := flag.String("fault-schedule", "", "deterministic fault-injection schedule for chaos drills (see internal/faultinject)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic rules in -fault-schedule")
 	flag.Parse()
@@ -93,6 +102,8 @@ func main() {
 		})
 	}
 	s.SetIngestDeadline(*ingestDeadline)
+	s.SetPush(*push)
+	s.SetMaxStreams(*maxStreams)
 	if *faultSchedule != "" {
 		inj, err := faultinject.ParseSchedule(*faultSchedule, *faultSeed)
 		if err != nil {
@@ -146,15 +157,17 @@ func main() {
 	}
 	stop()
 
-	log.Print("shutting down: draining connections")
+	log.Print("shutting down: flushing subscriptions, draining connections")
+	// Flush BEFORE draining: flushing forces every pending decision out and
+	// terminates each subscription's hub, so live SSE streams and blocked
+	// long-polls receive their terminal end event and finish. Draining
+	// first would park on those never-ending streams until the timeout.
+	s.Flush()
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := h.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("drain: %v", err)
 	}
-	// Final flush: force every subscription's pending decisions out so the
-	// last pollers (and the log line below) see the complete feed.
-	s.Flush()
 	m := s.Metrics()
 	log.Printf("final: ingested=%d dropped_duplicates=%d subscriptions=%d emitted=%d text_misses=%d",
 		m.Ingested, m.DroppedDups, m.Subscriptions, m.EmittedTotal, m.TextMisses)

@@ -179,6 +179,7 @@ type APIError struct {
 
 	retryAfter    time.Duration
 	hasRetryAfter bool
+	streamEnd     string // X-Stream-End reason on a 409 from an ended stream
 }
 
 func (e *APIError) Error() string {
@@ -266,6 +267,7 @@ func (c *Client) doHTTP(ctx context.Context, method, path string, body []byte, c
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		ae := &APIError{Status: resp.StatusCode, Body: string(msg)}
+		ae.streamEnd = resp.Header.Get("X-Stream-End")
 		if ra := resp.Header.Get("Retry-After"); ra != "" {
 			if secs, perr := strconv.Atoi(ra); perr == nil && secs >= 0 {
 				ae.retryAfter = time.Duration(secs) * time.Second
@@ -513,6 +515,12 @@ func (c *Client) doIngestOnce(ctx context.Context, posts []Post, key string, bin
 
 // Emissions fetches a profile's emissions with Seq > after (limit ≤ 0 means
 // all).
+//
+// When after predates the server's retained buffer, the lost range is
+// reported instead of silently spliced over: the retained tail is
+// returned together with a *GapError (match with errors.Is(err, ErrGap))
+// whose FirstSeq says where the data resumes. A flushed, unsubscribed or
+// quarantined subscription returns a *StreamEndError.
 func (c *Client) Emissions(id, after int64, limit int) ([]Emission, error) {
 	return c.EmissionsContext(context.Background(), id, after, limit)
 }
@@ -521,18 +529,34 @@ func (c *Client) Emissions(id, after int64, limit int) ([]Emission, error) {
 // binary frame format via Accept; a server that ignores it answers JSON
 // and the response is decoded by its Content-Type, so either way works.
 func (c *Client) EmissionsContext(ctx context.Context, id, after int64, limit int) ([]Emission, error) {
+	return c.emissions(ctx, id, after, limit, 0)
+}
+
+// emissions is the shared poll implementation; wait > 0 long-polls.
+func (c *Client) emissions(ctx context.Context, id, after int64, limit int, wait time.Duration) ([]Emission, error) {
 	path := fmt.Sprintf("/subscriptions/%d/emissions?after=%d", id, after)
 	if limit > 0 {
 		path += fmt.Sprintf("&limit=%d", limit)
 	}
+	if wait > 0 {
+		path += fmt.Sprintf("&wait=%s", wait)
+	}
 	var out []Emission
+	var gap *GapError
 	err := c.callAttempt(ctx, http.MethodGet, path, true, func(ctx context.Context) error {
 		accept := ""
 		if c.useBinary() {
 			accept = wire.ContentTypeBinary
 		}
 		return c.doHTTP(ctx, http.MethodGet, path, nil, "", accept, "", func(resp *http.Response) error {
-			out = out[:0]
+			out, gap = out[:0], nil
+			if fs := resp.Header.Get("X-First-Seq"); fs != "" {
+				first, err1 := strconv.ParseInt(fs, 10, 64)
+				from, err2 := strconv.ParseInt(resp.Header.Get("X-Gap-From"), 10, 64)
+				if err1 == nil && err2 == nil {
+					gap = &GapError{GapFrom: from, FirstSeq: first}
+				}
+			}
 			if !wire.IsBinary(resp.Header.Get("Content-Type")) {
 				return json.NewDecoder(resp.Body).Decode(&out)
 			}
@@ -556,7 +580,14 @@ func (c *Client) EmissionsContext(ctx context.Context, id, after int64, limit in
 		})
 	})
 	if err != nil {
+		var ae *APIError
+		if errors.As(err, &ae) && ae.streamEnd != "" {
+			return nil, &StreamEndError{Reason: ae.streamEnd}
+		}
 		return nil, err
+	}
+	if gap != nil {
+		return out, gap
 	}
 	return out, nil
 }

@@ -99,9 +99,31 @@ func TestEmissionsPollAfterTrim(t *testing.T) {
 		t.Errorf("after=60 → %v, want empty", seqs(got))
 	}
 	// A stale cursor pointing into the trimmed region yields the whole
-	// retained window (the trimmed emissions are gone, not re-addressed).
+	// retained window (the trimmed emissions are gone, not re-addressed)
+	// AND announces the splice: X-Gap-From/X-First-Seq name the lost range
+	// so the client knows seqs 11..34 are unrecoverable.
 	if got := poll(10, 0); len(got) != 16 || got[0].Seq != 35 {
 		t.Errorf("after=10 → %v, want 35..50", seqs(got))
+	}
+	resp, err := http.Get(fmt.Sprintf("%s/subscriptions/%d/emissions?after=10", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stale poll status %d", resp.StatusCode)
+	}
+	if gf, fs := resp.Header.Get("X-Gap-From"), resp.Header.Get("X-First-Seq"); gf != "11" || fs != "35" {
+		t.Errorf("stale poll gap headers = (X-Gap-From %q, X-First-Seq %q), want (11, 35)", gf, fs)
+	}
+	// An in-window cursor carries no gap headers.
+	resp, err = http.Get(fmt.Sprintf("%s/subscriptions/%d/emissions?after=40", ts.URL, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if gf := resp.Header.Get("X-Gap-From"); gf != "" {
+		t.Errorf("in-window poll reported a gap: X-Gap-From %q", gf)
 	}
 }
 

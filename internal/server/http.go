@@ -20,9 +20,29 @@ import (
 //
 //	POST   /subscriptions                 {topics, lambda, tau, algorithm} → {"id": N}
 //	DELETE /subscriptions/{id}
-//	GET    /subscriptions/{id}/emissions?after=SEQ&limit=K → [Emission]
+//	GET    /subscriptions/{id}/emissions?after=SEQ&limit=K&wait=DUR → [Emission]
 //	                                      (or one binary emissions frame when the
-//	                                      request Accepts application/x-mqdp-frame)
+//	                                      request Accepts application/x-mqdp-frame).
+//	                                      wait= long-polls up to DUR (capped at
+//	                                      60s) for new emissions, counted
+//	                                      against the stream cap. A stale after
+//	                                      cursor — older
+//	                                      than the retained buffer — returns the
+//	                                      kept tail with X-Gap-From/X-First-Seq
+//	                                      headers naming the lost range instead
+//	                                      of silently splicing; a flushed,
+//	                                      unsubscribed or quarantined stream
+//	                                      answers 409 + X-Stream-End: reason.
+//	GET    /subscriptions/{id}/topk       → TopKSnapshot: the continuously
+//	                                      maintained diversified top-k view (or
+//	                                      one binary top-k frame under the same
+//	                                      Accept negotiation)
+//	GET    /subscriptions/{id}/stream     Server-Sent Events push: emission,
+//	                                      topk, gap and end events. Resumes from
+//	                                      ?after=SEQ or Last-Event-ID. 501 when
+//	                                      push is disabled (clients fall back to
+//	                                      polling), 503 + Retry-After over the
+//	                                      -max-streams cap.
 //	GET    /subscriptions/{id}/stats      → SubscriptionStats
 //	POST   /ingest                        Post or [Post] → {"accepted": N} (on a
 //	                                      mid-batch error: {"accepted": N, "error": ...}
@@ -83,10 +103,49 @@ func Handler(s *Server) http.Handler {
 			}
 			w.WriteHeader(http.StatusNoContent)
 		case len(parts) == 2 && parts[1] == "emissions" && r.Method == http.MethodGet:
-			after, _ := strconv.ParseInt(r.URL.Query().Get("after"), 10, 64)
-			limit, _ := strconv.Atoi(r.URL.Query().Get("limit"))
-			es, err := s.Emissions(id, after, limit)
+			q := r.URL.Query()
+			after, _ := strconv.ParseInt(q.Get("after"), 10, 64)
+			limit, _ := strconv.Atoi(q.Get("limit"))
+			var es []Emission
+			var err error
+			if wait := parseWait(q.Get("wait")); wait > 0 {
+				// Long-poll: park on the subscription's hub instead of
+				// returning empty, under the same stream cap as SSE. Stays
+				// available when SSE is disabled — it is the fallback.
+				release, ok := s.acquireStream()
+				if !ok {
+					w.Header().Set("Retry-After", "1")
+					http.Error(w, "too many push streams", http.StatusServiceUnavailable)
+					return
+				}
+				ctx, cancel := context.WithTimeout(r.Context(), wait)
+				es, err = s.WaitEmissions(ctx, id, after, limit)
+				cancel()
+				release()
+				if errors.Is(err, context.DeadlineExceeded) {
+					es, err = nil, nil // nothing arrived in time: empty poll
+				}
+			} else {
+				es, err = s.Emissions(id, after, limit)
+			}
+			// A stale cursor is reported, never hidden: the body carries the
+			// retained tail, the headers name the spliced-out range.
+			var gap *GapError
+			if errors.As(err, &gap) {
+				w.Header().Set("X-Gap-From", strconv.FormatInt(gap.GapFrom, 10))
+				w.Header().Set("X-First-Seq", strconv.FormatInt(gap.FirstSeq, 10))
+				err = nil
+			}
 			if err != nil {
+				var end *StreamEndError
+				if errors.As(err, &end) {
+					w.Header().Set("X-Stream-End", end.Reason)
+					http.Error(w, err.Error(), http.StatusConflict)
+					return
+				}
+				if errors.Is(err, context.Canceled) {
+					return // client went away mid-wait
+				}
 				httpError(w, err)
 				return
 			}
@@ -101,6 +160,19 @@ func Handler(s *Server) http.Handler {
 				return
 			}
 			writeJSON(w, es)
+		case len(parts) == 2 && parts[1] == "topk" && r.Method == http.MethodGet:
+			snap, err := s.TopK(id)
+			if err != nil {
+				httpError(w, err)
+				return
+			}
+			if wire.AcceptsBinary(r.Header.Get("Accept")) && !s.binaryWireDisabled.Load() {
+				writeBinaryTopK(w, snap)
+				return
+			}
+			writeJSON(w, snap)
+		case len(parts) == 2 && parts[1] == "stream" && r.Method == http.MethodGet:
+			s.serveStream(w, r, id)
 		case len(parts) == 2 && parts[1] == "digest" && r.Method == http.MethodGet:
 			d, err := s.Digest(id)
 			if err != nil {
@@ -376,6 +448,45 @@ func ingestDecodeStatus(err error) int {
 		return http.StatusRequestEntityTooLarge
 	}
 	return http.StatusBadRequest
+}
+
+// maxLongPollWait caps ?wait= so a typoed duration can't pin a handler
+// goroutine for hours; clients wanting longer just reissue the poll.
+const maxLongPollWait = 60 * time.Second
+
+// parseWait reads a ?wait= value as a Go duration ("30s") or bare
+// seconds ("30"); empty, malformed or negative values mean no wait.
+func parseWait(s string) time.Duration {
+	if s == "" {
+		return 0
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		secs, err2 := strconv.Atoi(s)
+		if err2 != nil {
+			return 0
+		}
+		d = time.Duration(secs) * time.Second
+	}
+	if d < 0 {
+		return 0
+	}
+	if d > maxLongPollWait {
+		d = maxLongPollWait
+	}
+	return d
+}
+
+// writeBinaryTopK renders a top-k snapshot as one KindTopK frame.
+func writeBinaryTopK(w http.ResponseWriter, snap TopKSnapshot) {
+	enc := wire.GetEncoder()
+	defer wire.PutEncoder(enc)
+	wes := make([]wire.Emission, len(snap.Items))
+	for i, e := range snap.Items {
+		wes[i] = wire.Emission(e)
+	}
+	w.Header().Set("Content-Type", wire.ContentTypeBinary)
+	_, _ = w.Write(enc.EncodeTopK(snap.Version, snap.K, wes, wire.DefaultCompressThreshold))
 }
 
 // writeBinaryEmissions renders a poll response as one KindEmissions frame.

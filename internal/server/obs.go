@@ -11,16 +11,17 @@ import (
 // a registry; the service totals here are their registry-visible sums,
 // incremented alongside.
 type serverObs struct {
-	reg          *obs.Registry
-	ingestFanout *obs.Histogram // one Ingest: admission + fan-out to all subscriptions
-	tokenizeTime *obs.Histogram // the once-per-post tokenization shared by every subscription
-	matchTime    *obs.Histogram // one subscription's topic match for one post
-	pollTime     *obs.Histogram // one Emissions poll
-	subs         *obs.Gauge
-	matched      *obs.Counter
-	emitted      *obs.Counter
-	misses       *obs.Counter
-	quarantined  *obs.Gauge
+	reg           *obs.Registry
+	ingestFanout  *obs.Histogram // one Ingest: admission + fan-out to all subscriptions
+	tokenizeTime  *obs.Histogram // the once-per-post tokenization shared by every subscription
+	matchTime     *obs.Histogram // one subscription's topic match for one post
+	pollTime      *obs.Histogram // one Emissions poll
+	subs          *obs.Gauge
+	matched       *obs.Counter
+	emitted       *obs.Counter
+	misses        *obs.Counter
+	quarantined   *obs.Gauge
+	activeStreams *obs.Gauge
 }
 
 // SetObs wires the server's instruments into r; nil disables service-level
@@ -35,21 +36,24 @@ func (s *Server) SetObs(r *obs.Registry) {
 	r.RegisterCounter("mqdp_server_dropped_duplicates_total", "posts dropped as near-duplicates before fan-out", &s.dropped)
 	r.RegisterCounter("mqdp_server_sheds_total", "ingest requests shed by the admission controller (429)", &s.shed)
 	r.RegisterCounter("mqdp_server_quarantines_total", "subscriptions isolated after a pipeline panic", &s.quarantines)
+	r.RegisterCounter("mqdp_server_pushed_total", "emissions delivered over push streams", &s.pushed)
 	o := &serverObs{
-		reg:          r,
-		ingestFanout: r.Histogram("mqdp_server_ingest_fanout_seconds", "wall time fanning one post out to every subscription", obs.TimeBuckets),
-		tokenizeTime: r.Histogram("mqdp_server_tokenize_seconds", "wall time of the once-per-post ingest tokenization", obs.TimeBuckets),
-		matchTime:    r.Histogram("mqdp_server_match_seconds", "wall time of one subscription's topic match", obs.TimeBuckets),
-		pollTime:     r.Histogram("mqdp_server_emission_poll_seconds", "wall time of one emission poll", obs.TimeBuckets),
-		subs:         r.Gauge("mqdp_server_subscriptions", "registered subscriptions"),
-		matched:      r.Counter("mqdp_server_matched_total", "post-subscription matches across all profiles"),
-		emitted:      r.Counter("mqdp_server_emitted_total", "emissions delivered across all profiles"),
-		misses:       r.Counter("mqdp_server_text_misses_total", "decisions whose cached text was gc'd before landing"),
-		quarantined:  r.Gauge("mqdp_server_quarantined_subscriptions", "currently quarantined subscriptions"),
+		reg:           r,
+		ingestFanout:  r.Histogram("mqdp_server_ingest_fanout_seconds", "wall time fanning one post out to every subscription", obs.TimeBuckets),
+		tokenizeTime:  r.Histogram("mqdp_server_tokenize_seconds", "wall time of the once-per-post ingest tokenization", obs.TimeBuckets),
+		matchTime:     r.Histogram("mqdp_server_match_seconds", "wall time of one subscription's topic match", obs.TimeBuckets),
+		pollTime:      r.Histogram("mqdp_server_emission_poll_seconds", "wall time of one emission poll", obs.TimeBuckets),
+		subs:          r.Gauge("mqdp_server_subscriptions", "registered subscriptions"),
+		matched:       r.Counter("mqdp_server_matched_total", "post-subscription matches across all profiles"),
+		emitted:       r.Counter("mqdp_server_emitted_total", "emissions delivered across all profiles"),
+		misses:        r.Counter("mqdp_server_text_misses_total", "decisions whose cached text was gc'd before landing"),
+		quarantined:   r.Gauge("mqdp_server_quarantined_subscriptions", "currently quarantined subscriptions"),
+		activeStreams: r.Gauge("mqdp_server_active_push_streams", "currently served push waiters (SSE streams and blocked long-polls)"),
 	}
 	s.mu.RLock()
 	o.subs.Set(float64(len(s.subs)))
 	s.mu.RUnlock()
+	o.activeStreams.Set(float64(s.streams.Load()))
 	s.obsState.Store(o)
 }
 

@@ -32,6 +32,7 @@ import (
 	"mqdp/internal/obs"
 	"mqdp/internal/parallel"
 	"mqdp/internal/simhash"
+	"mqdp/internal/stream"
 	"mqdp/internal/textutil"
 )
 
@@ -63,7 +64,18 @@ type SubscriptionConfig struct {
 	// Algorithm is one of "streamscan", "streamscan+", "streamgreedy",
 	// "streamgreedy+", "instant". Default "streamscan+".
 	Algorithm string `json:"algorithm"`
+	// TopK sizes the continuously maintained diversified top-k view over
+	// this profile's λ-cover emissions (0 means the default of 10).
+	TopK int `json:"top_k,omitempty"`
+	// TopKWindow is the sliding window, in value (event-time) units, the
+	// top-k view retains: cover posts older than the stream watermark
+	// minus the window expire from the view. 0 disables expiry, leaving
+	// rank displacement as the only way out.
+	TopKWindow float64 `json:"top_k_window,omitempty"`
 }
+
+// defaultTopK is the view size used when SubscriptionConfig.TopK is 0.
+const defaultTopK = 10
 
 // maxEmissionBuffer caps each subscription's retained emission history.
 // A variable so tests can exercise the trim path cheaply.
@@ -92,6 +104,19 @@ type subscription struct {
 	// horizon eviction (posts arrive in time order).
 	pending []pendingText
 	head    int
+	// topk is the continuously maintained diversified top-k view over the
+	// λ-cover: one ranked insert per delivered emission, one expiry sweep
+	// per window slide.
+	topk *stream.TopK[Emission]
+
+	// Push-delivery hub state: wait is the broadcast channel push waiters
+	// (SSE streams, blocked long-polls) park on — closed, then cleared,
+	// whenever emissions, the top-k view, or the terminal state change —
+	// and done latches once no further emission can ever be appended
+	// (flush, unsubscribe, quarantine), with doneReason naming which.
+	wait       chan struct{}
+	done       bool
+	doneReason string
 
 	// Counters are updated under mu but read lock-free by stats endpoints;
 	// delays is the cumulative decision-delay histogram observed at delivery
@@ -119,6 +144,10 @@ func (sub *subscription) quarantine(msg string, s *Server, o *serverObs) {
 	sub.quarantineMsg = msg
 	s.quarantines.Inc()
 	o.onQuarantine()
+	// A quarantined pipeline will never emit again: terminate the hub so
+	// live streams get an explicit terminal event instead of going silent
+	// while their pollers wait forever.
+	sub.terminateLocked(EndReasonQuarantined)
 }
 
 // Server is the multi-subscription diversification service. It is safe for
@@ -167,6 +196,15 @@ type Server struct {
 	// JSON API is always supported).
 	binaryWireDisabled atomic.Bool
 
+	// Push delivery: streams counts the active push waiters (SSE streams
+	// plus blocked long-polls), maxStreams caps them (0 = unlimited),
+	// pushDisabled gates the push surface, and pushed counts emissions
+	// written to push streams.
+	streams      atomic.Int64
+	maxStreams   atomic.Int64
+	pushDisabled atomic.Bool
+	pushed       obs.Counter
+
 	// obsState holds the registry-wired service instruments; nil = disabled.
 	obsState atomic.Pointer[serverObs]
 }
@@ -202,7 +240,50 @@ var (
 	ErrNoSuchSubscription = errors.New("server: no such subscription")
 	ErrOutOfOrder         = errors.New("server: post arrived out of time order")
 	ErrClosed             = errors.New("server: stream flushed, no longer accepting posts")
+	// ErrGap reports a stale poll cursor: emissions between the cursor and
+	// the first retained Seq were dropped by GC and can never be
+	// delivered. It is always wrapped in a *GapError, returned alongside
+	// the retained tail — never a silent splice.
+	ErrGap = errors.New("server: emissions lost to gc before cursor")
+	// ErrStreamEnded reports that a push stream or blocking poll
+	// terminated because its subscription can never emit again. Always
+	// wrapped in a *StreamEndError naming the reason.
+	ErrStreamEnded = errors.New("server: subscription stream ended")
 )
+
+// Terminal stream reasons carried by StreamEndError and the SSE end event.
+const (
+	EndReasonFlushed      = "flushed"
+	EndReasonUnsubscribed = "unsubscribed"
+	EndReasonQuarantined  = "quarantined"
+)
+
+// GapError is the gap geometry behind ErrGap: seqs in [GapFrom, FirstSeq)
+// were emitted but dropped before the cursor read them. FirstSeq is where
+// a resuming client should continue (the first retained Seq, or — when the
+// whole buffer was trimmed — the next Seq to be assigned).
+type GapError struct {
+	GapFrom  int64 `json:"gap_from"`
+	FirstSeq int64 `json:"first_seq"`
+}
+
+func (e *GapError) Error() string {
+	return fmt.Sprintf("server: emissions %d..%d lost to gc; resume from seq %d", e.GapFrom, e.FirstSeq-1, e.FirstSeq)
+}
+
+// Unwrap makes errors.Is(err, ErrGap) match.
+func (e *GapError) Unwrap() error { return ErrGap }
+
+// StreamEndError reports why a push stream or blocking poll terminated:
+// EndReasonFlushed, EndReasonUnsubscribed or EndReasonQuarantined.
+type StreamEndError struct {
+	Reason string
+}
+
+func (e *StreamEndError) Error() string { return "server: subscription stream ended: " + e.Reason }
+
+// Unwrap makes errors.Is(err, ErrStreamEnded) match.
+func (e *StreamEndError) Unwrap() error { return ErrStreamEnded }
 
 // Subscribe registers a profile and returns its id.
 func (s *Server) Subscribe(cfg SubscriptionConfig) (int64, error) {
@@ -218,6 +299,13 @@ func (s *Server) Subscribe(cfg SubscriptionConfig) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	if cfg.TopK < 0 || cfg.TopKWindow < 0 {
+		return 0, fmt.Errorf("server: negative top_k %d or top_k_window %v", cfg.TopK, cfg.TopKWindow)
+	}
+	k := cfg.TopK
+	if k == 0 {
+		k = defaultTopK
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
@@ -228,6 +316,7 @@ func (s *Server) Subscribe(cfg SubscriptionConfig) (int64, error) {
 		proc:    proc,
 		texts:   make(map[int64]Post),
 		delays:  obs.NewHistogram(obs.DelayBuckets),
+		topk:    stream.NewTopK[Emission](k, cfg.TopKWindow),
 	}
 	s.subs[sub.id] = sub
 	if o := s.obsState.Load(); o != nil {
@@ -241,11 +330,14 @@ func (s *Server) Subscribe(cfg SubscriptionConfig) (int64, error) {
 	return sub.id, nil
 }
 
-// Unsubscribe removes a profile.
+// Unsubscribe removes a profile and terminates its live push streams:
+// blocked waiters wake immediately with an explicit stream end instead of
+// hanging until their own timeouts.
 func (s *Server) Unsubscribe(id int64) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.subs[id]; !ok {
+	sub, ok := s.subs[id]
+	if !ok {
+		s.mu.Unlock()
 		return ErrNoSuchSubscription
 	}
 	delete(s.subs, id)
@@ -253,12 +345,16 @@ func (s *Server) Unsubscribe(id int64) error {
 		o.subs.Set(float64(len(s.subs)))
 	}
 	order := make([]*subscription, 0, len(s.order)-1)
-	for _, sub := range s.order {
-		if sub.id != id {
-			order = append(order, sub)
+	for _, other := range s.order {
+		if other.id != id {
+			order = append(order, other)
 		}
 	}
 	s.order = order
+	s.mu.Unlock()
+	sub.mu.Lock()
+	sub.terminateLocked(EndReasonUnsubscribed)
+	sub.mu.Unlock()
 	return nil
 }
 
@@ -364,6 +460,11 @@ func (sub *subscription) feed(p Post, words []string, s *Server, o *serverObs, i
 	}
 	sub.deliver(es, o)
 	sub.gc(p.Time)
+	// Slide the top-k window to this post's time; waiters only wake when
+	// the visible view actually changed (deliver wakes them for appends).
+	if sub.topk.Advance(p.Time) {
+		sub.notifyLocked()
+	}
 	return nil
 }
 
@@ -372,6 +473,7 @@ func (sub *subscription) feed(p Post, words []string, s *Server, o *serverObs, i
 // evicted is counted in textMisses and skipped rather than emitted blank.
 // Caller holds sub.mu.
 func (sub *subscription) deliver(es []mqdp.Emission, o *serverObs) {
+	appended := false
 	for _, e := range es {
 		src, ok := sub.texts[e.Post.ID]
 		if !ok {
@@ -387,14 +489,27 @@ func (sub *subscription) deliver(es []mqdp.Emission, o *serverObs) {
 		seq := sub.nextSeq.Add(1)
 		sub.delays.Observe(e.EmitAt - e.Post.Value)
 		o.onEmit()
-		sub.emissions = append(sub.emissions, Emission{
+		em := Emission{
 			Seq:    seq,
 			PostID: e.Post.ID,
 			Time:   e.Post.Value,
 			Text:   src.Text,
 			Topics: names,
 			EmitAt: e.EmitAt,
+		}
+		sub.emissions = append(sub.emissions, em)
+		// Every cover emission is also a top-k candidate: coverage is the
+		// number of queries the post served at decision time.
+		sub.topk.Insert(stream.TopKItem[Emission]{
+			Value:    em.Time,
+			Coverage: len(names),
+			Seq:      seq,
+			Payload:  em,
 		})
+		appended = true
+	}
+	if appended {
+		sub.notifyLocked()
 	}
 }
 
@@ -446,6 +561,9 @@ func (s *Server) Flush() {
 		// Every decision has landed; whatever text remains was rejected.
 		clear(sub.texts)
 		sub.pending, sub.head = nil, 0
+		// The stream is over: wake every push waiter with the terminal
+		// state instead of leaving them parked until client timeouts.
+		sub.terminateLocked(EndReasonFlushed)
 	})
 }
 
@@ -464,6 +582,11 @@ func (s *Server) lookup(id int64) (*subscription, bool) {
 // up to limit (≤ 0 means no limit). Seqs are contiguous within the
 // retained buffer, so the starting index is computed in O(1) from the
 // first retained Seq — no scan of the buffer.
+//
+// A cursor that predates the retained buffer is never spliced silently:
+// when emissions in (after, firstRetained) were dropped by GC, Emissions
+// returns the retained tail together with a *GapError (errors.Is
+// ErrGap) reporting where delivery can resume.
 func (s *Server) Emissions(id, after int64, limit int) ([]Emission, error) {
 	if o := s.obsState.Load(); o != nil {
 		defer o.pollTime.ObserveSince(time.Now())
@@ -474,8 +597,29 @@ func (s *Server) Emissions(id, after int64, limit int) ([]Emission, error) {
 	}
 	sub.mu.Lock()
 	defer sub.mu.Unlock()
+	tail, gap := sub.pollLocked(after, limit)
+	if gap != nil {
+		return tail, gap
+	}
+	return tail, nil
+}
+
+// pollLocked copies the emissions with Seq > after (up to limit; ≤ 0 means
+// no limit) and reports a *GapError when seqs in (after, firstAvail) were
+// emitted but already dropped — including the fully trimmed empty-buffer
+// case, where firstAvail is the next Seq to be assigned. Caller holds
+// sub.mu.
+func (sub *subscription) pollLocked(after int64, limit int) ([]Emission, *GapError) {
+	firstAvail := sub.nextSeq.Value() + 1
+	if len(sub.emissions) > 0 {
+		firstAvail = sub.emissions[0].Seq
+	}
+	var gap *GapError
+	if after+1 < firstAvail {
+		gap = &GapError{GapFrom: after + 1, FirstSeq: firstAvail}
+	}
 	if len(sub.emissions) == 0 {
-		return nil, nil
+		return nil, gap
 	}
 	start := 0
 	if first := sub.emissions[0].Seq; after >= first {
@@ -483,7 +627,7 @@ func (s *Server) Emissions(id, after int64, limit int) ([]Emission, error) {
 		start = int(after - first + 1)
 	}
 	if start >= len(sub.emissions) {
-		return nil, nil
+		return nil, gap
 	}
 	tail := sub.emissions[start:]
 	if limit > 0 && limit < len(tail) {
@@ -491,7 +635,7 @@ func (s *Server) Emissions(id, after int64, limit int) ([]Emission, error) {
 	}
 	out := make([]Emission, len(tail))
 	copy(out, tail)
-	return out, nil
+	return out, gap
 }
 
 // Stats is a service snapshot.
@@ -593,6 +737,8 @@ type Metrics struct {
 	TextMisses    int64               `json:"text_misses"`
 	Sheds         int64               `json:"sheds"`
 	Quarantines   int64               `json:"quarantines"`
+	ActiveStreams int64               `json:"active_streams"`
+	PushedTotal   int64               `json:"pushed_total"`
 	Flushed       bool                `json:"flushed"`
 	Workers       int                 `json:"workers"`
 	Profiles      []SubscriptionStats `json:"profiles"`
@@ -609,6 +755,8 @@ func (s *Server) Metrics() Metrics {
 		Subscriptions: len(shards),
 		Sheds:         s.shed.Value(),
 		Quarantines:   s.quarantines.Value(),
+		ActiveStreams: s.streams.Load(),
+		PushedTotal:   s.pushed.Value(),
 		Flushed:       s.closed.Load(),
 		Workers:       s.Parallelism(),
 		Profiles:      make([]SubscriptionStats, 0, len(shards)),
@@ -659,10 +807,12 @@ func parseStreamAlgo(name string) (mqdp.StreamAlgorithm, error) {
 	return 0, fmt.Errorf("server: unknown algorithm %q", name)
 }
 
-// Digest renders a subscription's emissions as a user-facing digest.
+// Digest renders a subscription's emissions as a user-facing digest. A
+// digest summarizes whatever is retained, so a trimmed history (ErrGap) is
+// tolerated rather than failed.
 func (s *Server) Digest(id int64) (*digest.Digest, error) {
 	es, err := s.Emissions(id, 0, 0)
-	if err != nil {
+	if err != nil && !errors.Is(err, ErrGap) {
 		return nil, err
 	}
 	d := &digest.Digest{TopicCounts: make(map[string]int)}

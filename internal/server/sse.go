@@ -1,0 +1,150 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// streamBatchLimit bounds how many emissions one SSE wake drains before
+// flushing; a backlogged stream loops immediately rather than building a
+// single giant write.
+const streamBatchLimit = 512
+
+// endEvent is the data payload of a terminal "end" SSE event.
+type endEvent struct {
+	Reason string `json:"reason"`
+}
+
+// serveStream serves GET /subscriptions/{id}/stream as Server-Sent Events.
+//
+// Event grammar:
+//
+//	event: emission   data: Emission        (with id: <seq> for resume)
+//	event: topk       data: TopKSnapshot    (sent on connect, then on change)
+//	event: gap        data: GapError        (cursor predates retained buffer)
+//	event: end        data: {"reason": ...} (terminal: flushed | unsubscribed |
+//	                                         quarantined; stream closes after)
+//
+// The cursor starts at ?after=SEQ, overridden by a Last-Event-ID header on
+// reconnect (the standard SSE resume mechanism). Between batches the
+// handler parks on the subscription's hub: an idle stream costs one
+// goroutine and no CPU. Pending emissions are always drained before the
+// terminal end event, and a stale resume cursor produces an explicit gap
+// event — the same no-silent-splice contract as the poll path.
+func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, id int64) {
+	if !s.PushEnabled() {
+		// 501, not 404: the subscription may exist; it is the push surface
+		// that is switched off. Clients use this to fall back to polling.
+		http.Error(w, "push delivery disabled; poll /emissions", http.StatusNotImplemented)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported by connection", http.StatusNotImplemented)
+		return
+	}
+	sub, ok := s.lookup(id)
+	if !ok {
+		http.Error(w, ErrNoSuchSubscription.Error(), http.StatusNotFound)
+		return
+	}
+	release, ok := s.acquireStream()
+	if !ok {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "too many push streams", http.StatusServiceUnavailable)
+		return
+	}
+	defer release()
+
+	after, _ := strconv.ParseInt(r.URL.Query().Get("after"), 10, 64)
+	if last := r.Header.Get("Last-Event-ID"); last != "" {
+		if v, err := strconv.ParseInt(last, 10, 64); err == nil {
+			after = v
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	ctx := r.Context()
+	var lastVersion uint64
+	first := true // the initial top-k view is always pushed
+	for {
+		// One locked pass collects everything this wake can deliver; all
+		// writes happen outside the lock so a slow client never stalls
+		// ingest.
+		sub.mu.Lock()
+		tail, gap := sub.pollLocked(after, streamBatchLimit)
+		done, reason := sub.done, sub.doneReason
+		var snap TopKSnapshot
+		haveSnap := false
+		if v := sub.topk.Version(); first || v != lastVersion {
+			snap = sub.topkSnapshotLocked()
+			haveSnap = true
+			lastVersion = v
+			first = false
+		}
+		var ch chan struct{}
+		if len(tail) == 0 && gap == nil && !haveSnap && !done {
+			ch = sub.waitChLocked()
+		}
+		sub.mu.Unlock()
+
+		if gap != nil {
+			if writeEvent(w, "", "gap", gap) != nil {
+				return
+			}
+			// The splice is reported; resume at the first retained seq so
+			// the same gap is not re-announced every iteration.
+			after = gap.FirstSeq - 1
+		}
+		for i := range tail {
+			if writeEvent(w, strconv.FormatInt(tail[i].Seq, 10), "emission", &tail[i]) != nil {
+				return
+			}
+			after = tail[i].Seq
+			s.pushed.Inc()
+		}
+		if haveSnap {
+			if writeEvent(w, "", "topk", snap) != nil {
+				return
+			}
+		}
+		if done && len(tail) == 0 && gap == nil {
+			_ = writeEvent(w, "", "end", endEvent{Reason: reason})
+			flusher.Flush()
+			return
+		}
+		flusher.Flush()
+		if ch == nil {
+			continue // the batch limit may have left more to drain
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// writeEvent emits one SSE event. JSON escapes newlines, so the payload is
+// always a single data: line.
+func writeEvent(w io.Writer, id, event string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if id != "" {
+		if _, err := fmt.Fprintf(w, "id: %s\n", id); err != nil {
+			return err
+		}
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	return err
+}

@@ -1,0 +1,167 @@
+package stream
+
+// Continuous diversified top-k maintenance, per "Continuous Top-k Queries
+// over Real-Time Web Streams" and the incremental-maintenance angle of
+// "Diversifying Top-K Results": instead of only appending λ-cover decisions
+// to a log, keep a live ranked view of the current cover that a dashboard
+// can render at any instant. The view is maintained incrementally — one
+// ranked insert per cover emission, one expiry sweep per window slide — so
+// per-post cost stays far below recomputing a top-k over the window.
+
+// maxTopKCandidates bounds the live candidate set behind a view. Cover
+// emissions inside a window are naturally sparse (≈ s·window/λ posts), so
+// the cap only bites on adversarial configurations; a variable so tests can
+// exercise the overflow path cheaply.
+var maxTopKCandidates = 4096
+
+// TopKItem is one ranked member of a continuous top-k view: an opaque
+// payload plus the metadata the view ranks and expires by.
+type TopKItem[T any] struct {
+	// Value is the diversity-dimension value (event time); expiry slides
+	// on it and fresher items outrank staler ones at equal coverage.
+	Value float64
+	// Coverage is how many of the subscription's queries the item served
+	// when it was emitted — the diversification payoff of keeping it.
+	Coverage int
+	// Seq is the emission sequence number, the final deterministic
+	// tiebreak (earlier emission wins).
+	Seq int64
+	// Payload travels with the item and is returned by Items.
+	Payload T
+}
+
+// before is the view's total rank order: coverage descending (items that
+// serve more queries first), then value descending (fresher first), then
+// seq ascending. A strict total order over distinct seqs, so the view is
+// identical for any ingest parallelism.
+func (a TopKItem[T]) before(b TopKItem[T]) bool {
+	if a.Coverage != b.Coverage {
+		return a.Coverage > b.Coverage
+	}
+	if a.Value != b.Value {
+		return a.Value > b.Value
+	}
+	return a.Seq < b.Seq
+}
+
+// TopK maintains a continuously updated diversified top-k view over a
+// λ-cover emission stream. Feed every cover emission to Insert as it is
+// decided and call Advance as event time moves; Items is the current view
+// in rank order. Every live (non-expired) candidate is retained — bounded
+// by maxTopKCandidates — so an item sliding out of the window promotes the
+// next-ranked candidate without revisiting past decisions.
+//
+// TopK is not safe for concurrent use; callers guard it with the same lock
+// that orders their emission stream.
+type TopK[T any] struct {
+	k       int
+	window  float64
+	now     float64       // stream-time watermark anchoring the window
+	items   []TopKItem[T] // live candidates in rank order
+	version uint64
+}
+
+// NewTopK returns a view of size k (clamped to ≥ 1) over a sliding window
+// of the given width in value units; window ≤ 0 disables expiry, leaving
+// rank displacement as the only way out of the view.
+func NewTopK[T any](k int, window float64) *TopK[T] {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK[T]{k: k, window: window}
+}
+
+// K reports the configured view size.
+func (t *TopK[T]) K() int { return t.k }
+
+// Window reports the configured sliding-window width (0 = no expiry).
+func (t *TopK[T]) Window() float64 { return t.window }
+
+// Len reports the live candidate count (visible plus ranked spares).
+func (t *TopK[T]) Len() int { return len(t.items) }
+
+// Version counts visible-view changes: it bumps exactly when the top
+// min(k, Len) ranked items change, so pollers and push hubs can skip
+// no-op snapshots. A fresh view is version 0.
+func (t *TopK[T]) Version() uint64 { return t.version }
+
+// Insert adds one cover emission to the candidate set and reports whether
+// the visible top-k changed. Items already behind the window are rejected
+// outright, which makes Insert(x); Advance(now) order-insensitive.
+func (t *TopK[T]) Insert(it TopKItem[T]) bool {
+	if it.Value > t.now {
+		t.now = it.Value
+	}
+	// The stream-time watermark anchors the window; an item that would
+	// expire immediately never enters.
+	if t.window > 0 && it.Value < t.now-t.window {
+		return false
+	}
+	// Binary search for the rank-order insertion point.
+	lo, hi := 0, len(t.items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.items[mid].before(it) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= maxTopKCandidates {
+		return false // ranks below every retained candidate at capacity
+	}
+	t.items = append(t.items, TopKItem[T]{})
+	copy(t.items[lo+1:], t.items[lo:])
+	t.items[lo] = it
+	if len(t.items) > maxTopKCandidates {
+		t.items = t.items[:maxTopKCandidates]
+	}
+	changed := lo < t.k
+	if changed {
+		t.version++
+	}
+	return changed
+}
+
+// Advance slides the window to event time now, expiring candidates whose
+// value fell behind now−window, and reports whether the visible top-k
+// changed. A no-op when the view has no window.
+func (t *TopK[T]) Advance(now float64) bool {
+	if now > t.now {
+		t.now = now
+	}
+	if t.window <= 0 || len(t.items) == 0 {
+		return false
+	}
+	cutoff := t.now - t.window
+	changed := false
+	kept := t.items[:0]
+	for i := range t.items {
+		if t.items[i].Value >= cutoff {
+			kept = append(kept, t.items[i])
+		} else if i < t.k {
+			changed = true
+		}
+	}
+	// Clear the dropped tail so pooled payloads don't pin memory.
+	for i := len(kept); i < len(t.items); i++ {
+		t.items[i] = TopKItem[T]{}
+	}
+	t.items = kept
+	if changed {
+		t.version++
+	}
+	return changed
+}
+
+// Items returns a copy of the visible view — the top min(k, Len)
+// candidates in rank order.
+func (t *TopK[T]) Items() []TopKItem[T] {
+	n := len(t.items)
+	if n > t.k {
+		n = t.k
+	}
+	out := make([]TopKItem[T], n)
+	copy(out, t.items[:n])
+	return out
+}

@@ -1,0 +1,167 @@
+package stream
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func item(cov int, value float64, seq int64) TopKItem[int64] {
+	return TopKItem[int64]{Value: value, Coverage: cov, Seq: seq, Payload: seq}
+}
+
+// reference recomputes the view from scratch: sort all live candidates by
+// rank and take the first k.
+func reference(items []TopKItem[int64], k int, now, window float64) []TopKItem[int64] {
+	var live []TopKItem[int64]
+	for _, it := range items {
+		if window <= 0 || it.Value >= now-window {
+			live = append(live, it)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].before(live[j]) })
+	if len(live) > k {
+		live = live[:k]
+	}
+	return live
+}
+
+func TestTopKRankOrder(t *testing.T) {
+	v := NewTopK[int64](3, 0)
+	v.Insert(item(1, 10, 1))
+	v.Insert(item(2, 5, 2))  // higher coverage outranks fresher value
+	v.Insert(item(2, 7, 3))  // same coverage, fresher → ahead of seq 2
+	v.Insert(item(1, 10, 4)) // ties with seq 1 on coverage+value → seq wins
+	got := v.Items()
+	want := []int64{3, 2, 1}
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	for i, w := range want {
+		if got[i].Payload != w {
+			t.Errorf("rank %d = seq %d, want %d", i, got[i].Payload, w)
+		}
+	}
+	if v.Len() != 4 {
+		t.Errorf("Len = %d, want 4 live candidates", v.Len())
+	}
+}
+
+func TestTopKVersionBumpsOnlyOnVisibleChange(t *testing.T) {
+	v := NewTopK[int64](2, 0)
+	if v.Version() != 0 {
+		t.Fatalf("fresh version = %d", v.Version())
+	}
+	if !v.Insert(item(5, 1, 1)) || !v.Insert(item(4, 2, 2)) {
+		t.Fatal("first two inserts must change the view")
+	}
+	ver := v.Version()
+	// Ranks below both → invisible, version unchanged.
+	if v.Insert(item(1, 0, 3)) {
+		t.Error("below-the-fold insert reported a visible change")
+	}
+	if v.Version() != ver {
+		t.Errorf("version moved %d → %d on invisible insert", ver, v.Version())
+	}
+	// Outranks the current second → visible.
+	if !v.Insert(item(6, 3, 4)) {
+		t.Error("top insert did not report a change")
+	}
+	if v.Version() == ver {
+		t.Error("version did not bump on visible insert")
+	}
+}
+
+func TestTopKWindowExpiry(t *testing.T) {
+	v := NewTopK[int64](2, 10)
+	v.Insert(item(3, 0, 1))
+	v.Insert(item(2, 5, 2))
+	v.Insert(item(1, 6, 3))
+	if changed := v.Advance(9); changed {
+		t.Error("Advance inside the window reported a change")
+	}
+	// now=11 expires value 0 (the rank-1 item) → seq 3 promotes into view.
+	if changed := v.Advance(11); !changed {
+		t.Error("expiring a visible item did not report a change")
+	}
+	got := v.Items()
+	if len(got) != 2 || got[0].Payload != 2 || got[1].Payload != 3 {
+		t.Fatalf("view after expiry = %+v, want seqs [2 3]", got)
+	}
+	// An item already behind the window never enters.
+	if v.Insert(item(9, 0.5, 4)) {
+		t.Error("stale insert entered the view")
+	}
+}
+
+func TestTopKCandidateCap(t *testing.T) {
+	old := maxTopKCandidates
+	maxTopKCandidates = 4
+	defer func() { maxTopKCandidates = old }()
+	v := NewTopK[int64](2, 0)
+	for i := int64(1); i <= 6; i++ {
+		v.Insert(item(int(i), float64(i), i))
+	}
+	if v.Len() != 4 {
+		t.Fatalf("Len = %d, want cap 4", v.Len())
+	}
+	// Worst-ranked insert at capacity is rejected.
+	if v.Insert(item(0, 0, 7)) {
+		t.Error("at-capacity bottom insert reported a change")
+	}
+	if v.Len() != 4 {
+		t.Errorf("cap breached: Len = %d", v.Len())
+	}
+	got := v.Items()
+	if got[0].Payload != 6 || got[1].Payload != 5 {
+		t.Errorf("view = %+v, want seqs [6 5]", got)
+	}
+}
+
+// TestTopKMatchesReference drives random insert/advance traffic and checks
+// the incremental view against a from-scratch recompute at every step.
+func TestTopKMatchesReference(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(4)
+		window := float64(0)
+		if rng.Intn(2) == 0 {
+			window = 5 + 10*rng.Float64()
+		}
+		v := NewTopK[int64](k, window)
+		var all []TopKItem[int64]
+		now := 0.0
+		for i := int64(1); i <= 400; i++ {
+			now += rng.Float64()
+			it := item(rng.Intn(5), now, i)
+			v.Insert(it)
+			all = append(all, it)
+			v.Advance(now)
+			got := v.Items()
+			want := reference(all, k, now, window)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d step %d: len %d, want %d", seed, i, len(got), len(want))
+			}
+			for j := range got {
+				if got[j].Seq != want[j].Seq {
+					t.Fatalf("seed %d step %d rank %d: seq %d, want %d\ngot %+v\nwant %+v",
+						seed, i, j, got[j].Seq, want[j].Seq, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTopKItemsIsACopy(t *testing.T) {
+	v := NewTopK[int64](2, 0)
+	v.Insert(item(1, 1, 1))
+	a := v.Items()
+	a[0].Payload = 99
+	if got := v.Items(); got[0].Payload != 1 {
+		t.Fatalf("Items aliases internal state: %+v", got)
+	}
+	if !reflect.DeepEqual(v.Items(), v.Items()) {
+		t.Fatal("Items not stable")
+	}
+}

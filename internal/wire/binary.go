@@ -25,6 +25,8 @@
 //	KindEmissions: emission count, then per emission: seq, zigzag post id,
 //	  time bits, len-prefixed text, topic count with len-prefixed topics,
 //	  emit-at bits.
+//	KindTopK: view version, view size k, then the visible top-k items in
+//	  rank order using the KindEmissions per-emission record encoding.
 //
 // Decoding is pooled: GetDecoder/GetEncoder/GetStreamBatch hand out
 // sync.Pool-backed scratch whose buffers survive across frames, so batch
@@ -105,6 +107,9 @@ const (
 	KindStreamPosts byte = 0x02
 	// KindEmissions carries subscription emissions for poll responses.
 	KindEmissions byte = 0x03
+	// KindTopK carries a continuous diversified top-k view snapshot:
+	// version, k, then the visible items as emission records.
+	KindTopK byte = 0x04
 )
 
 // Typed decode errors. Every malformed input maps onto one of these bases
@@ -259,6 +264,24 @@ func (e *Encoder) EncodeStreamPosts(posts []StreamPost, compressThreshold int) [
 // EncodeEmissions encodes one KindEmissions frame.
 func (e *Encoder) EncodeEmissions(es []Emission, compressThreshold int) []byte {
 	e.payload = append(e.payload[:0], KindEmissions)
+	e.appendEmissionRecords(es)
+	return e.finish(compressThreshold)
+}
+
+// EncodeTopK encodes one KindTopK frame: the view's change version, its
+// configured size k, then the visible items in rank order, reusing the
+// emission record encoding.
+func (e *Encoder) EncodeTopK(version uint64, k int, es []Emission, compressThreshold int) []byte {
+	e.payload = append(e.payload[:0], KindTopK)
+	e.appendUvarint(version)
+	e.appendUvarint(uint64(k))
+	e.appendEmissionRecords(es)
+	return e.finish(compressThreshold)
+}
+
+// appendEmissionRecords appends the shared emission batch body: a count,
+// then per-emission records (used by KindEmissions and KindTopK).
+func (e *Encoder) appendEmissionRecords(es []Emission) {
 	e.appendUvarint(uint64(len(es)))
 	for i := range es {
 		em := &es[i]
@@ -272,7 +295,6 @@ func (e *Encoder) EncodeEmissions(es []Emission, compressThreshold int) []byte {
 		}
 		e.appendFloat64(em.EmitAt)
 	}
-	return e.finish(compressThreshold)
 }
 
 // EncodeLabeledPosts encodes one KindLabeledPosts frame. newNames are the
@@ -517,6 +539,43 @@ func AppendStreamPosts(dst []StreamPost, frameBody []byte) ([]StreamPost, error)
 // AppendEmissions decodes a KindEmissions body, appending onto dst.
 func AppendEmissions(dst []Emission, frameBody []byte) ([]Emission, error) {
 	c := body{frameBody}
+	dst, err := appendEmissionRecords(dst, &c)
+	if err != nil {
+		return dst, err
+	}
+	if c.len() != 0 {
+		return dst, fmt.Errorf("%w: %d trailing bytes after emissions", ErrCorrupt, c.len())
+	}
+	return dst, nil
+}
+
+// DecodeTopK decodes a KindTopK body into the view version, its size k and
+// the visible items in rank order.
+func DecodeTopK(frameBody []byte) (version uint64, k int, es []Emission, err error) {
+	c := body{frameBody}
+	if version, err = c.uvarint(); err != nil {
+		return 0, 0, nil, err
+	}
+	kraw, err := c.uvarint()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if kraw > uint64(MaxFramePayload) {
+		return 0, 0, nil, fmt.Errorf("%w: absurd top-k size %d", ErrCorrupt, kraw)
+	}
+	k = int(kraw)
+	if es, err = appendEmissionRecords(nil, &c); err != nil {
+		return 0, 0, nil, err
+	}
+	if c.len() != 0 {
+		return 0, 0, nil, fmt.Errorf("%w: %d trailing bytes after top-k items", ErrCorrupt, c.len())
+	}
+	return version, k, es, nil
+}
+
+// appendEmissionRecords decodes the shared emission batch body (count,
+// then per-emission records) from c, appending onto dst.
+func appendEmissionRecords(dst []Emission, c *body) ([]Emission, error) {
 	n, err := c.count(minEmissionBytes)
 	if err != nil {
 		return dst, err
@@ -562,9 +621,6 @@ func AppendEmissions(dst []Emission, frameBody []byte) ([]Emission, error) {
 			return dst, err
 		}
 		dst = append(dst, em)
-	}
-	if c.len() != 0 {
-		return dst, fmt.Errorf("%w: %d trailing bytes after %d emissions", ErrCorrupt, c.len(), n)
 	}
 	return dst, nil
 }

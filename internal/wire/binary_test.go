@@ -83,6 +83,42 @@ func TestEmissionsRoundTrip(t *testing.T) {
 	}
 }
 
+func TestTopKRoundTrip(t *testing.T) {
+	es := []Emission{
+		{Seq: 9, PostID: 10, Time: 1.5, Text: "senate votes", Topics: []string{"senate", "bill"}, EmitAt: 2},
+		{Seq: 4, PostID: 11, Time: 0.5, Text: "obama speaks", Topics: []string{"obama"}, EmitAt: 1},
+	}
+	enc := GetEncoder()
+	frame := append([]byte(nil), enc.EncodeTopK(17, 10, es, DefaultCompressThreshold)...)
+	PutEncoder(enc)
+	dec := GetDecoder()
+	defer PutDecoder(dec)
+	kind, frameBody, err := dec.ReadFrame(bytes.NewReader(frame))
+	if err != nil || kind != KindTopK {
+		t.Fatalf("kind 0x%02x, err %v", kind, err)
+	}
+	version, k, got, err := DecodeTopK(frameBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 17 || k != 10 {
+		t.Fatalf("version %d k %d, want 17 10", version, k)
+	}
+	if len(got) != len(es) {
+		t.Fatalf("decoded %d items, want %d", len(got), len(es))
+	}
+	for i := range es {
+		a, b := got[i], es[i]
+		if a.Seq != b.Seq || a.PostID != b.PostID || a.Time != b.Time || a.Text != b.Text || a.EmitAt != b.EmitAt || len(a.Topics) != len(b.Topics) {
+			t.Errorf("item %d = %+v, want %+v", i, a, b)
+		}
+	}
+	// Trailing garbage after the item records is corrupt, not ignored.
+	if _, _, _, err := DecodeTopK(append(append([]byte(nil), frameBody...), 0x00)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
 // TestBinaryFileRoundTrip drives the .mqdw path: multiple frames, a label
 // dictionary that grows across batches, and a pre-seeded reader dictionary.
 func TestBinaryFileRoundTrip(t *testing.T) {

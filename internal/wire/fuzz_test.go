@@ -50,6 +50,7 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(append([]byte(nil), enc.EncodeStreamPosts([]StreamPost{{ID: 1, Time: 2, Text: "hello"}}, -1)...))
 	f.Add(append([]byte(nil), enc.EncodeStreamPosts(make([]StreamPost, 600), 0)...)) // compressed
 	f.Add(append([]byte(nil), enc.EncodeEmissions([]Emission{{Seq: 1, Topics: []string{"t"}}}, 1<<30)...))
+	f.Add(append([]byte(nil), enc.EncodeTopK(7, 10, []Emission{{Seq: 1, Topics: []string{"t"}}}, 1<<30)...))
 	var dict core.Dictionary
 	dict.Intern("a")
 	lf, _ := enc.EncodeLabeledPosts([]core.Post{{ID: 3, Value: 1, Labels: []core.Label{0}}}, []string{"a"}, -1)
@@ -77,6 +78,10 @@ func FuzzDecodeFrame(f *testing.F) {
 		case KindEmissions:
 			if _, err := AppendEmissions(nil, body); err != nil && !errors.Is(err, ErrCorrupt) {
 				t.Fatalf("untyped emission error: %v", err)
+			}
+		case KindTopK:
+			if _, _, _, err := DecodeTopK(body); err != nil && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("untyped topk error: %v", err)
 			}
 		case KindLabeledPosts:
 			var d core.Dictionary
