@@ -2,15 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-json bench-index bench-wire bench-push bench-obs chaos push-soak experiments smoke fuzz fuzz-smoke vet lint check clean
+.PHONY: all build test test-race bench bench-json bench-index bench-wire bench-push bench-obs bench-trace trace-smoke chaos push-soak experiments smoke fuzz fuzz-smoke vet lint check clean
 
 all: build test
 
 # The default verification gate: build, tests, static checks, the chaos
 # suite under the race detector, the push-delivery soak, the
-# instrumented-vs-disabled solver overhead comparison, and the wire fuzz
-# corpus smoke.
-check: build test vet chaos push-soak bench-obs fuzz-smoke
+# instrumented-vs-disabled solver overhead comparison, the end-to-end
+# trace-propagation smoke, and the wire fuzz corpus smoke.
+check: build test vet chaos push-soak bench-obs trace-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -66,6 +66,18 @@ bench-push:
 # disabled path must sit within noise of the pre-obs solver.
 bench-obs:
 	$(GO) test -run NONE -bench 'ScanObs' -benchtime 300x ./internal/core
+
+# Regenerate the tracing-overhead baseline (BENCH_trace.json): the same
+# ingest+poll workload with no registry, registry-without-tracer (the
+# production default) and full span tracing with tail-based retention.
+bench-trace:
+	$(GO) run ./cmd/mqdp-bench -json-trace > BENCH_trace.json
+
+# End-to-end trace propagation under the race detector: one post followed
+# client span → HTTP → admission → fan-out → emission → SSE frame, plus
+# traceparent survival across retries and stream reconnects.
+trace-smoke:
+	$(GO) test -race -count=1 -run 'TestTrace' ./internal/server
 
 # Regenerate every table and figure at full scale (see EXPERIMENTS.md).
 experiments:

@@ -23,7 +23,11 @@
 // baseline tracked in BENCH_wire.json: encode/decode of an ingest batch in
 // JSON vs the binary frame format (raw and compressed), plus a full
 // server+client e2e ingest/poll cycle per format with an
-// emissions-identical cross-check. -trace-dump FILE wires the span
+// emissions-identical cross-check. -json-trace emits the tracing-overhead
+// baseline tracked in BENCH_trace.json: the same ingest+poll workload with
+// observability off, wired-but-disabled, and fully enabled, so the
+// near-free-when-disabled contract has a standing number. -trace-dump FILE
+// wires the span
 // tracer and writes the bounded span journal to FILE after the run ("-" for
 // stderr).
 package main
@@ -60,6 +64,7 @@ func main() {
 	jsonIndex := flag.Bool("json-index", false, "emit the index read-path baseline as JSON and exit")
 	jsonWire := flag.Bool("json-wire", false, "emit the wire-format codec/e2e baseline as JSON and exit")
 	jsonPush := flag.Bool("json-push", false, "emit the push-vs-poll delivery-latency baseline as JSON and exit")
+	jsonTrace := flag.Bool("json-trace", false, "emit the tracing-overhead baseline (off/disabled/enabled) as JSON and exit")
 	traceDump := flag.String("trace-dump", "", "write the solver span journal to this file after the run (- for stderr); empty disables tracing")
 	flag.Parse()
 
@@ -117,6 +122,13 @@ func main() {
 	}
 	if *jsonPush {
 		if err := writePushBaseline(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "mqdp-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *jsonTrace {
+		if err := writeTraceBaseline(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "mqdp-bench: %v\n", err)
 			os.Exit(1)
 		}

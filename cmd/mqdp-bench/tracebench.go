@@ -1,0 +1,178 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"mqdp/internal/obs"
+	"mqdp/internal/server"
+	"mqdp/internal/synth"
+)
+
+// TraceBaseline is the machine-readable tracing-overhead record emitted by
+// -json-trace and checked in as BENCH_trace.json (regenerate with `make
+// bench-trace`). The same ingest+poll workload runs against the direct
+// server API in three observability modes:
+//
+//	off      — no registry wired at all (the pre-obs fast path)
+//	disabled — registry wired, no tracer attached (the production default
+//	           with tracing off: the cost is the atomic load + branch the
+//	           PR 3 contract pins)
+//	enabled  — tracer attached with tail-based retention (every ingest
+//	           creates a root span and per-subscription children)
+//
+// The interesting numbers are disabled-vs-off (must be noise) and
+// enabled-vs-off (the full price of span bookkeeping on the hot path).
+type TraceBaseline struct {
+	Schema    int                `json:"schema"`
+	GoVersion string             `json:"go_version"`
+	NumCPU    int                `json:"num_cpu"`
+	Workload  TraceWorkload      `json:"workload"`
+	Modes     []TraceModeStat    `json:"modes"`
+	Overhead  map[string]float64 `json:"ingest_overhead_vs_off"`
+}
+
+// TraceWorkload records the synthetic stream the timings were taken on.
+type TraceWorkload struct {
+	Posts         int   `json:"posts"`
+	Subscriptions int   `json:"subscriptions"`
+	Seed          int64 `json:"seed"`
+	Runs          int   `json:"runs"`
+}
+
+// TraceModeStat is one observability mode's measurement.
+type TraceModeStat struct {
+	Mode            string  `json:"mode"` // "off", "disabled" or "enabled"
+	IngestNsPerPost int64   `json:"ingest_ns_per_post"`
+	PollNsPerCall   int64   `json:"poll_ns_per_call"`
+	Emissions       int     `json:"emissions"`
+	SpansRecorded   uint64  `json:"spans_recorded,omitempty"`
+	SpansSampledOut uint64  `json:"spans_sampled_out,omitempty"`
+	SpansDropped    uint64  `json:"spans_dropped,omitempty"`
+	SpansPerPost    float64 `json:"spans_per_post,omitempty"`
+}
+
+const (
+	traceBenchPosts = 4000
+	traceBenchSubs  = 4
+	traceBenchSeed  = 42
+	traceBenchRuns  = 5
+)
+
+func writeTraceBaseline(w *os.File) error {
+	world := synth.NewWorld(synth.WorldConfig{Seed: traceBenchSeed})
+	tweets := synth.TweetStream(world, synth.StreamConfig{
+		Duration:   traceBenchPosts,
+		RatePerSec: 1,
+		DupRatio:   0,
+		Seed:       traceBenchSeed + 1,
+	})
+	if len(tweets) > traceBenchPosts {
+		tweets = tweets[:traceBenchPosts]
+	}
+	posts := make([]server.Post, len(tweets))
+	for i, tw := range tweets {
+		posts[i] = server.Post{ID: tw.ID, Time: tw.Time, Text: tw.Text}
+	}
+
+	b := TraceBaseline{
+		Schema:    1,
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Workload: TraceWorkload{
+			Posts:         len(posts),
+			Subscriptions: traceBenchSubs,
+			Seed:          traceBenchSeed,
+			Runs:          traceBenchRuns,
+		},
+		Overhead: map[string]float64{},
+	}
+	for _, mode := range []string{"off", "disabled", "enabled"} {
+		st, err := runTraceMode(mode, world, posts)
+		if err != nil {
+			return err
+		}
+		b.Modes = append(b.Modes, st)
+	}
+	off := float64(b.Modes[0].IngestNsPerPost)
+	if off > 0 {
+		for _, st := range b.Modes[1:] {
+			b.Overhead[st.Mode] = float64(st.IngestNsPerPost)/off - 1
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// runTraceMode measures one observability mode: medians over traceBenchRuns
+// fresh servers, each ingesting the full stream serially and then draining
+// every subscription's emissions.
+func runTraceMode(mode string, world *synth.World, posts []server.Post) (TraceModeStat, error) {
+	st := TraceModeStat{Mode: mode}
+	var ingestNs, pollNs []time.Duration
+	var tracer *obs.Tracer
+	for run := 0; run < traceBenchRuns; run++ {
+		s := server.New(0, 0)
+		s.SetParallelism(1) // serial fan-out: measure per-post cost, not scheduling
+		switch mode {
+		case "disabled":
+			s.SetObs(obs.NewRegistry())
+		case "enabled":
+			reg := obs.NewRegistry()
+			tracer = obs.NewTracer(traceCapacity)
+			tracer.SetRetention(100*time.Millisecond, 10)
+			reg.SetTracer(tracer)
+			s.SetObs(reg)
+		}
+		rng := rand.New(rand.NewSource(traceBenchSeed))
+		ids := make([]int64, traceBenchSubs)
+		for i := range ids {
+			topics := world.MatchTopics(world.SampleLabelSet(rng, 24))
+			id, err := s.Subscribe(server.SubscriptionConfig{Topics: topics, Algorithm: "instant"})
+			if err != nil {
+				return st, err
+			}
+			ids[i] = id
+		}
+		ctx := context.Background()
+		start := time.Now()
+		for _, p := range posts {
+			if err := s.IngestContext(ctx, p); err != nil {
+				return st, err
+			}
+		}
+		ingestNs = append(ingestNs, time.Since(start)/time.Duration(len(posts)))
+		s.Flush()
+		start = time.Now()
+		polls := 0
+		for _, id := range ids {
+			es, err := s.Emissions(id, 0, 0)
+			if err != nil {
+				return st, err
+			}
+			polls++
+			if run == 0 {
+				st.Emissions += len(es)
+			}
+		}
+		pollNs = append(pollNs, time.Since(start)/time.Duration(polls))
+	}
+	med, _ := summarize(ingestNs)
+	st.IngestNsPerPost = int64(med)
+	med, _ = summarize(pollNs)
+	st.PollNsPerCall = int64(med)
+	if tracer != nil {
+		// Stats from the last run only: each run got a fresh tracer.
+		ts := tracer.Stats()
+		st.SpansRecorded = ts.Recorded
+		st.SpansSampledOut = ts.SampledOut
+		st.SpansDropped = ts.Dropped
+		st.SpansPerPost = float64(ts.Recorded+ts.SampledOut) / float64(len(posts))
+	}
+	return st, nil
+}

@@ -15,7 +15,21 @@
 //	GET    /subscriptions/1/topk    (continuous diversified top-k view)
 //	GET    /subscriptions/1/stats · GET /stats · GET /metrics · GET /healthz
 //	GET    /metrics/prometheus  (text exposition of every wired instrument)
+//	GET    /debug/traces · GET /debug/traces/{id}  (recent request traces)
 //	POST   /flush · DELETE /subscriptions/1
+//
+// Tracing: unless -trace=false (or -no-obs), every request runs under a
+// span; requests carrying a W3C traceparent header continue the caller's
+// trace and responses echo X-Trace-Id. The journal is tail-sampled —
+// errored and slow traces (≥ -trace-slow) are always kept, every
+// -trace-sample'th ordinary trace rides along — and browsable at
+// /debug/traces. Logs are structured (log/slog); -log-format json emits
+// machine-readable records, -log-level debug includes per-request lines
+// correlated by trace_id.
+//
+// SLOs: -slo-ingest/-slo-poll set per-endpoint latency objectives
+// (e.g. -slo-ingest 50ms). Good/bad counters land in the Prometheus
+// exposition as mqdp_slo_*_total and burn rates appear under /metrics.
 //
 // Push delivery: -push=false turns the SSE endpoint off (clients fall
 // back to long-polling), and -max-streams caps concurrently served push
@@ -50,8 +64,7 @@ import (
 	"errors"
 	"expvar"
 	"flag"
-	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -84,15 +97,45 @@ func main() {
 	maxStreams := flag.Int("max-streams", 0, "max concurrently served push waiters, SSE + blocked long-polls (0 = unlimited)")
 	faultSchedule := flag.String("fault-schedule", "", "deterministic fault-injection schedule for chaos drills (see internal/faultinject)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for probabilistic rules in -fault-schedule")
+	logFormat := flag.String("log-format", "text", `log output format: "text" or "json"`)
+	logLevel := flag.String("log-level", "info", `minimum log level: "debug", "info", "warn" or "error" (debug includes per-request records)`)
+	trace := flag.Bool("trace", true, "trace requests end-to-end and serve /debug/traces (needs the registry; -no-obs disables)")
+	traceCapacity := flag.Int("trace-capacity", 4096, "retained span journal size")
+	traceSlow := flag.Duration("trace-slow", 100*time.Millisecond, "traces at least this slow are always retained")
+	traceSample := flag.Int("trace-sample", 10, "keep every Nth ordinary trace (errored and slow ones are always kept; 1 keeps all)")
+	sloIngest := flag.Duration("slo-ingest", 0, "ingest latency objective, e.g. 50ms (0 disables the ingest SLO)")
+	sloPoll := flag.Duration("slo-poll", 0, "emission-poll latency objective (0 disables the poll SLO)")
+	sloTarget := flag.Float64("slo-target", 0.99, "availability target for both SLOs, in (0, 1)")
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		slog.Error("bad -log-level", "value", *logLevel, "err", err)
+		os.Exit(2)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, opts)
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, opts)
+	default:
+		slog.Error("bad -log-format", "value", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
+	slog.SetDefault(logger)
 
 	policy := server.ShedPolicy(*shedPolicy)
 	if policy != server.ShedPolicyShed && policy != server.ShedPolicyBlock {
-		log.Fatalf("-shed-policy must be %q or %q, got %q", server.ShedPolicyShed, server.ShedPolicyBlock, *shedPolicy)
+		logger.Error("bad -shed-policy", "value", *shedPolicy, "want", string(server.ShedPolicyShed)+"|"+string(server.ShedPolicyBlock))
+		os.Exit(2)
 	}
 
 	s := server.New(*dedupDist, *dedupWindow)
 	s.SetParallelism(*parallelism)
+	s.SetLogger(logger)
 	if *maxInflight > 0 || *ingestRate > 0 {
 		s.SetAdmission(server.AdmissionConfig{
 			MaxInflight: *maxInflight,
@@ -107,20 +150,37 @@ func main() {
 	if *faultSchedule != "" {
 		inj, err := faultinject.ParseSchedule(*faultSchedule, *faultSeed)
 		if err != nil {
-			log.Fatalf("-fault-schedule: %v", err)
+			logger.Error("bad -fault-schedule", "err", err)
+			os.Exit(2)
 		}
-		log.Printf("CHAOS: fault injection active (schedule %q, seed %d)", *faultSchedule, *faultSeed)
+		logger.Warn("CHAOS: fault injection active", "schedule", *faultSchedule, "seed", *faultSeed)
 		s.SetFaultInjector(inj)
 	}
 	if !*noObs {
 		// One registry backs every layer: solver stage timings, stream
 		// decision delays, index append/lookup and the server counters all
-		// land in the same /metrics/prometheus exposition.
+		// land in the same /metrics/prometheus exposition. The tracer is
+		// attached before wiring so each package's SetObs captures it.
 		reg := obs.NewRegistry()
+		if *trace {
+			tr := obs.NewTracer(*traceCapacity)
+			tr.SetRetention(*traceSlow, *traceSample)
+			reg.SetTracer(tr)
+		}
 		core.SetObs(reg)
 		stream.SetObs(reg)
 		index.SetObs(reg)
 		s.SetObs(reg)
+		var ingestSLO, pollSLO *obs.SLO
+		if *sloIngest > 0 {
+			ingestSLO = obs.NewSLO("ingest", *sloIngest, *sloTarget)
+			ingestSLO.Register(reg)
+		}
+		if *sloPoll > 0 {
+			pollSLO = obs.NewSLO("poll", *sloPoll, *sloTarget)
+			pollSLO.Register(reg)
+		}
+		s.SetSLO(ingestSLO, pollSLO)
 		expvar.Publish("mqdp", expvar.Func(func() any { return reg.Snapshot() }))
 	}
 	if *debugAddr != "" {
@@ -129,9 +189,9 @@ func main() {
 			// on its own listener keeps the profiling surface off the
 			// public API port.
 			dbg := &http.Server{Addr: *debugAddr, Handler: http.DefaultServeMux, ReadHeaderTimeout: 5 * time.Second}
-			log.Printf("debug server (pprof, expvar) listening on %s", *debugAddr)
+			logger.Info("debug server (pprof, expvar) listening", "addr", *debugAddr)
 			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				log.Printf("debug server: %v", err)
+				logger.Error("debug server", "err", err)
 			}
 		}()
 	}
@@ -143,8 +203,12 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("mqdp-server listening on %s (dedup distance %d, window %d, %d ingest workers)\n",
-			*addr, *dedupDist, *dedupWindow, s.Parallelism())
+		logger.Info("mqdp-server listening",
+			"addr", *addr,
+			"dedup_distance", *dedupDist,
+			"dedup_window", *dedupWindow,
+			"ingest_workers", s.Parallelism(),
+			"tracing", !*noObs && *trace)
 		errc <- h.ListenAndServe()
 	}()
 
@@ -152,12 +216,13 @@ func main() {
 	defer stop()
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		logger.Error("serve", "err", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 	stop()
 
-	log.Print("shutting down: flushing subscriptions, draining connections")
+	logger.Info("shutting down: flushing subscriptions, draining connections")
 	// Flush BEFORE draining: flushing forces every pending decision out and
 	// terminates each subscription's hub, so live SSE streams and blocked
 	// long-polls receive their terminal end event and finish. Draining
@@ -166,9 +231,13 @@ func main() {
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := h.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("drain: %v", err)
+		logger.Warn("drain", "err", err)
 	}
 	m := s.Metrics()
-	log.Printf("final: ingested=%d dropped_duplicates=%d subscriptions=%d emitted=%d text_misses=%d",
-		m.Ingested, m.DroppedDups, m.Subscriptions, m.EmittedTotal, m.TextMisses)
+	logger.Info("final counters",
+		"ingested", m.Ingested,
+		"dropped_duplicates", m.DroppedDups,
+		"subscriptions", m.Subscriptions,
+		"emitted", m.EmittedTotal,
+		"text_misses", m.TextMisses)
 }

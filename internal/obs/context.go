@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"context"
+	"encoding/hex"
+	"strconv"
+)
+
+// spanCtxKey keys the active span in a context.Context.
+type spanCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying span as the active span. A nil span
+// returns ctx unchanged, so callers can thread disabled tracing for free.
+func ContextWithSpan(ctx context.Context, span *ActiveSpan) context.Context {
+	if span == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, span)
+}
+
+// FromContext returns the active span carried by ctx, or nil.
+func FromContext(ctx context.Context) *ActiveSpan {
+	if ctx == nil {
+		return nil
+	}
+	span, _ := ctx.Value(spanCtxKey{}).(*ActiveSpan)
+	return span
+}
+
+// StartSpan opens a child of the context's active span and returns a context
+// carrying the child. When ctx has no active span (tracing disabled, or an
+// untraced request) it returns (ctx, nil): the nil span no-ops everywhere, so
+// call sites need no conditionals. Roots are created explicitly at process
+// boundaries via Tracer.StartTrace / Tracer.StartRemote.
+func StartSpan(ctx context.Context, name string) (context.Context, *ActiveSpan) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	child := parent.Child(name)
+	return ContextWithSpan(ctx, child), child
+}
+
+// W3C trace-context propagation (https://www.w3.org/TR/trace-context/):
+// one header,
+//
+//	traceparent: 00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>
+//
+// We always emit version 00 and flags 01 (sampled); retention is decided
+// tail-based on the server, so the inbound flag is ignored.
+
+// Traceparent renders the span as an outbound traceparent header value, or
+// "" for nil/untraced spans.
+func (s *ActiveSpan) Traceparent() string {
+	if s == nil || s.span.Trace.IsZero() {
+		return ""
+	}
+	return FormatTraceparent(s.span.Trace, s.span.ID)
+}
+
+// FormatTraceparent renders a version-00 traceparent header value.
+func FormatTraceparent(trace TraceID, spanID uint64) string {
+	var b [55]byte
+	copy(b[:], "00-")
+	hex.Encode(b[3:35], trace[:])
+	b[35] = '-'
+	var sp [8]byte
+	for i := 0; i < 8; i++ {
+		sp[i] = byte(spanID >> (8 * (7 - i)))
+	}
+	hex.Encode(b[36:52], sp[:])
+	copy(b[52:], "-01")
+	return string(b[:])
+}
+
+// ParseTraceparent parses a traceparent header value, returning the trace ID
+// and the remote parent span ID. It accepts any version except the reserved
+// ff, requires a non-zero trace ID, and reports ok=false on anything
+// malformed — callers fall back to starting a fresh root, never reject the
+// request.
+func ParseTraceparent(s string) (TraceID, uint64, bool) {
+	if len(s) < 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return TraceID{}, 0, false
+	}
+	ver := s[:2]
+	if !isHex(ver) || ver == "ff" {
+		return TraceID{}, 0, false
+	}
+	// Future versions may append fields after the flags; version 00 must be
+	// exactly four fields.
+	if ver == "00" && len(s) != 55 {
+		return TraceID{}, 0, false
+	}
+	trace, ok := ParseTraceID(s[3:35])
+	if !ok {
+		return TraceID{}, 0, false
+	}
+	parentHex := s[36:52]
+	parent, err := strconv.ParseUint(parentHex, 16, 64)
+	if err != nil || !isLowerHex(parentHex) || parent == 0 {
+		return TraceID{}, 0, false
+	}
+	if !isLowerHex(s[3:35]) || !isHex(s[53:55]) {
+		return TraceID{}, 0, false
+	}
+	return trace, parent, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') && (c < 'A' || c > 'F') {
+			return false
+		}
+	}
+	return true
+}
+
+// isLowerHex enforces the spec's lowercase requirement for IDs.
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

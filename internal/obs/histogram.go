@@ -21,6 +21,14 @@ type Histogram struct {
 	total  atomic.Int64
 	sum    atomic.Uint64 // float64 bits
 	max    atomic.Uint64 // float64 bits, valid only when total > 0
+	ex     atomic.Pointer[hExemplar]
+}
+
+// hExemplar pins the trace that produced the largest traced observation, so
+// the exposition can link a histogram's tail back to a concrete trace.
+type hExemplar struct {
+	val   float64
+	trace TraceID
 }
 
 // NewHistogram returns a histogram with the given ascending bucket upper
@@ -67,6 +75,46 @@ func (h *Histogram) ObserveSince(start time.Time) {
 	if h != nil {
 		h.Observe(time.Since(start).Seconds())
 	}
+}
+
+// ObserveTraced records v and, when trace is non-zero, offers it as an
+// exemplar (kept if v is the largest traced observation so far).
+func (h *Histogram) ObserveTraced(v float64, trace TraceID) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	h.AttachExemplar(v, trace)
+}
+
+// AttachExemplar offers (v, trace) as the histogram's exemplar without
+// recording an observation. The exemplar with the largest value wins, so it
+// points at the trace behind the histogram's worst case. Zero traces no-op.
+func (h *Histogram) AttachExemplar(v float64, trace TraceID) {
+	if h == nil || trace.IsZero() {
+		return
+	}
+	for {
+		old := h.ex.Load()
+		if old != nil && old.val >= v {
+			return
+		}
+		if h.ex.CompareAndSwap(old, &hExemplar{val: v, trace: trace}) {
+			return
+		}
+	}
+}
+
+// Exemplar returns the pinned exemplar, if any.
+func (h *Histogram) Exemplar() (v float64, trace TraceID, ok bool) {
+	if h == nil {
+		return 0, TraceID{}, false
+	}
+	e := h.ex.Load()
+	if e == nil {
+		return 0, TraceID{}, false
+	}
+	return e.val, e.trace, true
 }
 
 // Count returns the number of observations.

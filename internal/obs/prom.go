@@ -67,6 +67,16 @@ func writeHistogram(bw *bufio.Writer, name string, h *Histogram) {
 		bw.WriteString(formatLe(h.BucketBound(i)))
 		bw.WriteString(`"} `)
 		bw.WriteString(strconv.FormatInt(cum, 10))
+		// OpenMetrics-style exemplar on the +Inf bucket: links the
+		// histogram's largest traced observation to its trace ID.
+		if i == h.NumBuckets()-1 {
+			if v, trace, ok := h.Exemplar(); ok {
+				bw.WriteString(` # {trace_id="`)
+				bw.WriteString(trace.String())
+				bw.WriteString(`"} `)
+				bw.WriteString(formatFloat(v))
+			}
+		}
 		bw.WriteByte('\n')
 	}
 	bw.WriteString(name)
@@ -107,13 +117,21 @@ type Snapshot struct {
 // counts (cumulative, mirroring the Prometheus exposition) and estimated
 // quantiles.
 type HistogramSnapshot struct {
-	Count   int64    `json:"count"`
-	Sum     float64  `json:"sum"`
-	Max     float64  `json:"max"`
-	Buckets []Bucket `json:"buckets"`
-	P50     float64  `json:"p50"`
-	P95     float64  `json:"p95"`
-	P99     float64  `json:"p99"`
+	Count    int64             `json:"count"`
+	Sum      float64           `json:"sum"`
+	Max      float64           `json:"max"`
+	Buckets  []Bucket          `json:"buckets"`
+	P50      float64           `json:"p50"`
+	P95      float64           `json:"p95"`
+	P99      float64           `json:"p99"`
+	Exemplar *ExemplarSnapshot `json:"exemplar,omitempty"`
+}
+
+// ExemplarSnapshot links a histogram's largest traced observation to the
+// trace that produced it.
+type ExemplarSnapshot struct {
+	TraceID string  `json:"trace_id"`
+	Value   float64 `json:"value"`
 }
 
 // Bucket is one cumulative histogram bucket; LE is "+Inf" for the last.
@@ -154,6 +172,9 @@ func (r *Registry) Snapshot() Snapshot {
 		for i := 0; i < h.NumBuckets(); i++ {
 			cum += h.BucketCount(i)
 			hs.Buckets = append(hs.Buckets, Bucket{LE: formatLe(h.BucketBound(i)), Count: cum})
+		}
+		if v, trace, ok := h.Exemplar(); ok {
+			hs.Exemplar = &ExemplarSnapshot{TraceID: trace.String(), Value: v}
 		}
 		s.Histograms[name] = hs
 	}

@@ -10,8 +10,8 @@ import (
 )
 
 // sampleLine matches one exposition sample: name, optional {le="..."} label
-// set, and a value.
-var sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="[^"]+"\})? (-?[0-9.eE+Inf]+)$`)
+// set, a value, and an optional exemplar suffix on +Inf bucket lines.
+var sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="[^"]+"\})? (-?[0-9.eE+Inf]+)( # \{trace_id="[0-9a-f]{32}"\} -?[0-9.eE+Inf]+)?$`)
 
 func buildSampleRegistry() *Registry {
 	r := NewRegistry()

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SLO tracks one latency objective: requests completing within Objective are
+// "good", the rest "bad", and the burn rate compares the observed bad
+// fraction to the target's error budget. A target of 0.99 allows 1% bad;
+// burn rate 1.0 means the budget is being consumed exactly at the allowed
+// pace, >1 means faster (an alert condition), <1 means headroom.
+//
+// Observations are two counter increments plus a mutex-guarded window slot
+// update — cheap at HTTP-request rate. All methods no-op on a nil *SLO, so
+// the server threads unconfigured SLOs for free.
+type SLO struct {
+	name      string
+	objective time.Duration
+	target    float64
+	good      *Counter
+	bad       *Counter
+
+	mu    sync.Mutex
+	slots [sloSlots]sloSlot // rolling window for the recent burn rate
+}
+
+// The rolling window is sloSlots slots of sloSlotDur each (5 minutes total),
+// the classic fast-burn alerting window.
+const (
+	sloSlots   = 30
+	sloSlotDur = 10 * time.Second
+)
+
+type sloSlot struct {
+	epoch     int64 // unix time / sloSlotDur; stale slots are reset on use
+	good, bad int64
+}
+
+// NewSLO returns an SLO named name (lowercase, no spaces — it becomes part
+// of metric names) with the given latency objective and availability target
+// in (0, 1); out-of-range targets clamp to 0.99.
+func NewSLO(name string, objective time.Duration, target float64) *SLO {
+	if target <= 0 || target >= 1 {
+		target = 0.99
+	}
+	return &SLO{
+		name:      name,
+		objective: objective,
+		target:    target,
+		good:      &Counter{},
+		bad:       &Counter{},
+	}
+}
+
+// Register exposes the SLO's good/bad counters on r as
+// mqdp_slo_<name>_good_total / mqdp_slo_<name>_bad_total.
+func (s *SLO) Register(r *Registry) {
+	if s == nil || r == nil {
+		return
+	}
+	r.RegisterCounter("mqdp_slo_"+s.name+"_good_total",
+		"requests meeting the "+s.name+" latency objective", s.good)
+	r.RegisterCounter("mqdp_slo_"+s.name+"_bad_total",
+		"requests missing the "+s.name+" latency objective", s.bad)
+}
+
+// Observe classifies one request latency.
+func (s *SLO) Observe(d time.Duration) {
+	if s == nil {
+		return
+	}
+	good := d <= s.objective
+	if good {
+		s.good.Inc()
+	} else {
+		s.bad.Inc()
+	}
+	epoch := time.Now().UnixNano() / int64(sloSlotDur)
+	s.mu.Lock()
+	slot := &s.slots[epoch%sloSlots]
+	if slot.epoch != epoch {
+		*slot = sloSlot{epoch: epoch}
+	}
+	if good {
+		slot.good++
+	} else {
+		slot.bad++
+	}
+	s.mu.Unlock()
+}
+
+// Name returns the SLO's name.
+func (s *SLO) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// SLOStatus is the JSON form of one SLO's state, served under /metrics.
+type SLOStatus struct {
+	Name             string  `json:"name"`
+	ObjectiveSeconds float64 `json:"objective_seconds"`
+	Target           float64 `json:"target"`
+	Good             int64   `json:"good"`
+	Bad              int64   `json:"bad"`
+	// BurnRate is cumulative since process start; WindowBurnRate covers the
+	// trailing WindowSeconds. Both are badFraction / (1 - target); 0 with no
+	// observations.
+	BurnRate       float64 `json:"burn_rate"`
+	WindowBurnRate float64 `json:"window_burn_rate"`
+	WindowSeconds  float64 `json:"window_seconds"`
+}
+
+// Status computes the current SLO state.
+func (s *SLO) Status() SLOStatus {
+	if s == nil {
+		return SLOStatus{}
+	}
+	st := SLOStatus{
+		Name:             s.name,
+		ObjectiveSeconds: s.objective.Seconds(),
+		Target:           s.target,
+		Good:             s.good.Value(),
+		Bad:              s.bad.Value(),
+		WindowSeconds:    (sloSlots * sloSlotDur).Seconds(),
+	}
+	st.BurnRate = burnRate(st.Good, st.Bad, s.target)
+	now := time.Now().UnixNano() / int64(sloSlotDur)
+	var wg, wb int64
+	s.mu.Lock()
+	for i := range s.slots {
+		if now-s.slots[i].epoch < sloSlots {
+			wg += s.slots[i].good
+			wb += s.slots[i].bad
+		}
+	}
+	s.mu.Unlock()
+	st.WindowBurnRate = burnRate(wg, wb, s.target)
+	return st
+}
+
+func burnRate(good, bad int64, target float64) float64 {
+	total := good + bad
+	if total == 0 {
+		return 0
+	}
+	return (float64(bad) / float64(total)) / (1 - target)
+}

@@ -3,8 +3,10 @@ package server
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"mqdp/internal/match"
+	"mqdp/internal/obs"
 	"mqdp/internal/synth"
 )
 
@@ -100,6 +102,61 @@ func BenchmarkEmissionsPoll(b *testing.B) {
 			b.Fatalf("poll = %d emissions, %v", len(es), err)
 		}
 	}
+}
+
+// benchIngestObs drives the standard ingest workload against a server in
+// one observability mode. Off→Disabled prices the pre-existing metrics
+// layer (registry wired, timers and histograms live, no tracer — the
+// production default). Disabled→Enabled is the number this PR pins: with no
+// tracer attached, tracing must cost only the nil check inside the already
+// -loaded obs state, so Disabled stays where it was before spans existed,
+// and Enabled prices full span bookkeeping with tail-based retention.
+func benchIngestObs(b *testing.B, wire func(*Server)) {
+	world := synth.NewWorld(synth.WorldConfig{Seed: 1})
+	tweets := synth.TweetStream(world, synth.StreamConfig{Duration: 600, RatePerSec: 4, Seed: 2})
+	s := New(0, 0)
+	s.SetParallelism(1)
+	if wire != nil {
+		wire(s)
+	}
+	rng := newRand(3)
+	for i := 0; i < 16; i++ {
+		topicIdx := world.SampleLabelSet(rng, 3)
+		if _, err := s.Subscribe(SubscriptionConfig{
+			Topics: world.MatchTopics(topicIdx),
+			Lambda: 120,
+			Tau:    30,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tw := tweets[i%len(tweets)]
+		wrap := float64(i/len(tweets)) * 600
+		_ = s.Ingest(Post{ID: int64(i), Time: tw.Time + wrap, Text: tw.Text})
+	}
+}
+
+func BenchmarkIngestTraceOff(b *testing.B) {
+	benchIngestObs(b, nil)
+}
+
+func BenchmarkIngestTraceDisabled(b *testing.B) {
+	benchIngestObs(b, func(s *Server) {
+		s.SetObs(obs.NewRegistry())
+	})
+}
+
+func BenchmarkIngestTraceEnabled(b *testing.B) {
+	benchIngestObs(b, func(s *Server) {
+		reg := obs.NewRegistry()
+		tracer := obs.NewTracer(4096)
+		tracer.SetRetention(100*time.Millisecond, 10)
+		reg.SetTracer(tracer)
+		s.SetObs(reg)
+	})
 }
 
 func BenchmarkMatchOnly(b *testing.B) {

@@ -258,6 +258,12 @@ func (c *Client) doHTTP(ctx context.Context, method, path string, body []byte, c
 	if idemKey != "" {
 		req.Header.Set("Idempotency-Key", idemKey)
 	}
+	// Propagate the caller's trace, W3C trace-context style. doHTTP is the
+	// single exit point for every request — including each attempt of a
+	// retried call — so one logical operation keeps one trace ID end to end.
+	if span := obs.FromContext(ctx); span != nil {
+		req.Header.Set("traceparent", span.Traceparent())
+	}
 	opPath, _, _ := strings.Cut(path, "?")
 	resp, err := c.httpClient().Do(req)
 	if err != nil {

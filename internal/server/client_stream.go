@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"mqdp/internal/obs"
 	"mqdp/internal/resilience"
 	"mqdp/internal/wire"
 )
@@ -42,6 +43,11 @@ type StreamEvent struct {
 	// End is the terminal event: the subscription was flushed,
 	// unsubscribed or quarantined. The stream closes after it.
 	End *StreamEndError
+
+	// Trace is the originating ingest trace of an Emission event, when
+	// the server has tracing enabled (zero otherwise). Feed it to
+	// /debug/traces/{id} to see the post's full server-side path.
+	Trace obs.TraceID
 }
 
 // callbackErr marks an error returned by the caller's handler: it must
@@ -116,6 +122,11 @@ func (c *Client) streamOnce(ctx context.Context, id int64, after *int64, lastVer
 		return false, false, err
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	// Propagate the caller's trace on every connection, reconnects
+	// included, so the whole streaming session hangs off one trace.
+	if span := obs.FromContext(ctx); span != nil {
+		req.Header.Set("traceparent", span.Traceparent())
+	}
 	resp, err := hc.Do(req)
 	if err != nil {
 		return false, false, fmt.Errorf("server: GET %s: %w", opPath, err)
@@ -132,13 +143,13 @@ func (c *Client) streamOnce(ctx context.Context, id int64, after *int64, lastVer
 
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
-	event, data := "", ""
+	event, data, trace := "", "", ""
 	for sc.Scan() {
 		line := sc.Text()
 		switch {
 		case line == "":
 			if event != "" {
-				isEnd, derr := c.dispatchSSE(event, data, after, lastVersion, seenTopK, fn)
+				isEnd, derr := c.dispatchSSE(event, data, trace, after, lastVersion, seenTopK, fn)
 				if derr != nil {
 					return progressed, false, derr
 				}
@@ -147,11 +158,13 @@ func (c *Client) streamOnce(ctx context.Context, id int64, after *int64, lastVer
 					return progressed, true, nil
 				}
 			}
-			event, data = "", ""
+			event, data, trace = "", "", ""
 		case strings.HasPrefix(line, "event: "):
 			event = line[len("event: "):]
 		case strings.HasPrefix(line, "data: "):
 			data = line[len("data: "):]
+		case strings.HasPrefix(line, "trace: "):
+			trace = line[len("trace: "):]
 			// id: lines carry the emission seq, already in the payload.
 		}
 	}
@@ -164,8 +177,9 @@ func (c *Client) streamOnce(ctx context.Context, id int64, after *int64, lastVer
 	return progressed, false, fmt.Errorf("server: GET %s: %w", opPath, err)
 }
 
-// dispatchSSE decodes one SSE event and hands it to fn.
-func (c *Client) dispatchSSE(event, data string, after *int64, lastVersion *uint64, seenTopK *bool, fn func(StreamEvent) error) (end bool, err error) {
+// dispatchSSE decodes one SSE event and hands it to fn. trace is the raw
+// value of a nonstandard trace: field line, empty when absent.
+func (c *Client) dispatchSSE(event, data, trace string, after *int64, lastVersion *uint64, seenTopK *bool, fn func(StreamEvent) error) (end bool, err error) {
 	switch event {
 	case "emission":
 		var em Emission
@@ -173,7 +187,11 @@ func (c *Client) dispatchSSE(event, data string, after *int64, lastVersion *uint
 			return false, fmt.Errorf("stream emission: %w", err)
 		}
 		*after = em.Seq
-		if err := fn(StreamEvent{Emission: &em}); err != nil {
+		ev := StreamEvent{Emission: &em}
+		// Malformed trace annotations are dropped, never fatal: the
+		// emission itself is intact.
+		ev.Trace, _ = obs.ParseTraceID(trace)
+		if err := fn(ev); err != nil {
 			return false, callbackErr{err}
 		}
 	case "topk":

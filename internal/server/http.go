@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"mqdp/internal/digest"
+	"mqdp/internal/obs"
 	"mqdp/internal/wire"
 )
 
@@ -68,6 +69,14 @@ import (
 //	GET    /metrics/prometheus            → text exposition of the wired obs registry
 //	                                      (503 until Server.SetObs wires one)
 //	GET    /healthz                       → Health
+//	GET    /debug/traces                  → recent traces, newest first (?n=, ?min=,
+//	                                      ?format=text); 503 until a tracer is wired
+//	GET    /debug/traces/{id}             → one trace as a parent-linked span tree
+//	                                      (JSON, or indented text with ?format=text)
+//
+// Every route is wrapped by the observability middleware: requests carrying
+// a valid W3C traceparent header continue that trace, everything else gets
+// a fresh root span, and traced responses echo X-Trace-Id.
 func Handler(s *Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/subscriptions", func(w http.ResponseWriter, r *http.Request) {
@@ -132,6 +141,7 @@ func Handler(s *Server) http.Handler {
 			// retained tail, the headers name the spliced-out range.
 			var gap *GapError
 			if errors.As(err, &gap) {
+				s.gaps.Inc()
 				w.Header().Set("X-Gap-From", strconv.FormatInt(gap.GapFrom, 10))
 				w.Header().Set("X-First-Seq", strconv.FormatInt(gap.FirstSeq, 10))
 				err = nil
@@ -223,19 +233,27 @@ func Handler(s *Server) http.Handler {
 		key := r.Header.Get("Idempotency-Key")
 		if key != "" {
 			if e, ok := s.idem.get(key); ok {
+				if sp := obs.FromContext(r.Context()); sp != nil {
+					sp.Set("idem_replay", "true")
+				}
 				w.Header().Set("Idempotent-Replay", "true")
 				writeIngestResult(w, e.status, e.res)
 				return
 			}
 		}
 		// Admission: shed (429 + Retry-After) or block per policy before
-		// any decoding work is spent on the request.
+		// any decoding work is spent on the request. The span covers the
+		// wait so backpressure stalls are visible in the trace.
+		_, admitSpan := obs.StartSpan(r.Context(), "server.admit")
 		release, retryAfter, ok := s.admit(r.Context())
 		if !ok {
+			admitSpan.Set("shed", "true")
+			admitSpan.End()
 			w.Header().Set("Retry-After", retryAfterSeconds(retryAfter))
 			http.Error(w, "server overloaded, retry later", http.StatusTooManyRequests)
 			return
 		}
+		admitSpan.End()
 		defer release()
 		ctx := r.Context()
 		if d := s.IngestDeadline(); d > 0 {
@@ -246,11 +264,16 @@ func Handler(s *Server) http.Handler {
 		// Both decode paths hand the batch back through pooled scratch:
 		// binary frames decode with O(1) heap allocations per post, and
 		// the JSON fallback reuses its body buffer and post slice.
+		_, decSpan := obs.StartSpan(r.Context(), "ingest.decode")
 		batch, freeBatch, derr := decodeIngestBody(r.Body, binary)
 		if derr != nil {
+			decSpan.SetError(derr)
+			decSpan.End()
 			http.Error(w, derr.Error(), ingestDecodeStatus(derr))
 			return
 		}
+		decSpan.SetInt("posts", int64(len(batch)))
+		decSpan.End()
 		defer freeBatch()
 		accepted := 0
 		var ingestErr error
@@ -322,7 +345,9 @@ func Handler(s *Server) http.Handler {
 		}
 		writeJSON(w, s.Health())
 	})
-	return mux
+	mux.HandleFunc("/debug/traces", s.handleTraceList)
+	mux.HandleFunc("/debug/traces/", s.handleTraceGet)
+	return withObs(s, mux)
 }
 
 // IngestResult is the POST /ingest response body. On success Accepted is

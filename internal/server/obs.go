@@ -12,6 +12,7 @@ import (
 // incremented alongside.
 type serverObs struct {
 	reg           *obs.Registry
+	tracer        *obs.Tracer    // request tracer; nil when the registry has none
 	ingestFanout  *obs.Histogram // one Ingest: admission + fan-out to all subscriptions
 	tokenizeTime  *obs.Histogram // the once-per-post tokenization shared by every subscription
 	matchTime     *obs.Histogram // one subscription's topic match for one post
@@ -37,8 +38,10 @@ func (s *Server) SetObs(r *obs.Registry) {
 	r.RegisterCounter("mqdp_server_sheds_total", "ingest requests shed by the admission controller (429)", &s.shed)
 	r.RegisterCounter("mqdp_server_quarantines_total", "subscriptions isolated after a pipeline panic", &s.quarantines)
 	r.RegisterCounter("mqdp_server_pushed_total", "emissions delivered over push streams", &s.pushed)
+	r.RegisterCounter("mqdp_server_gaps_total", "emission gaps reported to clients (stale cursors across poll, long-poll and SSE)", &s.gaps)
 	o := &serverObs{
 		reg:           r,
+		tracer:        r.Tracer(),
 		ingestFanout:  r.Histogram("mqdp_server_ingest_fanout_seconds", "wall time fanning one post out to every subscription", obs.TimeBuckets),
 		tokenizeTime:  r.Histogram("mqdp_server_tokenize_seconds", "wall time of the once-per-post ingest tokenization", obs.TimeBuckets),
 		matchTime:     r.Histogram("mqdp_server_match_seconds", "wall time of one subscription's topic match", obs.TimeBuckets),

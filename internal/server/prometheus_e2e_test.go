@@ -16,8 +16,9 @@ import (
 )
 
 // sampleLine matches one exposition sample: a metric name, an optional
-// {le="..."} label set, and a float value.
-var sampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? [-+0-9.eE]+(Inf)?$`)
+// {le="..."} label set, a float value, and an optional OpenMetrics-style
+// exemplar (` # {trace_id="..."} <value>`) on +Inf bucket lines.
+var sampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? [-+0-9.eE]+(Inf)?( # \{trace_id="[0-9a-f]{32}"\} [-+0-9.eE]+(Inf)?)?$`)
 
 // TestPrometheusEndpointE2E wires one registry through every instrumented
 // layer, drives a workload over HTTP, and asserts GET /metrics/prometheus

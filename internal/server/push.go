@@ -55,7 +55,7 @@ func (s *Server) WaitEmissions(ctx context.Context, id, after int64, limit int) 
 	}
 	for {
 		sub.mu.Lock()
-		tail, gap := sub.pollLocked(after, limit)
+		tail, _, gap := sub.pollLocked(after, limit)
 		if len(tail) > 0 || gap != nil {
 			sub.mu.Unlock()
 			if gap != nil {

@@ -21,6 +21,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -99,7 +100,13 @@ type subscription struct {
 	proc    mqdp.Processor
 	// buffer of emissions with monotonically increasing, contiguous Seq.
 	emissions []Emission
-	texts     map[int64]Post // recent matched posts awaiting a decision
+	// emTrace is the aligned trace-ID sidecar for emissions: emTrace[i] is
+	// the trace of the ingest request that produced emissions[i]. Kept out
+	// of Emission itself so poll/wire payloads stay byte-identical with
+	// tracing on or off (only SSE carries the trace, as an extra comment
+	// line). Nil until the first traced delivery; zero-backfilled then.
+	emTrace []obs.TraceID
+	texts   map[int64]Post // recent matched posts awaiting a decision
 	// pending[head:] mirrors texts insertion order for O(1) amortized
 	// horizon eviction (posts arrive in time order).
 	pending []pendingText
@@ -144,6 +151,9 @@ func (sub *subscription) quarantine(msg string, s *Server, o *serverObs) {
 	sub.quarantineMsg = msg
 	s.quarantines.Inc()
 	o.onQuarantine()
+	if l := s.logger.Load(); l != nil {
+		l.Warn("subscription quarantined", slog.Int64("subscription", sub.id), slog.String("reason", msg))
+	}
 	// A quarantined pipeline will never emit again: terminate the hub so
 	// live streams get an explicit terminal event instead of going silent
 	// while their pollers wait forever.
@@ -204,6 +214,17 @@ type Server struct {
 	maxStreams   atomic.Int64
 	pushDisabled atomic.Bool
 	pushed       obs.Counter
+
+	// gaps counts *GapError reports across every delivery surface: plain
+	// polls, long-polls and SSE gap events.
+	gaps obs.Counter
+
+	// Request-observability hooks: per-endpoint latency SLOs (nil = not
+	// tracked) and an optional structured logger for request/lifecycle
+	// records. All are atomic so the HTTP middleware reads them lock-free.
+	sloIngest atomic.Pointer[obs.SLO]
+	sloPoll   atomic.Pointer[obs.SLO]
+	logger    atomic.Pointer[slog.Logger]
 
 	// obsState holds the registry-wired service instruments; nil = disabled.
 	obsState atomic.Pointer[serverObs]
@@ -384,14 +405,29 @@ func (s *Server) IngestContext(ctx context.Context, p Post) error {
 	s.started = true
 	s.lastTime = p.Time
 	s.ingested.Inc()
+	o := s.obsState.Load()
+	// Per-post span, a child of the request span when the caller carries
+	// one (the HTTP path) and a fresh root otherwise (direct API use with a
+	// tracer wired). Its trace ID follows the post through fan-out into the
+	// emissions it produces.
+	var span *obs.ActiveSpan
+	if o != nil && o.tracer != nil {
+		if parent := obs.FromContext(ctx); parent != nil {
+			span = parent.Child("ingest.post")
+		} else {
+			span = o.tracer.StartTrace("ingest.post")
+		}
+		span.SetInt("post_id", p.ID)
+		defer span.End()
+	}
 	if s.dedup != nil && !s.dedup.Offer(p.Text) {
 		s.dropped.Inc()
+		span.Set("dropped", "duplicate")
 		return nil
 	}
 	s.mu.RLock()
 	shards := s.order
 	s.mu.RUnlock()
-	o := s.obsState.Load()
 	var start time.Time
 	if o != nil {
 		start = time.Now()
@@ -405,14 +441,19 @@ func (s *Server) IngestContext(ctx context.Context, p Post) error {
 	}
 	inj := s.faults.Load()
 	err := parallel.FirstErr(int(s.workers.Load()), len(shards), func(i int) error {
-		if err := shards[i].feed(p, words, s, o, inj); err != nil {
+		if err := shards[i].feed(p, words, s, o, inj, span); err != nil {
 			return fmt.Errorf("server: subscription %d: %w", shards[i].id, err)
 		}
 		return nil
 	})
 	if o != nil {
-		o.ingestFanout.ObserveSince(start)
+		if span != nil {
+			o.ingestFanout.ObserveTraced(time.Since(start).Seconds(), span.TraceID())
+		} else {
+			o.ingestFanout.ObserveSince(start)
+		}
 	}
+	span.SetError(err)
 	return err
 }
 
@@ -422,7 +463,7 @@ func (s *Server) IngestContext(ctx context.Context, p Post) error {
 // scripted chaos panic from inj) quarantines this subscription and
 // returns nil: one poisoned profile must not fail the ingest or kill
 // the process.
-func (sub *subscription) feed(p Post, words []string, s *Server, o *serverObs, inj *faultinject.Injector) (err error) {
+func (sub *subscription) feed(p Post, words []string, s *Server, o *serverObs, inj *faultinject.Injector, parent *obs.ActiveSpan) (err error) {
 	if sub.quarantined.Load() {
 		return nil
 	}
@@ -454,11 +495,29 @@ func (sub *subscription) feed(p Post, words []string, s *Server, o *serverObs, i
 	}
 	sub.texts[p.ID] = p
 	sub.pending = append(sub.pending, pendingText{id: p.ID, time: p.Time})
+	// The stream-processor decision span: only matched subscriptions reach
+	// here, so an untraced non-matching fan-out stays span-free.
+	procSpan := parent.Child("sub.process")
+	if procSpan != nil {
+		procSpan.SetInt("subscription", sub.id)
+		procSpan.Set("algorithm", sub.proc.Name())
+		procSpan.SetInt("labels", int64(len(labels)))
+	}
 	es, err := sub.proc.Process(mqdp.Post{ID: p.ID, Value: p.Time, Labels: labels})
 	if err != nil {
+		procSpan.SetError(err)
+		procSpan.End()
 		return err
 	}
-	sub.deliver(es, o)
+	procSpan.SetInt("decisions", int64(len(es)))
+	procSpan.End()
+	var delSpan *obs.ActiveSpan
+	if parent != nil && len(es) > 0 {
+		delSpan = parent.Child("sub.deliver")
+		delSpan.SetInt("subscription", sub.id)
+	}
+	sub.deliver(es, o, parent.TraceID())
+	delSpan.End()
 	sub.gc(p.Time)
 	// Slide the top-k window to this post's time; waiters only wake when
 	// the visible view actually changed (deliver wakes them for appends).
@@ -472,7 +531,7 @@ func (sub *subscription) feed(p Post, words []string, s *Server, o *serverObs, i
 // decision consumes its cached text; a decision whose text was already
 // evicted is counted in textMisses and skipped rather than emitted blank.
 // Caller holds sub.mu.
-func (sub *subscription) deliver(es []mqdp.Emission, o *serverObs) {
+func (sub *subscription) deliver(es []mqdp.Emission, o *serverObs, trace obs.TraceID) {
 	appended := false
 	for _, e := range es {
 		src, ok := sub.texts[e.Post.ID]
@@ -487,7 +546,9 @@ func (sub *subscription) deliver(es []mqdp.Emission, o *serverObs) {
 			names[i] = sub.matcher.Topic(a).Name
 		}
 		seq := sub.nextSeq.Add(1)
-		sub.delays.Observe(e.EmitAt - e.Post.Value)
+		delay := e.EmitAt - e.Post.Value
+		sub.delays.Observe(delay)
+		stream.DecisionDelayExemplar(delay, trace)
 		o.onEmit()
 		em := Emission{
 			Seq:    seq,
@@ -498,6 +559,14 @@ func (sub *subscription) deliver(es []mqdp.Emission, o *serverObs) {
 			EmitAt: e.EmitAt,
 		}
 		sub.emissions = append(sub.emissions, em)
+		// Record the originating trace in the sidecar; the lazy allocation
+		// zero-backfills emissions delivered before tracing was enabled.
+		if !trace.IsZero() || sub.emTrace != nil {
+			if sub.emTrace == nil {
+				sub.emTrace = make([]obs.TraceID, len(sub.emissions)-1, cap(sub.emissions))
+			}
+			sub.emTrace = append(sub.emTrace, trace)
+		}
 		// Every cover emission is also a top-k candidate: coverage is the
 		// number of queries the post served at decision time.
 		sub.topk.Insert(stream.TopKItem[Emission]{
@@ -528,6 +597,9 @@ func (sub *subscription) gc(now float64) {
 	}
 	if len(sub.emissions) > maxEmissionBuffer {
 		sub.emissions = append([]Emission(nil), sub.emissions[len(sub.emissions)-maxEmissionBuffer:]...)
+		if sub.emTrace != nil {
+			sub.emTrace = append([]obs.TraceID(nil), sub.emTrace[len(sub.emTrace)-maxEmissionBuffer:]...)
+		}
 	}
 }
 
@@ -556,7 +628,7 @@ func (s *Server) Flush() {
 			}
 		}()
 		if !sub.quarantined.Load() {
-			sub.deliver(sub.proc.Flush(), o)
+			sub.deliver(sub.proc.Flush(), o, obs.TraceID{})
 		}
 		// Every decision has landed; whatever text remains was rejected.
 		clear(sub.texts)
@@ -597,7 +669,7 @@ func (s *Server) Emissions(id, after int64, limit int) ([]Emission, error) {
 	}
 	sub.mu.Lock()
 	defer sub.mu.Unlock()
-	tail, gap := sub.pollLocked(after, limit)
+	tail, _, gap := sub.pollLocked(after, limit)
 	if gap != nil {
 		return tail, gap
 	}
@@ -607,9 +679,11 @@ func (s *Server) Emissions(id, after int64, limit int) ([]Emission, error) {
 // pollLocked copies the emissions with Seq > after (up to limit; ≤ 0 means
 // no limit) and reports a *GapError when seqs in (after, firstAvail) were
 // emitted but already dropped — including the fully trimmed empty-buffer
-// case, where firstAvail is the next Seq to be assigned. Caller holds
-// sub.mu.
-func (sub *subscription) pollLocked(after int64, limit int) ([]Emission, *GapError) {
+// case, where firstAvail is the next Seq to be assigned. The returned
+// traces slice, when non-nil, aligns with the emissions: traces[i] is the
+// originating ingest trace of the i-th returned emission (SSE attaches it
+// to each event; poll JSON bodies never carry it). Caller holds sub.mu.
+func (sub *subscription) pollLocked(after int64, limit int) ([]Emission, []obs.TraceID, *GapError) {
 	firstAvail := sub.nextSeq.Value() + 1
 	if len(sub.emissions) > 0 {
 		firstAvail = sub.emissions[0].Seq
@@ -619,7 +693,7 @@ func (sub *subscription) pollLocked(after int64, limit int) ([]Emission, *GapErr
 		gap = &GapError{GapFrom: after + 1, FirstSeq: firstAvail}
 	}
 	if len(sub.emissions) == 0 {
-		return nil, gap
+		return nil, nil, gap
 	}
 	start := 0
 	if first := sub.emissions[0].Seq; after >= first {
@@ -627,7 +701,7 @@ func (sub *subscription) pollLocked(after int64, limit int) ([]Emission, *GapErr
 		start = int(after - first + 1)
 	}
 	if start >= len(sub.emissions) {
-		return nil, gap
+		return nil, nil, gap
 	}
 	tail := sub.emissions[start:]
 	if limit > 0 && limit < len(tail) {
@@ -635,7 +709,12 @@ func (sub *subscription) pollLocked(after int64, limit int) ([]Emission, *GapErr
 	}
 	out := make([]Emission, len(tail))
 	copy(out, tail)
-	return out, gap
+	var traces []obs.TraceID
+	if sub.emTrace != nil {
+		traces = make([]obs.TraceID, len(tail))
+		copy(traces, sub.emTrace[start:start+len(tail)])
+	}
+	return out, traces, gap
 }
 
 // Stats is a service snapshot.
@@ -739,8 +818,10 @@ type Metrics struct {
 	Quarantines   int64               `json:"quarantines"`
 	ActiveStreams int64               `json:"active_streams"`
 	PushedTotal   int64               `json:"pushed_total"`
+	Gaps          int64               `json:"gaps"`
 	Flushed       bool                `json:"flushed"`
 	Workers       int                 `json:"workers"`
+	SLOs          []obs.SLOStatus     `json:"slos,omitempty"`
 	Profiles      []SubscriptionStats `json:"profiles"`
 }
 
@@ -757,8 +838,10 @@ func (s *Server) Metrics() Metrics {
 		Quarantines:   s.quarantines.Value(),
 		ActiveStreams: s.streams.Load(),
 		PushedTotal:   s.pushed.Value(),
+		Gaps:          s.gaps.Value(),
 		Flushed:       s.closed.Load(),
 		Workers:       s.Parallelism(),
+		SLOs:          s.SLOs(),
 		Profiles:      make([]SubscriptionStats, 0, len(shards)),
 	}
 	for _, sub := range shards {

@@ -6,6 +6,8 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+
+	"mqdp/internal/obs"
 )
 
 // streamBatchLimit bounds how many emissions one SSE wake drains before
@@ -22,11 +24,19 @@ type endEvent struct {
 //
 // Event grammar:
 //
-//	event: emission   data: Emission        (with id: <seq> for resume)
+//	event: emission   data: Emission        (with id: <seq> for resume, and
+//	                                         trace: <32 hex> naming the
+//	                                         originating ingest trace when
+//	                                         tracing is enabled)
 //	event: topk       data: TopKSnapshot    (sent on connect, then on change)
 //	event: gap        data: GapError        (cursor predates retained buffer)
 //	event: end        data: {"reason": ...} (terminal: flushed | unsubscribed |
 //	                                         quarantined; stream closes after)
+//
+// The trace: line is a nonstandard SSE field: spec-conforming parsers ignore
+// unknown fields, so plain SSE consumers are unaffected while this repo's
+// Client surfaces it on StreamEvent.Trace. Keeping the trace out of the
+// data: payload keeps emission JSON byte-identical with tracing on or off.
 //
 // The cursor starts at ?after=SEQ, overridden by a Last-Event-ID header on
 // reconnect (the standard SSE resume mechanism). Between batches the
@@ -80,7 +90,7 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, id int64) {
 		// writes happen outside the lock so a slow client never stalls
 		// ingest.
 		sub.mu.Lock()
-		tail, gap := sub.pollLocked(after, streamBatchLimit)
+		tail, traces, gap := sub.pollLocked(after, streamBatchLimit)
 		done, reason := sub.done, sub.doneReason
 		var snap TopKSnapshot
 		haveSnap := false
@@ -96,8 +106,19 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, id int64) {
 		}
 		sub.mu.Unlock()
 
+		// A non-empty drain is one push wakeup: span it under the stream's
+		// request trace so delivery shows up in the end-to-end picture.
+		var wake *obs.ActiveSpan
+		if len(tail) > 0 || gap != nil {
+			_, wake = obs.StartSpan(ctx, "sse.wake")
+			wake.SetInt("emissions", int64(len(tail)))
+		}
+
 		if gap != nil {
-			if writeEvent(w, "", "gap", gap) != nil {
+			s.gaps.Inc()
+			wake.Set("gap", "true")
+			if writeEvent(w, "", "gap", "", gap) != nil {
+				wake.End()
 				return
 			}
 			// The splice is reported; resume at the first retained seq so
@@ -105,19 +126,25 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, id int64) {
 			after = gap.FirstSeq - 1
 		}
 		for i := range tail {
-			if writeEvent(w, strconv.FormatInt(tail[i].Seq, 10), "emission", &tail[i]) != nil {
+			trace := ""
+			if traces != nil && !traces[i].IsZero() {
+				trace = traces[i].String()
+			}
+			if writeEvent(w, strconv.FormatInt(tail[i].Seq, 10), "emission", trace, &tail[i]) != nil {
+				wake.End()
 				return
 			}
 			after = tail[i].Seq
 			s.pushed.Inc()
 		}
+		wake.End()
 		if haveSnap {
-			if writeEvent(w, "", "topk", snap) != nil {
+			if writeEvent(w, "", "topk", "", snap) != nil {
 				return
 			}
 		}
 		if done && len(tail) == 0 && gap == nil {
-			_ = writeEvent(w, "", "end", endEvent{Reason: reason})
+			_ = writeEvent(w, "", "end", "", endEvent{Reason: reason})
 			flusher.Flush()
 			return
 		}
@@ -134,14 +161,20 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, id int64) {
 }
 
 // writeEvent emits one SSE event. JSON escapes newlines, so the payload is
-// always a single data: line.
-func writeEvent(w io.Writer, id, event string, v any) error {
+// always a single data: line. A non-empty trace adds a nonstandard
+// "trace: <hex>" field line naming the originating ingest trace.
+func writeEvent(w io.Writer, id, event, trace string, v any) error {
 	data, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
 	if id != "" {
 		if _, err := fmt.Fprintf(w, "id: %s\n", id); err != nil {
+			return err
+		}
+	}
+	if trace != "" {
+		if _, err := fmt.Fprintf(w, "trace: %s\n", trace); err != nil {
 			return err
 		}
 	}

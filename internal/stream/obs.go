@@ -33,6 +33,17 @@ func SetObs(r *obs.Registry) {
 	})
 }
 
+// DecisionDelayExemplar offers one delivered emission's decision delay and
+// originating trace as an exemplar on the decision-delay histogram, linking
+// the distribution's tail to a retrievable trace. The delay itself is
+// already observed by observeDecisions at processor level; this only
+// annotates. No-ops when instrumentation is disabled or trace is zero.
+func DecisionDelayExemplar(delay float64, trace obs.TraceID) {
+	if o := obsState.Load(); o != nil {
+		o.decisionDelay.AttachExemplar(delay, trace)
+	}
+}
+
 // observeDecisions records one decision batch. Safe on a nil receiver.
 func (o *streamObs) observeDecisions(es []Emission) {
 	if o == nil || len(es) == 0 {
