@@ -2,15 +2,17 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-json bench-index bench-wire bench-push bench-obs bench-trace trace-smoke chaos push-soak experiments smoke fuzz fuzz-smoke vet lint check clean
+.PHONY: all build test test-race bench bench-json bench-index bench-wire bench-push bench-obs bench-trace bench-routing routing-smoke trace-smoke chaos push-soak experiments smoke fuzz fuzz-smoke vet lint check clean
 
 all: build test
 
 # The default verification gate: build, tests, static checks, the chaos
 # suite under the race detector, the push-delivery soak, the
 # instrumented-vs-disabled solver overhead comparison, the end-to-end
-# trace-propagation smoke, and the wire fuzz corpus smoke.
-check: build test vet chaos push-soak bench-obs trace-smoke fuzz-smoke
+# trace-propagation smoke, the wire fuzz corpus smoke, and the
+# subscription-routing smoke (equivalence property under -race plus the
+# reduced fan-out baseline matrix).
+check: build test vet chaos push-soak bench-obs trace-smoke fuzz-smoke routing-smoke
 
 build:
 	$(GO) build ./...
@@ -72,6 +74,20 @@ bench-obs:
 # production default) and full span tracing with tail-based retention.
 bench-trace:
 	$(GO) run ./cmd/mqdp-bench -json-trace > BENCH_trace.json
+
+# Regenerate the subscription-routing fan-out baseline (BENCH_routing.json):
+# per-post ingest cost with the inverted keyword → subscription index vs
+# brute-force broadcast, at 100/1k/10k subscriptions across match rates
+# (acceptance floor: ≥5x at 10k subscriptions, ≤5% match rate).
+bench-routing:
+	$(GO) run ./cmd/mqdp-bench -json-routing > BENCH_routing.json
+
+# Routing smoke for `make check`: the emissions-byte-identical property
+# (routing on/off × worker counts, quarantine mid-stream) under the race
+# detector, then the reduced baseline matrix to catch fan-out regressions.
+routing-smoke:
+	$(GO) test -race -count=1 -run 'TestRoutingEquivalence|TestRoutingSkippedAccounting|TestIngestScratchBounded' ./internal/server
+	$(GO) run ./cmd/mqdp-bench -json-routing -scale smoke > /dev/null
 
 # End-to-end trace propagation under the race detector: one post followed
 # client span → HTTP → admission → fan-out → emission → SSE frame, plus

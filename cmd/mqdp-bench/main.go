@@ -26,7 +26,12 @@
 // emissions-identical cross-check. -json-trace emits the tracing-overhead
 // baseline tracked in BENCH_trace.json: the same ingest+poll workload with
 // observability off, wired-but-disabled, and fully enabled, so the
-// near-free-when-disabled contract has a standing number. -trace-dump FILE
+// near-free-when-disabled contract has a standing number. -json-routing
+// emits the subscription-routing fan-out baseline tracked in
+// BENCH_routing.json: per-post ingest cost with the inverted keyword →
+// subscription index on vs brute-force broadcast, across subscription
+// counts and match rates (honors -scale smoke for a reduced matrix).
+// -trace-dump FILE
 // wires the span
 // tracer and writes the bounded span journal to FILE after the run ("-" for
 // stderr).
@@ -65,6 +70,7 @@ func main() {
 	jsonWire := flag.Bool("json-wire", false, "emit the wire-format codec/e2e baseline as JSON and exit")
 	jsonPush := flag.Bool("json-push", false, "emit the push-vs-poll delivery-latency baseline as JSON and exit")
 	jsonTrace := flag.Bool("json-trace", false, "emit the tracing-overhead baseline (off/disabled/enabled) as JSON and exit")
+	jsonRouting := flag.Bool("json-routing", false, "emit the subscription-routing fan-out baseline as JSON and exit (honors -scale)")
 	traceDump := flag.String("trace-dump", "", "write the solver span journal to this file after the run (- for stderr); empty disables tracing")
 	flag.Parse()
 
@@ -129,6 +135,13 @@ func main() {
 	}
 	if *jsonTrace {
 		if err := writeTraceBaseline(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "mqdp-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *jsonRouting {
+		if err := writeRoutingBaseline(os.Stdout, strings.EqualFold(*scale, "smoke")); err != nil {
 			fmt.Fprintf(os.Stderr, "mqdp-bench: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"mqdp/internal/match"
+	"mqdp/internal/server"
+)
+
+// RoutingBaseline is the machine-readable record emitted by -json-routing
+// and checked in as BENCH_routing.json (regenerate with `make
+// bench-routing`). It compares the per-post ingest fan-out cost of the
+// inverted subscription routing index against the brute-force broadcast
+// fan-out, on sparse-match workloads where only a controlled fraction of
+// subscriptions matches each post — the paper's §7.4 many-users regime.
+// Fan-out runs on one worker so the ratio isolates the algorithmic win
+// (routing and broadcast parallelize identically).
+type RoutingBaseline struct {
+	Schema        int             `json:"schema"`
+	GoVersion     string          `json:"go_version"`
+	GOMAXPROCS    int             `json:"gomaxprocs"`
+	NumCPU        int             `json:"num_cpu"`
+	Workers       int             `json:"workers"`
+	TokensPerPost int             `json:"tokens_per_post"`
+	Runs          int             `json:"runs"`
+	Results       []RoutingResult `json:"results"`
+}
+
+// RoutingResult is one (subscriptions, match-rate) cell: median ns/post
+// for both fan-out modes plus the workload's observed match geometry.
+type RoutingResult struct {
+	Subs      int     `json:"subs"`
+	MatchRate float64 `json:"match_rate"`
+	Keywords  int     `json:"keywords"`
+	Posts     int     `json:"posts"`
+	// BroadcastNsPerPost and RoutedNsPerPost are medians across runs.
+	BroadcastNsPerPost int64   `json:"broadcast_ns_per_post"`
+	RoutedNsPerPost    int64   `json:"routed_ns_per_post"`
+	Speedup            float64 `json:"speedup_routed_vs_broadcast"`
+	// MatchedPerPost is subscriptions matched per post (identical across
+	// modes — the equivalence guard below enforces it); SkippedPerPost is
+	// the routed mode's elided feeds per post.
+	MatchedPerPost float64 `json:"matched_per_post"`
+	SkippedPerPost float64 `json:"skipped_per_post"`
+	// EmissionsIdentical cross-checks the two modes delivered the same
+	// matched/emitted totals (byte-level identity is pinned in-tree by
+	// TestRoutingEquivalence).
+	EmissionsIdentical bool `json:"emissions_identical"`
+}
+
+// routingTokensPerPost is the number of distinct topic keywords each
+// synthetic post carries; the keyword-universe size is derived from it so
+// that matchRate = tokensPerPost / keywords.
+const routingTokensPerPost = 10
+
+// routingRuns is the per-cell sample count; the medians are stable enough
+// to track the routed-vs-broadcast trajectory across PRs.
+const routingRuns = 3
+
+// buildRoutingServer registers subs single-keyword profiles rotating over
+// a keyword universe of the given size. Instant processors with a wide λ
+// keep per-match processing minimal, so the cell measures fan-out cost.
+func buildRoutingServer(subs, keywords int, routing bool) (*server.Server, error) {
+	s := server.New(0, 0)
+	s.SetParallelism(1)
+	s.SetRouting(routing)
+	for i := 0; i < subs; i++ {
+		_, err := s.Subscribe(server.SubscriptionConfig{
+			Topics: []match.Topic{{
+				Name:     fmt.Sprintf("t%d", i),
+				Keywords: []match.Keyword{{Text: fmt.Sprintf("kw%d", i%keywords), Weight: 1}},
+			}},
+			Lambda:    3600,
+			Algorithm: "instant",
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// routingPosts synthesizes n posts that each carry tokensPerPost adjacent
+// keywords from the universe, rotating so every keyword appears equally
+// often: each post matches exactly the subscriptions whose keyword falls
+// in its window — a deterministic matchRate = tokensPerPost/keywords.
+func routingPosts(n, keywords int) []server.Post {
+	posts := make([]server.Post, n)
+	var sb strings.Builder
+	for i := range posts {
+		sb.Reset()
+		start := (i * routingTokensPerPost) % keywords
+		for j := 0; j < routingTokensPerPost; j++ {
+			fmt.Fprintf(&sb, "kw%d ", (start+j)%keywords)
+		}
+		sb.WriteString("plus some filler chatter riding along")
+		posts[i] = server.Post{ID: int64(i + 1), Time: float64(i), Text: sb.String()}
+	}
+	return posts
+}
+
+// timeRoutingRun ingests posts into a fresh server and reports total
+// fan-out wall time plus the final matched/emitted totals.
+func timeRoutingRun(subs, keywords int, routing bool, posts []server.Post) (time.Duration, int64, int64, int64, error) {
+	s, err := buildRoutingServer(subs, keywords, routing)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	start := time.Now()
+	for _, p := range posts {
+		if err := s.Ingest(p); err != nil {
+			return 0, 0, 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	m := s.Metrics()
+	return elapsed, m.MatchedTotal, m.EmittedTotal, m.RoutingSkipped, nil
+}
+
+func writeRoutingBaseline(w *os.File, smoke bool) error {
+	type cell struct {
+		subs  int
+		rate  float64
+		posts int
+	}
+	cells := []cell{
+		{100, 0.01, 2000}, {100, 0.05, 2000}, {100, 0.25, 2000},
+		{1000, 0.01, 1000}, {1000, 0.05, 1000}, {1000, 0.25, 1000},
+		{10000, 0.01, 400}, {10000, 0.05, 400}, {10000, 0.25, 400},
+	}
+	runs := routingRuns
+	if smoke {
+		cells = []cell{{100, 0.05, 300}, {1000, 0.05, 200}}
+		runs = 1
+	}
+	b := RoutingBaseline{
+		Schema:        1,
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		Workers:       1,
+		TokensPerPost: routingTokensPerPost,
+		Runs:          runs,
+	}
+	for _, c := range cells {
+		keywords := int(float64(routingTokensPerPost)/c.rate + 0.5)
+		posts := routingPosts(c.posts, keywords)
+		var bSamples, rSamples []time.Duration
+		var bMatched, bEmitted, rMatched, rEmitted, rSkipped int64
+		for run := 0; run < runs; run++ {
+			el, matched, emitted, _, err := timeRoutingRun(c.subs, keywords, false, posts)
+			if err != nil {
+				return err
+			}
+			bSamples = append(bSamples, el)
+			bMatched, bEmitted = matched, emitted
+			el, matched, emitted, skipped, err := timeRoutingRun(c.subs, keywords, true, posts)
+			if err != nil {
+				return err
+			}
+			rSamples = append(rSamples, el)
+			rMatched, rEmitted, rSkipped = matched, emitted, skipped
+		}
+		bMed, _ := summarize(bSamples)
+		rMed, _ := summarize(rSamples)
+		res := RoutingResult{
+			Subs:               c.subs,
+			MatchRate:          c.rate,
+			Keywords:           keywords,
+			Posts:              c.posts,
+			BroadcastNsPerPost: int64(bMed) / int64(c.posts),
+			RoutedNsPerPost:    int64(rMed) / int64(c.posts),
+			MatchedPerPost:     float64(rMatched) / float64(c.posts),
+			SkippedPerPost:     float64(rSkipped) / float64(c.posts),
+			EmissionsIdentical: bMatched == rMatched && bEmitted == rEmitted,
+		}
+		if res.RoutedNsPerPost > 0 {
+			res.Speedup = float64(res.BroadcastNsPerPost) / float64(res.RoutedNsPerPost)
+		}
+		b.Results = append(b.Results, res)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

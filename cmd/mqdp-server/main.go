@@ -36,6 +36,12 @@
 // waiters — SSE streams plus blocked long-polls — refusing the excess
 // with 503 + Retry-After.
 //
+// Ingest fan-out: posts route through an inverted keyword → subscription
+// index so only subscriptions sharing a keyword with the post are fed
+// (see docs/ARCHITECTURE.md, "Subscription routing"). -no-routing falls
+// back to broadcasting every post to every subscription's matcher;
+// emissions are byte-identical either way, only the fan-out cost differs.
+//
 // Overload protection (all off by default): -max-inflight caps concurrent
 // ingest requests, -ingest-rate/-ingest-burst bound the ingest request
 // rate with a token bucket, and -shed-policy picks what a request over the
@@ -93,6 +99,7 @@ func main() {
 	ingestBurst := flag.Int("ingest-burst", 1, "token-bucket burst for -ingest-rate")
 	ingestDeadline := flag.Duration("ingest-deadline", 0, "server-side wall-time budget per ingest request (0 = none)")
 	shedPolicy := flag.String("shed-policy", "shed", `over-capacity ingest behavior: "shed" (429 + Retry-After) or "block"`)
+	noRouting := flag.Bool("no-routing", false, "disable the inverted subscription-routing index; ingest broadcasts every post to every subscription")
 	push := flag.Bool("push", true, "serve SSE push delivery on /subscriptions/{id}/stream")
 	maxStreams := flag.Int("max-streams", 0, "max concurrently served push waiters, SSE + blocked long-polls (0 = unlimited)")
 	faultSchedule := flag.String("fault-schedule", "", "deterministic fault-injection schedule for chaos drills (see internal/faultinject)")
@@ -145,6 +152,12 @@ func main() {
 		})
 	}
 	s.SetIngestDeadline(*ingestDeadline)
+	if *noRouting {
+		// Escape hatch for the inverted routing index: emissions are
+		// byte-identical either way (routing is a pure superset filter),
+		// only the fan-out cost differs.
+		s.SetRouting(false)
+	}
 	s.SetPush(*push)
 	s.SetMaxStreams(*maxStreams)
 	if *faultSchedule != "" {
@@ -208,6 +221,7 @@ func main() {
 			"dedup_distance", *dedupDist,
 			"dedup_window", *dedupWindow,
 			"ingest_workers", s.Parallelism(),
+			"routing", s.RoutingEnabled(),
 			"tracing", !*noObs && *trace)
 		errc <- h.ListenAndServe()
 	}()

@@ -13,6 +13,7 @@ import (
 	"mqdp/internal/core"
 	"mqdp/internal/index"
 	"mqdp/internal/lda"
+	"mqdp/internal/route"
 	"mqdp/internal/sentiment"
 	"mqdp/internal/textutil"
 )
@@ -41,10 +42,14 @@ const (
 )
 
 // Matcher matches post text against a fixed topic set. It is immutable
-// after construction and safe for concurrent use.
+// after construction (and after the optional CompileSymbols) and safe for
+// concurrent use.
 type Matcher struct {
 	topics []Topic
 	byWord map[string][]weightedLabel // keyword -> topics containing it
+	// bySym is the symbol-compiled form of byWord (see CompileSymbols):
+	// matching compares dense uint32 symbols instead of hashing strings.
+	bySym map[uint32][]weightedLabel
 }
 
 // weightedLabel pairs a topic with the weight of one of its keywords.
@@ -93,7 +98,15 @@ func (m *Matcher) Match(text string) []core.Label {
 
 // MatchWords is Match over pre-tokenized words.
 func (m *Matcher) MatchWords(words []string) []core.Label {
-	var labels []core.Label
+	return m.MatchWordsInto(nil, words)
+}
+
+// MatchWordsInto is MatchWords appending into a caller-provided scratch
+// slice (reusing its capacity): zero allocations when no keyword hits,
+// and none beyond dst growth when some do. The result aliases dst, so
+// callers that hand labels to a retaining consumer must copy first.
+func (m *Matcher) MatchWordsInto(dst []core.Label, words []string) []core.Label {
+	labels := dst[:0]
 	for _, w := range words {
 		for _, wl := range m.byWord[w] {
 			labels = append(labels, wl.label)
@@ -105,7 +118,13 @@ func (m *Matcher) MatchWords(words []string) []core.Label {
 // MatchTokens is Match over a pre-computed tokenization — the tokenize-once
 // path shared with the inverted index writer and the sentiment scorer.
 func (m *Matcher) MatchTokens(tokens []textutil.Token) []core.Label {
-	var labels []core.Label
+	return m.MatchTokensInto(nil, tokens)
+}
+
+// MatchTokensInto is MatchTokens with a caller-provided label scratch; see
+// MatchWordsInto for the aliasing contract.
+func (m *Matcher) MatchTokensInto(dst []core.Label, tokens []textutil.Token) []core.Label {
+	labels := dst[:0]
 	for _, tok := range tokens {
 		for _, wl := range m.byWord[tok.Text] {
 			labels = append(labels, wl.label)
@@ -114,12 +133,54 @@ func (m *Matcher) MatchTokens(tokens []textutil.Token) []core.Label {
 	return dedupLabels(labels)
 }
 
-// dedupLabels sorts labels and removes duplicates in place; empty in, nil out.
+// CompileSymbols interns every distinct keyword into t and builds the
+// symbol-compiled match table, enabling MatchSymbolsInto: per-post
+// matching then compares dense uint32 symbols instead of hashing keyword
+// strings. It returns the matcher's distinct keyword symbols, sorted
+// ascending — exactly the posting keys a routing index needs. Call once,
+// before the matcher is shared across goroutines.
+func (m *Matcher) CompileSymbols(t *route.Table) []uint32 {
+	words := make([]string, 0, len(m.byWord))
+	for w := range m.byWord {
+		words = append(words, w)
+	}
+	sort.Strings(words) // deterministic symbol assignment order
+	syms := t.InternAll(make([]uint32, 0, len(words)), words)
+	m.bySym = make(map[uint32][]weightedLabel, len(words))
+	for i, w := range words {
+		m.bySym[syms[i]] = m.byWord[w]
+	}
+	return route.DedupSyms(syms)
+}
+
+// MatchSymbolsInto is MatchWordsInto over symbol-mapped tokens: syms is
+// the post's token set resolved through the same route.Table this matcher
+// was compiled against (unknown tokens already dropped). Duplicate symbols
+// are tolerated — labels are deduplicated regardless. Panics if
+// CompileSymbols has not run.
+func (m *Matcher) MatchSymbolsInto(dst []core.Label, syms []uint32) []core.Label {
+	labels := dst[:0]
+	for _, s := range syms {
+		for _, wl := range m.bySym[s] {
+			labels = append(labels, wl.label)
+		}
+	}
+	return dedupLabels(labels)
+}
+
+// dedupLabels sorts labels and removes duplicates in place; empty in, nil
+// out. Label lists are per-post tiny, so an allocation-free insertion sort
+// replaces sort.Slice (whose closure allocates) and keeps the no-match
+// and match paths alloc-free.
 func dedupLabels(labels []core.Label) []core.Label {
 	if len(labels) == 0 {
 		return nil
 	}
-	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	for i := 1; i < len(labels); i++ {
+		for j := i; j > 0 && labels[j] < labels[j-1]; j-- {
+			labels[j], labels[j-1] = labels[j-1], labels[j]
+		}
+	}
 	out := labels[:0]
 	for i, a := range labels {
 		if i == 0 || labels[i-1] != a {

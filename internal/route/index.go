@@ -1,0 +1,156 @@
+package route
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Entry is one posting: a subscriber identified by a dense, monotone ID
+// carrying an opaque payload (the server stores its *subscription here so
+// candidate generation needs no registry lookup).
+type Entry[V any] struct {
+	ID int64
+	V  V
+}
+
+// Index is the copy-on-write inverted routing index: keyword symbol →
+// posting list of subscribers sorted by ID. Writers (Subscribe,
+// Unsubscribe, quarantine) mutate a master map under a mutex and publish
+// an immutable snapshot through an atomic.Pointer; Candidates reads the
+// snapshot with zero locks. Published posting-list slices are never
+// mutated in place — every add or remove copies the affected list.
+type Index[V any] struct {
+	mu     sync.Mutex
+	master map[uint32][]Entry[V]
+	snap   atomic.Pointer[map[uint32][]Entry[V]]
+}
+
+// NewIndex returns an empty routing index.
+func NewIndex[V any]() *Index[V] {
+	ix := &Index[V]{master: make(map[uint32][]Entry[V])}
+	ix.publishLocked()
+	return ix
+}
+
+// publishLocked installs a fresh immutable snapshot of master. Caller
+// holds ix.mu. The map itself is shallow-cloned; the posting slices are
+// shared because they are copy-on-write.
+func (ix *Index[V]) publishLocked() {
+	snap := make(map[uint32][]Entry[V], len(ix.master))
+	for k, v := range ix.master {
+		snap[k] = v
+	}
+	ix.snap.Store(&snap)
+}
+
+// Add posts subscriber (id, v) under every symbol in syms (which must be
+// deduplicated; see DedupSyms). Lists stay sorted by ID — IDs are
+// assigned monotonically so the common case is an append.
+func (ix *Index[V]) Add(id int64, v V, syms []uint32) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, sym := range syms {
+		old := ix.master[sym]
+		at := len(old)
+		for at > 0 && old[at-1].ID > id {
+			at--
+		}
+		next := make([]Entry[V], 0, len(old)+1)
+		next = append(next, old[:at]...)
+		next = append(next, Entry[V]{ID: id, V: v})
+		next = append(next, old[at:]...)
+		ix.master[sym] = next
+	}
+	ix.publishLocked()
+}
+
+// Remove deletes subscriber id from every symbol in syms. Removing an
+// absent ID is a no-op per list, so quarantine followed by Unsubscribe is
+// safe.
+func (ix *Index[V]) Remove(id int64, syms []uint32) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, sym := range syms {
+		old := ix.master[sym]
+		at := -1
+		for i, e := range old {
+			if e.ID == id {
+				at = i
+				break
+			}
+		}
+		if at < 0 {
+			continue
+		}
+		if len(old) == 1 {
+			delete(ix.master, sym)
+			continue
+		}
+		next := make([]Entry[V], 0, len(old)-1)
+		next = append(next, old[:at]...)
+		next = append(next, old[at+1:]...)
+		ix.master[sym] = next
+	}
+	ix.publishLocked()
+}
+
+// mergeLists is the stack budget for the per-post k-way merge; posts with
+// more distinct live symbols spill to a heap allocation.
+const mergeLists = 64
+
+// Candidates appends, in ascending ID order and without duplicates, every
+// subscriber posted under at least one symbol of syms, and returns the
+// extended slice. It reads the current snapshot with zero locks; the
+// caller reuses dst across posts for an allocation-free hot path. The
+// merge is a linear-scan k-way merge over the (sorted) posting lists:
+// O(lists × candidates) comparisons with lists bounded by the post's
+// distinct matched symbols.
+func (ix *Index[V]) Candidates(dst []Entry[V], syms []uint32) []Entry[V] {
+	m := *ix.snap.Load()
+	var listsArr [mergeLists][]Entry[V]
+	lists := listsArr[:0]
+	for _, sym := range syms {
+		if l := m[sym]; len(l) > 0 {
+			lists = append(lists, l)
+		}
+	}
+	switch len(lists) {
+	case 0:
+		return dst
+	case 1:
+		return append(dst, lists[0]...)
+	}
+	var curArr [mergeLists]int
+	var cur []int
+	if len(lists) <= mergeLists {
+		cur = curArr[:len(lists)]
+		for i := range cur {
+			cur[i] = 0
+		}
+	} else {
+		cur = make([]int, len(lists))
+	}
+	last := int64(math.MinInt64)
+	for {
+		best := -1
+		var bestID int64
+		for i, l := range lists {
+			// Skip everything at or below the last yielded ID: that is both
+			// the duplicate filter and the cursor advance.
+			c := cur[i]
+			for c < len(l) && l[c].ID <= last {
+				c++
+			}
+			cur[i] = c
+			if c < len(l) && (best < 0 || l[c].ID < bestID) {
+				best, bestID = i, l[c].ID
+			}
+		}
+		if best < 0 {
+			return dst
+		}
+		dst = append(dst, lists[best][cur[best]])
+		last = bestID
+	}
+}

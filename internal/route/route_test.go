@@ -1,0 +1,238 @@
+package route
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestTableInternLookup(t *testing.T) {
+	tab := NewTable()
+	a := tab.Intern("obama")
+	b := tab.Intern("senate")
+	if a == b {
+		t.Fatalf("distinct words share symbol %d", a)
+	}
+	if got := tab.Intern("obama"); got != a {
+		t.Errorf("re-intern = %d, want %d", got, a)
+	}
+	if sym, ok := tab.Lookup("senate"); !ok || sym != b {
+		t.Errorf("Lookup(senate) = %d,%v want %d,true", sym, ok, b)
+	}
+	if _, ok := tab.Lookup("unknown"); ok {
+		t.Error("Lookup(unknown) hit")
+	}
+	if tab.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tab.Len())
+	}
+}
+
+func TestTableInternAllBatch(t *testing.T) {
+	tab := NewTable()
+	syms := tab.InternAll(nil, []string{"a", "b", "a", "c"})
+	if len(syms) != 4 {
+		t.Fatalf("len = %d, want 4", len(syms))
+	}
+	if syms[0] != syms[2] {
+		t.Errorf("repeated word resolved to %d and %d", syms[0], syms[2])
+	}
+	// Re-interning an already-known batch must return identical symbols.
+	again := tab.InternAll(nil, []string{"c", "b", "a"})
+	want := []uint32{syms[3], syms[1], syms[0]}
+	for i := range again {
+		if again[i] != want[i] {
+			t.Errorf("again[%d] = %d, want %d", i, again[i], want[i])
+		}
+	}
+	if tab.Len() != 3 {
+		t.Errorf("Len = %d, want 3", tab.Len())
+	}
+}
+
+func TestAppendSymsSkipsUnknown(t *testing.T) {
+	tab := NewTable()
+	tab.InternAll(nil, []string{"x", "y"})
+	syms := tab.AppendSyms(nil, []string{"x", "nope", "y", "x"})
+	if len(syms) != 3 {
+		t.Fatalf("len = %d, want 3 (unknown skipped, dup kept)", len(syms))
+	}
+}
+
+func TestDedupSyms(t *testing.T) {
+	got := DedupSyms([]uint32{5, 1, 3, 1, 5, 5, 2})
+	want := []uint32{1, 2, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if out := DedupSyms(nil); len(out) != 0 {
+		t.Errorf("DedupSyms(nil) = %v", out)
+	}
+}
+
+func TestIndexAddRemoveCandidates(t *testing.T) {
+	ix := NewIndex[string]()
+	ix.Add(1, "one", []uint32{0, 2})
+	ix.Add(2, "two", []uint32{1, 2})
+	ix.Add(3, "three", []uint32{0})
+
+	ids := func(syms ...uint32) []int64 {
+		var out []int64
+		for _, e := range ix.Candidates(nil, syms) {
+			out = append(out, e.ID)
+		}
+		return out
+	}
+	if got := ids(0); !equalIDs(got, []int64{1, 3}) {
+		t.Errorf("sym 0 candidates = %v", got)
+	}
+	if got := ids(2); !equalIDs(got, []int64{1, 2}) {
+		t.Errorf("sym 2 candidates = %v", got)
+	}
+	// Union over symbols dedups and stays ID-ordered.
+	if got := ids(0, 1, 2); !equalIDs(got, []int64{1, 2, 3}) {
+		t.Errorf("union candidates = %v", got)
+	}
+	if got := ids(7); got != nil {
+		t.Errorf("unposted sym candidates = %v", got)
+	}
+	ix.Remove(1, []uint32{0, 2})
+	if got := ids(0, 1, 2); !equalIDs(got, []int64{2, 3}) {
+		t.Errorf("post-remove candidates = %v", got)
+	}
+	// Removing an absent ID is a no-op.
+	ix.Remove(1, []uint32{0, 2})
+	if got := ids(0, 1, 2); !equalIDs(got, []int64{2, 3}) {
+		t.Errorf("idempotent remove broke candidates: %v", got)
+	}
+}
+
+// TestIndexCandidatesMatchesNaive cross-checks the k-way merge against a
+// brute-force union over random posting memberships, including spills past
+// the stack merge budget.
+func TestIndexCandidatesMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		nSyms := 1 + rng.Intn(2*mergeLists) // sometimes exceeds the stack budget
+		nSubs := 1 + rng.Intn(40)
+		ix := NewIndex[int]()
+		members := make(map[int64]map[uint32]bool)
+		for id := int64(1); id <= int64(nSubs); id++ {
+			var syms []uint32
+			for s := 0; s < nSyms; s++ {
+				if rng.Intn(3) == 0 {
+					syms = append(syms, uint32(s))
+				}
+			}
+			ix.Add(id, int(id), syms)
+			set := make(map[uint32]bool)
+			for _, s := range syms {
+				set[s] = true
+			}
+			members[id] = set
+		}
+		var query []uint32
+		for s := 0; s < nSyms; s++ {
+			if rng.Intn(2) == 0 {
+				query = append(query, uint32(s))
+			}
+		}
+		var want []int64
+		for id, set := range members {
+			for _, s := range query {
+				if set[s] {
+					want = append(want, id)
+					break
+				}
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		var got []int64
+		for _, e := range ix.Candidates(nil, query) {
+			got = append(got, e.ID)
+			if int64(e.V) != e.ID {
+				t.Fatalf("payload %d does not match ID %d", e.V, e.ID)
+			}
+		}
+		if !equalIDs(got, want) {
+			t.Fatalf("trial %d: candidates = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+// TestIndexConcurrentReaders hammers lock-free candidate reads against
+// concurrent add/remove churn; run under -race this is the COW contract.
+func TestIndexConcurrentReaders(t *testing.T) {
+	ix := NewIndex[int]()
+	tab := NewTable()
+	var syms []uint32
+	for i := 0; i < 16; i++ {
+		syms = append(syms, tab.Intern(fmt.Sprintf("w%d", i)))
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf []Entry[int]
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				buf = ix.Candidates(buf[:0], syms)
+				last := int64(-1)
+				for _, e := range buf {
+					if e.ID <= last {
+						t.Errorf("candidates out of order: %d after %d", e.ID, last)
+						return
+					}
+					last = e.ID
+				}
+			}
+		}()
+	}
+	for id := int64(1); id <= 200; id++ {
+		ix.Add(id, int(id), syms[:1+id%int64(len(syms))])
+		if id%3 == 0 {
+			ix.Remove(id-2, syms)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestCandidatesAllocFreeSteadyState(t *testing.T) {
+	ix := NewIndex[int]()
+	for id := int64(1); id <= 100; id++ {
+		ix.Add(id, int(id), []uint32{uint32(id % 8)})
+	}
+	syms := []uint32{0, 1, 2, 3}
+	buf := ix.Candidates(nil, syms)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = ix.Candidates(buf[:0], syms)
+	})
+	if allocs != 0 {
+		t.Errorf("Candidates steady-state allocs = %v, want 0", allocs)
+	}
+}
+
+func equalIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -42,6 +42,60 @@ func BenchmarkIngestManySubscriptions(b *testing.B) {
 	}
 }
 
+// BenchmarkIngestSparseMatch measures per-post ingest cost on the workload
+// the inverted routing index exists for: many single-keyword subscriptions
+// of which only a small fraction matches any given post. Routed fan-out
+// touches only the candidate postings; broadcast walks every matcher. The
+// checked-in BENCH_routing.json tracks the same ratio cross-binary via
+// `make bench-routing`.
+func BenchmarkIngestSparseMatch(b *testing.B) {
+	const tokensPerPost = 10
+	for _, subs := range []int{100, 1000, 10000} {
+		for _, rate := range []float64{0.01, 0.05} {
+			keywords := int(tokensPerPost/rate + 0.5)
+			for _, routing := range []bool{true, false} {
+				mode := "routed"
+				if !routing {
+					mode = "broadcast"
+				}
+				b.Run(fmt.Sprintf("subs=%d/rate=%g/%s", subs, rate, mode), func(b *testing.B) {
+					s := New(0, 0)
+					s.SetParallelism(1)
+					s.SetRouting(routing)
+					for i := 0; i < subs; i++ {
+						if _, err := s.Subscribe(SubscriptionConfig{
+							Topics: []match.Topic{{
+								Name:     fmt.Sprintf("t%d", i),
+								Keywords: []match.Keyword{{Text: fmt.Sprintf("kw%d", i%keywords), Weight: 1}},
+							}},
+							Lambda:    3600,
+							Algorithm: "instant",
+						}); err != nil {
+							b.Fatal(err)
+						}
+					}
+					// Rotate a tokensPerPost-keyword window through the
+					// universe so each post matches exactly rate×subs profiles.
+					texts := make([]string, keywords)
+					for i := range texts {
+						var sb []byte
+						start := (i * tokensPerPost) % keywords
+						for j := 0; j < tokensPerPost; j++ {
+							sb = fmt.Appendf(sb, "kw%d ", (start+j)%keywords)
+						}
+						texts[i] = string(fmt.Append(sb, "plus filler chatter"))
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						_ = s.Ingest(Post{ID: int64(i + 1), Time: float64(i), Text: texts[i%len(texts)]})
+					}
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkIngestWorkers measures how per-post ingest cost scales with the
 // fan-out worker count at a fixed, production-shaped subscription load —
 // the tentpole claim: O(|subs|/workers) per post instead of O(|subs|).

@@ -16,6 +16,7 @@ type serverObs struct {
 	ingestFanout  *obs.Histogram // one Ingest: admission + fan-out to all subscriptions
 	tokenizeTime  *obs.Histogram // the once-per-post tokenization shared by every subscription
 	matchTime     *obs.Histogram // one subscription's topic match for one post
+	routingCands  *obs.Histogram // candidate subscriptions per routed post (fan-out size)
 	pollTime      *obs.Histogram // one Emissions poll
 	subs          *obs.Gauge
 	matched       *obs.Counter
@@ -39,12 +40,14 @@ func (s *Server) SetObs(r *obs.Registry) {
 	r.RegisterCounter("mqdp_server_quarantines_total", "subscriptions isolated after a pipeline panic", &s.quarantines)
 	r.RegisterCounter("mqdp_server_pushed_total", "emissions delivered over push streams", &s.pushed)
 	r.RegisterCounter("mqdp_server_gaps_total", "emission gaps reported to clients (stale cursors across poll, long-poll and SSE)", &s.gaps)
+	r.RegisterCounter("mqdp_server_routing_skipped_total", "subscriptions skipped by inverted routing (no keyword of theirs in the post)", &s.routingSkipped)
 	o := &serverObs{
 		reg:           r,
 		tracer:        r.Tracer(),
 		ingestFanout:  r.Histogram("mqdp_server_ingest_fanout_seconds", "wall time fanning one post out to every subscription", obs.TimeBuckets),
 		tokenizeTime:  r.Histogram("mqdp_server_tokenize_seconds", "wall time of the once-per-post ingest tokenization", obs.TimeBuckets),
 		matchTime:     r.Histogram("mqdp_server_match_seconds", "wall time of one subscription's topic match", obs.TimeBuckets),
+		routingCands:  r.Histogram("mqdp_server_routing_candidates", "candidate subscriptions fed per routed post after the inverted-index merge", obs.ExpBuckets(1, 4, 10)),
 		pollTime:      r.Histogram("mqdp_server_emission_poll_seconds", "wall time of one emission poll", obs.TimeBuckets),
 		subs:          r.Gauge("mqdp_server_subscriptions", "registered subscriptions"),
 		matched:       r.Counter("mqdp_server_matched_total", "post-subscription matches across all profiles"),

@@ -1,0 +1,198 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"mqdp/internal/faultinject"
+	"mqdp/internal/synth"
+)
+
+// runRoutingWorkload builds a server over a fixed random world (16
+// subscriptions with randomly overlapping topic sets), streams the same
+// tweet sequence through it — with a scripted mid-stream pipeline panic
+// that quarantines one subscription — and returns every subscription's
+// emissions as JSON, keyed by id.
+func runRoutingWorkload(t *testing.T, routing bool, workers int) map[int64][]byte {
+	t.Helper()
+	world := synth.NewWorld(synth.WorldConfig{Seed: 5})
+	tweets := synth.TweetStream(world, synth.StreamConfig{Duration: 900, RatePerSec: 4, Seed: 6})
+	s := New(3, 64)
+	s.SetRouting(routing)
+	s.SetParallelism(workers)
+	// The panic fires on the quarantined subscription's 4th matched post:
+	// Fire runs only after a match, so the trigger count is identical in
+	// routed and broadcast mode by the superset-filter contract.
+	inj, err := faultinject.ParseSchedule("sub5.process@4=panic:routing-prop-panic", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetFaultInjector(inj)
+	rng := newRand(7)
+	var ids []int64
+	algos := []string{"streamscan+", "streamscan", "streamgreedy", "streamgreedy+", "instant"}
+	for i := 0; i < 16; i++ {
+		id, err := s.Subscribe(SubscriptionConfig{
+			Topics:    world.MatchTopics(world.SampleLabelSet(rng, 1+rng.Intn(4))),
+			Lambda:    60 + float64(rng.Intn(120)),
+			Tau:       float64(rng.Intn(30)),
+			Algorithm: algos[i%len(algos)],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for i, tw := range tweets {
+		if err := s.Ingest(Post{ID: int64(i + 1), Time: tw.Time, Text: tw.Text}); err != nil {
+			t.Fatalf("ingest %d: %v", i, err)
+		}
+	}
+	// Unsubscribe one profile mid-API-surface to exercise posting removal,
+	// then flush the rest.
+	if err := s.Unsubscribe(ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	st, err := s.SubscriptionStats(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Quarantined {
+		t.Fatalf("routing=%v workers=%d: subscription 5 not quarantined", routing, workers)
+	}
+	out := make(map[int64][]byte)
+	for _, id := range ids {
+		if id == ids[2] {
+			continue
+		}
+		es, err := s.Emissions(id, 0, 0)
+		if err != nil {
+			t.Fatalf("emissions %d: %v", id, err)
+		}
+		raw, err := json.Marshal(es)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[id] = raw
+	}
+	return out
+}
+
+// TestRoutingEquivalence is the tentpole's safety property: per-subscription
+// emission streams are byte-identical with inverted routing on and off,
+// across fan-out worker counts, random topic overlap, a mid-stream
+// quarantine and an unsubscribe. Routing must be a pure superset filter —
+// it may only skip subscriptions that would have matched nothing.
+func TestRoutingEquivalence(t *testing.T) {
+	ref := runRoutingWorkload(t, false, 1)
+	if len(ref) == 0 {
+		t.Fatal("reference run produced no subscriptions")
+	}
+	var total int
+	for _, raw := range ref {
+		var es []Emission
+		if err := json.Unmarshal(raw, &es); err != nil {
+			t.Fatal(err)
+		}
+		total += len(es)
+	}
+	if total == 0 {
+		t.Fatal("reference run produced no emissions; workload too sparse to prove anything")
+	}
+	for _, workers := range []int{1, 2, 4} {
+		for _, routing := range []bool{true, false} {
+			if !routing && workers == 1 {
+				continue // that is the reference itself
+			}
+			t.Run(fmt.Sprintf("routing=%v/workers=%d", routing, workers), func(t *testing.T) {
+				got := runRoutingWorkload(t, routing, workers)
+				if len(got) != len(ref) {
+					t.Fatalf("subscription count %d, want %d", len(got), len(ref))
+				}
+				for id, want := range ref {
+					if !bytes.Equal(got[id], want) {
+						t.Errorf("subscription %d emissions diverged\n got: %s\nwant: %s", id, got[id], want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestIngestScratchBounded checks the oversized-scratch policy: one
+// pathological post must not pin a huge tokenize buffer on the server
+// forever (the slice analogue of the wire pool's byte cap).
+func TestIngestScratchBounded(t *testing.T) {
+	s := New(0, 0)
+	if _, err := s.Subscribe(SubscriptionConfig{Topics: politicsTopics(), Lambda: 10, Tau: 0, Algorithm: "instant"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Ingest(Post{ID: 1, Time: 0, Text: "obama speaks briefly"}); err != nil {
+		t.Fatal(err)
+	}
+	small := cap(s.wordBuf)
+	if small == 0 || small > keepIngestScratch {
+		t.Fatalf("small-post scratch cap = %d, want (0, %d]", small, keepIngestScratch)
+	}
+	var huge bytes.Buffer
+	for i := 0; i < 2*keepIngestScratch; i++ {
+		fmt.Fprintf(&huge, "w%d ", i)
+	}
+	if err := s.Ingest(Post{ID: 2, Time: 1, Text: huge.String()}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cap(s.wordBuf); got != 0 {
+		t.Errorf("post-pathological wordBuf cap = %d, want 0 (dropped)", got)
+	}
+	// The next ordinary post re-grows a right-sized buffer.
+	if err := s.Ingest(Post{ID: 3, Time: 2, Text: "senate votes again"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cap(s.wordBuf); got == 0 || got > keepIngestScratch {
+		t.Errorf("recovered scratch cap = %d, want (0, %d]", got, keepIngestScratch)
+	}
+}
+
+// TestRoutingSkippedAccounting checks the routed path's observable side
+// channel: a post matching no subscription skips every live one, and the
+// Metrics snapshot reports routing on with a nonzero skip count.
+func TestRoutingSkippedAccounting(t *testing.T) {
+	s := New(0, 0)
+	s.SetParallelism(1)
+	for i := 0; i < 3; i++ {
+		if _, err := s.Subscribe(SubscriptionConfig{Topics: politicsTopics(), Lambda: 10, Tau: 0, Algorithm: "instant"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Ingest(Post{ID: 1, Time: 0, Text: "nothing relevant here"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Ingest(Post{ID: 2, Time: 1, Text: "obama speaks"}); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if !m.Routing {
+		t.Error("Metrics.Routing = false, want true by default")
+	}
+	// Post 1 skipped all 3 subscriptions; post 2 matched all 3.
+	if m.RoutingSkipped != 3 {
+		t.Errorf("RoutingSkipped = %d, want 3", m.RoutingSkipped)
+	}
+	if m.MatchedTotal != 3 {
+		t.Errorf("MatchedTotal = %d, want 3", m.MatchedTotal)
+	}
+	s.SetRouting(false)
+	if err := s.Ingest(Post{ID: 3, Time: 2, Text: "also nothing"}); err != nil {
+		t.Fatal(err)
+	}
+	m = s.Metrics()
+	if m.Routing {
+		t.Error("Metrics.Routing = true after SetRouting(false)")
+	}
+	if m.RoutingSkipped != 3 {
+		t.Errorf("RoutingSkipped moved on broadcast path: %d", m.RoutingSkipped)
+	}
+}

@@ -27,11 +27,13 @@ import (
 	"time"
 
 	"mqdp"
+	"mqdp/internal/core"
 	"mqdp/internal/digest"
 	"mqdp/internal/faultinject"
 	"mqdp/internal/match"
 	"mqdp/internal/obs"
 	"mqdp/internal/parallel"
+	"mqdp/internal/route"
 	"mqdp/internal/simhash"
 	"mqdp/internal/stream"
 	"mqdp/internal/textutil"
@@ -95,9 +97,18 @@ type subscription struct {
 	id  int64
 	cfg SubscriptionConfig
 
+	// routeSyms are the matcher's distinct keyword symbols in the server's
+	// shared symbol table — the posting keys this subscription occupies in
+	// the routing index. Immutable after Subscribe.
+	routeSyms []uint32
+
 	mu      sync.Mutex
 	matcher *match.Matcher
 	proc    mqdp.Processor
+	// labelBuf is the reused per-subscription match scratch: the matcher
+	// appends labels into it so the no-match path allocates nothing. Only
+	// an owned copy is handed to the processor (which retains its input).
+	labelBuf []core.Label
 	// buffer of emissions with monotonically increasing, contiguous Seq.
 	emissions []Emission
 	// emTrace is the aligned trace-ID sidecar for emissions: emTrace[i] is
@@ -151,6 +162,12 @@ func (sub *subscription) quarantine(msg string, s *Server, o *serverObs) {
 	sub.quarantineMsg = msg
 	s.quarantines.Inc()
 	o.onQuarantine()
+	// A quarantined pipeline never processes another post: withdraw its
+	// routing postings so it stops surfacing as an ingest candidate (the
+	// lock-free quarantined check in feed stays as the backstop for
+	// fan-outs already holding the old snapshot). route.Index's mutex is a
+	// leaf, so taking it under sub.mu cannot deadlock.
+	s.routes.Remove(sub.id, sub.routeSyms)
 	if l := s.logger.Load(); l != nil {
 		l.Warn("subscription quarantined", slog.Int64("subscription", sub.id), slog.String("reason", msg))
 	}
@@ -181,8 +198,28 @@ type Server struct {
 	// wordBuf is the reused tokenization buffer: each admitted post is
 	// tokenized exactly once under ingestMu and the words are shared
 	// read-only by every fan-out worker, instead of each subscription
-	// re-tokenizing the text. Reused only after the fan-out completes.
+	// re-tokenizing the text. Reused only after the fan-out completes;
+	// oversized scratch is dropped afterwards (see keepIngestScratch) so
+	// one pathological post doesn't pin its buffers forever.
 	wordBuf []string
+	// symBuf and candBuf are the routed fan-out scratch, reused under
+	// ingestMu like wordBuf: the post's tokens resolved to deduplicated
+	// symbols, and the merged candidate subscriptions for those symbols.
+	symBuf  []uint32
+	candBuf []route.Entry[*subscription]
+
+	// Subscription routing: symtab interns every subscription keyword (and
+	// resolves post tokens) to dense uint32 symbols shared by all matchers;
+	// routes is the copy-on-write inverted index keyword symbol → sorted
+	// subscription postings, read lock-free by ingest. subCount mirrors the
+	// registry size for the routing_skipped accounting without taking mu.
+	// routingDisabled flips ingest back to brute-force broadcast fan-out
+	// (SetRouting / mqdp-server -no-routing).
+	symtab          *route.Table
+	routes          *route.Index[*subscription]
+	subCount        atomic.Int64
+	routingDisabled atomic.Bool
+	routingSkipped  obs.Counter
 
 	workers  atomic.Int64 // fan-out parallelism; 0 = GOMAXPROCS
 	closed   atomic.Bool  // latched by the first Flush
@@ -241,12 +278,29 @@ func (s *Server) SetBinaryWire(enabled bool) { s.binaryWireDisabled.Store(!enabl
 // dupWindow ≤ 0 disables deduplication. Ingest fan-out defaults to
 // GOMAXPROCS workers; see SetParallelism.
 func New(dupDistance, dupWindow int) *Server {
-	s := &Server{subs: make(map[int64]*subscription)}
+	s := &Server{
+		subs:   make(map[int64]*subscription),
+		symtab: route.NewTable(),
+		routes: route.NewIndex[*subscription](),
+	}
 	if dupWindow > 0 {
 		s.dedup = simhash.NewDeduper(dupDistance, dupWindow)
 	}
 	return s
 }
+
+// SetRouting toggles inverted subscription routing on the ingest path
+// (enabled by default): with routing, each post is fed only to the
+// subscriptions whose keywords intersect its tokens — O(matching)
+// matcher invocations instead of O(all). Disabling reverts to the
+// brute-force broadcast fan-out; per-subscription matchers are the ground
+// truth either way, so emissions are byte-identical in both modes. The
+// routing index is maintained regardless, so the toggle is safe at any
+// point in the stream.
+func (s *Server) SetRouting(enabled bool) { s.routingDisabled.Store(!enabled) }
+
+// RoutingEnabled reports whether ingest uses inverted subscription routing.
+func (s *Server) RoutingEnabled() bool { return !s.routingDisabled.Load() }
 
 // SetParallelism sets the worker count used to fan each ingested post out
 // across subscriptions: 0 (the default) means GOMAXPROCS, 1 is serial.
@@ -312,6 +366,11 @@ func (s *Server) Subscribe(cfg SubscriptionConfig) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	// Compile the matcher against the shared symbol table: per-post
+	// matching then compares dense uint32 symbols instead of hashing
+	// keyword strings, and the returned symbols key this subscription's
+	// posting lists in the routing index.
+	routeSyms := matcher.CompileSymbols(s.symtab)
 	algo, err := parseStreamAlgo(cfg.Algorithm)
 	if err != nil {
 		return 0, err
@@ -331,15 +390,17 @@ func (s *Server) Subscribe(cfg SubscriptionConfig) (int64, error) {
 	defer s.mu.Unlock()
 	s.nextID++
 	sub := &subscription{
-		id:      s.nextID,
-		cfg:     cfg,
-		matcher: matcher,
-		proc:    proc,
-		texts:   make(map[int64]Post),
-		delays:  obs.NewHistogram(obs.DelayBuckets),
-		topk:    stream.NewTopK[Emission](k, cfg.TopKWindow),
+		id:        s.nextID,
+		cfg:       cfg,
+		routeSyms: routeSyms,
+		matcher:   matcher,
+		proc:      proc,
+		texts:     make(map[int64]Post),
+		delays:    obs.NewHistogram(obs.DelayBuckets),
+		topk:      stream.NewTopK[Emission](k, cfg.TopKWindow),
 	}
 	s.subs[sub.id] = sub
+	s.subCount.Store(int64(len(s.subs)))
 	if o := s.obsState.Load(); o != nil {
 		o.subs.Set(float64(len(s.subs)))
 	}
@@ -348,6 +409,10 @@ func (s *Server) Subscribe(cfg SubscriptionConfig) (int64, error) {
 	order := make([]*subscription, len(s.order), len(s.order)+1)
 	copy(order, s.order)
 	s.order = append(order, sub)
+	// Post the new subscription under its keyword symbols (route.Index has
+	// its own leaf mutex and publishes a fresh snapshot; in-flight fan-outs
+	// keep theirs, same contract as the order slice).
+	s.routes.Add(sub.id, sub, routeSyms)
 	return sub.id, nil
 }
 
@@ -362,6 +427,7 @@ func (s *Server) Unsubscribe(id int64) error {
 		return ErrNoSuchSubscription
 	}
 	delete(s.subs, id)
+	s.subCount.Store(int64(len(s.subs)))
 	if o := s.obsState.Load(); o != nil {
 		o.subs.Set(float64(len(s.subs)))
 	}
@@ -373,6 +439,9 @@ func (s *Server) Unsubscribe(id int64) error {
 	}
 	s.order = order
 	s.mu.Unlock()
+	// Withdraw the postings (idempotent: quarantine may have removed them
+	// already) so routed ingest stops producing this candidate.
+	s.routes.Remove(id, sub.routeSyms)
 	sub.mu.Lock()
 	sub.terminateLocked(EndReasonUnsubscribed)
 	sub.mu.Unlock()
@@ -425,9 +494,6 @@ func (s *Server) IngestContext(ctx context.Context, p Post) error {
 		span.Set("dropped", "duplicate")
 		return nil
 	}
-	s.mu.RLock()
-	shards := s.order
-	s.mu.RUnlock()
 	var start time.Time
 	if o != nil {
 		start = time.Now()
@@ -440,12 +506,49 @@ func (s *Server) IngestContext(ctx context.Context, p Post) error {
 		o.tokenizeTime.ObserveSince(start)
 	}
 	inj := s.faults.Load()
-	err := parallel.FirstErr(int(s.workers.Load()), len(shards), func(i int) error {
-		if err := shards[i].feed(p, words, s, o, inj, span); err != nil {
-			return fmt.Errorf("server: subscription %d: %w", shards[i].id, err)
+	var err error
+	if !s.routingDisabled.Load() {
+		// Inverted routing: resolve the post's tokens to symbols (unknown
+		// tokens are nobody's keyword and drop out here), k-way-merge the
+		// candidate postings in subscription-ID order, and feed only those.
+		// Every skipped subscription would have matched nothing, so
+		// emissions are byte-identical to the broadcast fan-out below.
+		s.symBuf = route.DedupSyms(s.symtab.AppendSyms(s.symBuf[:0], words))
+		syms := s.symBuf
+		s.candBuf = s.routes.Candidates(s.candBuf[:0], syms)
+		cands := s.candBuf
+		if skipped := s.subCount.Load() - int64(len(cands)); skipped > 0 {
+			s.routingSkipped.Add(skipped)
 		}
-		return nil
-	})
+		span.SetInt("routing_candidates", int64(len(cands)))
+		if o != nil {
+			o.routingCands.Observe(float64(len(cands)))
+		}
+		err = parallel.FirstErr(int(s.workers.Load()), len(cands), func(i int) error {
+			if err := cands[i].V.feed(p, words, syms, s, o, inj, span); err != nil {
+				return fmt.Errorf("server: subscription %d: %w", cands[i].ID, err)
+			}
+			return nil
+		})
+	} else {
+		s.mu.RLock()
+		shards := s.order
+		s.mu.RUnlock()
+		err = parallel.FirstErr(int(s.workers.Load()), len(shards), func(i int) error {
+			if err := shards[i].feed(p, words, nil, s, o, inj, span); err != nil {
+				return fmt.Errorf("server: subscription %d: %w", shards[i].id, err)
+			}
+			return nil
+		})
+	}
+	// Mirror the wire pool's oversized-scratch policy: one pathological
+	// post must not pin a huge tokenize/routing scratch forever.
+	if cap(s.wordBuf) > keepIngestScratch {
+		s.wordBuf = nil
+	}
+	if cap(s.symBuf) > keepIngestScratch {
+		s.symBuf = nil
+	}
 	if o != nil {
 		if span != nil {
 			o.ingestFanout.ObserveTraced(time.Since(start).Seconds(), span.TraceID())
@@ -457,13 +560,20 @@ func (s *Server) IngestContext(ctx context.Context, p Post) error {
 	return err
 }
 
+// keepIngestScratch bounds the per-post scratch (words, symbols) retained
+// between ingests, in entries — the slice-pool analogue of the wire
+// codec's 8 MiB byte cap.
+const keepIngestScratch = 1 << 12
+
 // feed matches and processes one post for a single subscription. words is
-// the shared, read-only tokenization of p.Text. A panic anywhere in the
-// per-subscription pipeline (matcher, processor, delivery — or a
-// scripted chaos panic from inj) quarantines this subscription and
-// returns nil: one poisoned profile must not fail the ingest or kill
-// the process.
-func (sub *subscription) feed(p Post, words []string, s *Server, o *serverObs, inj *faultinject.Injector, parent *obs.ActiveSpan) (err error) {
+// the shared, read-only tokenization of p.Text; syms, when non-nil, is the
+// same tokenization resolved through the server's symbol table (the routed
+// path), letting the compiled matcher compare uint32 symbols instead of
+// hashing strings. A panic anywhere in the per-subscription pipeline
+// (matcher, processor, delivery — or a scripted chaos panic from inj)
+// quarantines this subscription and returns nil: one poisoned profile must
+// not fail the ingest or kill the process.
+func (sub *subscription) feed(p Post, words []string, syms []uint32, s *Server, o *serverObs, inj *faultinject.Injector, parent *obs.ActiveSpan) (err error) {
 	if sub.quarantined.Load() {
 		return nil
 	}
@@ -479,13 +589,27 @@ func (sub *subscription) feed(p Post, words []string, s *Server, o *serverObs, i
 	if o != nil {
 		start = time.Now()
 	}
-	labels := sub.matcher.MatchWords(words)
+	// Match into the reused per-subscription scratch: the no-match path
+	// allocates nothing, and a match only pays for the owned copy handed
+	// to the processor below.
+	var labels []core.Label
+	if syms != nil {
+		labels = sub.matcher.MatchSymbolsInto(sub.labelBuf, syms)
+	} else {
+		labels = sub.matcher.MatchWordsInto(sub.labelBuf, words)
+	}
+	if labels != nil {
+		sub.labelBuf = labels[:0]
+	}
 	if o != nil {
 		o.matchTime.ObserveSince(start)
 	}
 	if len(labels) == 0 {
 		return nil
 	}
+	// The processor retains its input Labels slice (pending buffers), so
+	// hand it an owned copy rather than the scratch.
+	labels = append(make([]core.Label, 0, len(labels)), labels...)
 	sub.matched.Inc()
 	o.onMatch()
 	if inj != nil {
@@ -808,21 +932,26 @@ func (sub *subscription) stats() SubscriptionStats {
 
 // Metrics is the full observability snapshot served at GET /metrics.
 type Metrics struct {
-	Ingested      int64               `json:"ingested"`
-	DroppedDups   int64               `json:"dropped_duplicates"`
-	Subscriptions int                 `json:"subscriptions"`
-	MatchedTotal  int64               `json:"matched_total"`
-	EmittedTotal  int64               `json:"emitted_total"`
-	TextMisses    int64               `json:"text_misses"`
-	Sheds         int64               `json:"sheds"`
-	Quarantines   int64               `json:"quarantines"`
-	ActiveStreams int64               `json:"active_streams"`
-	PushedTotal   int64               `json:"pushed_total"`
-	Gaps          int64               `json:"gaps"`
-	Flushed       bool                `json:"flushed"`
-	Workers       int                 `json:"workers"`
-	SLOs          []obs.SLOStatus     `json:"slos,omitempty"`
-	Profiles      []SubscriptionStats `json:"profiles"`
+	Ingested      int64 `json:"ingested"`
+	DroppedDups   int64 `json:"dropped_duplicates"`
+	Subscriptions int   `json:"subscriptions"`
+	MatchedTotal  int64 `json:"matched_total"`
+	EmittedTotal  int64 `json:"emitted_total"`
+	TextMisses    int64 `json:"text_misses"`
+	Sheds         int64 `json:"sheds"`
+	Quarantines   int64 `json:"quarantines"`
+	ActiveStreams int64 `json:"active_streams"`
+	PushedTotal   int64 `json:"pushed_total"`
+	Gaps          int64 `json:"gaps"`
+	// Routing reports whether inverted subscription routing is active on
+	// ingest; RoutingSkipped counts the subscription feeds it elided
+	// (posts × subscriptions with no keyword overlap).
+	Routing        bool                `json:"routing"`
+	RoutingSkipped int64               `json:"routing_skipped"`
+	Flushed        bool                `json:"flushed"`
+	Workers        int                 `json:"workers"`
+	SLOs           []obs.SLOStatus     `json:"slos,omitempty"`
+	Profiles       []SubscriptionStats `json:"profiles"`
 }
 
 // Metrics aggregates service counters and every profile's snapshot.
@@ -831,18 +960,20 @@ func (s *Server) Metrics() Metrics {
 	shards := s.order
 	s.mu.RUnlock()
 	m := Metrics{
-		Ingested:      s.ingested.Value(),
-		DroppedDups:   s.dropped.Value(),
-		Subscriptions: len(shards),
-		Sheds:         s.shed.Value(),
-		Quarantines:   s.quarantines.Value(),
-		ActiveStreams: s.streams.Load(),
-		PushedTotal:   s.pushed.Value(),
-		Gaps:          s.gaps.Value(),
-		Flushed:       s.closed.Load(),
-		Workers:       s.Parallelism(),
-		SLOs:          s.SLOs(),
-		Profiles:      make([]SubscriptionStats, 0, len(shards)),
+		Ingested:       s.ingested.Value(),
+		DroppedDups:    s.dropped.Value(),
+		Subscriptions:  len(shards),
+		Sheds:          s.shed.Value(),
+		Quarantines:    s.quarantines.Value(),
+		ActiveStreams:  s.streams.Load(),
+		PushedTotal:    s.pushed.Value(),
+		Gaps:           s.gaps.Value(),
+		Routing:        !s.routingDisabled.Load(),
+		RoutingSkipped: s.routingSkipped.Value(),
+		Flushed:        s.closed.Load(),
+		Workers:        s.Parallelism(),
+		SLOs:           s.SLOs(),
+		Profiles:       make([]SubscriptionStats, 0, len(shards)),
 	}
 	for _, sub := range shards {
 		st := sub.stats()
