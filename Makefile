@@ -2,17 +2,17 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-json bench-index bench-wire bench-push bench-obs bench-trace bench-routing routing-smoke trace-smoke chaos push-soak experiments smoke fuzz fuzz-smoke vet lint check clean
+.PHONY: all build test test-race bench bench-json bench-index bench-wire bench-push bench-obs bench-trace bench-routing bench-wal routing-smoke trace-smoke chaos crash push-soak experiments smoke fuzz fuzz-smoke vet lint check clean
 
 all: build test
 
 # The default verification gate: build, tests, static checks, the chaos
-# suite under the race detector, the push-delivery soak, the
-# instrumented-vs-disabled solver overhead comparison, the end-to-end
-# trace-propagation smoke, the wire fuzz corpus smoke, and the
-# subscription-routing smoke (equivalence property under -race plus the
-# reduced fan-out baseline matrix).
-check: build test vet chaos push-soak bench-obs trace-smoke fuzz-smoke routing-smoke
+# suite under the race detector, the kill-9 durability drill, the
+# push-delivery soak, the instrumented-vs-disabled solver overhead
+# comparison, the end-to-end trace-propagation smoke, the wire fuzz
+# corpus smoke, and the subscription-routing smoke (equivalence property
+# under -race plus the reduced fan-out baseline matrix).
+check: build test vet chaos crash push-soak bench-obs trace-smoke fuzz-smoke routing-smoke
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,14 @@ bench-wire:
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos|TestShutdownMidIngest' ./internal/server
 
+# Durability drill under the race detector: the in-process WAL /
+# snapshot / torn-tail / degraded-read-only recovery suite, then the
+# kill-9 harness — a real mqdp-server process SIGKILLed twice mid-stream
+# and restarted on its data directory, with a retrying client driving
+# the stream to byte-identical emissions against an uninterrupted run.
+crash:
+	$(GO) test -race -count=1 -run 'TestDurability|TestCrashRecoveryE2E' ./internal/server
+
 # Push-delivery soak under the race detector: many idle SSE streams plus
 # a few hot ones through sustained ingest, asserting the goroutine count
 # stays flat and the active-stream gauge drains to zero, alongside the
@@ -82,6 +90,12 @@ bench-trace:
 bench-routing:
 	$(GO) run ./cmd/mqdp-bench -json-routing > BENCH_routing.json
 
+# Regenerate the durability cost baseline (BENCH_wal.json): per-post
+# ingest cost with the WAL off and under each fsync policy, snapshot
+# cost, and recovery time for full-WAL replay vs snapshot + suffix.
+bench-wal:
+	$(GO) run ./cmd/mqdp-bench -json-wal > BENCH_wal.json
+
 # Routing smoke for `make check`: the emissions-byte-identical property
 # (routing on/off × worker counts, quarantine mid-stream) under the race
 # detector, then the reduced baseline matrix to catch fan-out regressions.
@@ -110,12 +124,13 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadPosts -fuzztime=10s ./internal/wire
 	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=10s ./internal/wire
 	$(GO) test -fuzz=FuzzBinaryRoundTrip -fuzztime=10s ./internal/wire
+	$(GO) test -fuzz=FuzzWALSegment -fuzztime=10s ./internal/wal
 
-# Replay the checked-in wire fuzz seed corpus (no fuzzing engine): fast
-# enough for `make check`, still catches decoder regressions on the
-# malformed-frame seeds.
+# Replay the checked-in fuzz seed corpora (no fuzzing engine): fast
+# enough for `make check`, still catches decoder and WAL-framing
+# regressions on the malformed seeds.
 fuzz-smoke:
-	$(GO) test -run 'Fuzz' -count=1 ./internal/wire
+	$(GO) test -run 'Fuzz' -count=1 ./internal/wire ./internal/wal
 
 # vet fails the build on any vet finding or unformatted file.
 vet:

@@ -31,6 +31,10 @@
 // BENCH_routing.json: per-post ingest cost with the inverted keyword →
 // subscription index on vs brute-force broadcast, across subscription
 // counts and match rates (honors -scale smoke for a reduced matrix).
+// -json-wal emits the durability cost baseline tracked in BENCH_wal.json:
+// per-post ingest cost with the WAL off and under each fsync policy
+// (off/interval/batch), the cost of one full state snapshot, and recovery
+// time for a full-WAL replay vs a snapshot-plus-suffix restart.
 // -trace-dump FILE
 // wires the span
 // tracer and writes the bounded span journal to FILE after the run ("-" for
@@ -71,6 +75,7 @@ func main() {
 	jsonPush := flag.Bool("json-push", false, "emit the push-vs-poll delivery-latency baseline as JSON and exit")
 	jsonTrace := flag.Bool("json-trace", false, "emit the tracing-overhead baseline (off/disabled/enabled) as JSON and exit")
 	jsonRouting := flag.Bool("json-routing", false, "emit the subscription-routing fan-out baseline as JSON and exit (honors -scale)")
+	jsonWAL := flag.Bool("json-wal", false, "emit the durability (WAL/snapshot/recovery) cost baseline as JSON and exit")
 	traceDump := flag.String("trace-dump", "", "write the solver span journal to this file after the run (- for stderr); empty disables tracing")
 	flag.Parse()
 
@@ -142,6 +147,13 @@ func main() {
 	}
 	if *jsonRouting {
 		if err := writeRoutingBaseline(os.Stdout, strings.EqualFold(*scale, "smoke")); err != nil {
+			fmt.Fprintf(os.Stderr, "mqdp-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *jsonWAL {
+		if err := writeWALBaseline(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "mqdp-bench: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,241 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"mqdp/internal/match"
+	"mqdp/internal/server"
+	"mqdp/internal/wal"
+)
+
+// WALBaseline is the machine-readable record emitted by -json-wal and
+// checked in as BENCH_wal.json (regenerate with `make bench-wal`). It
+// prices the durability layer: per-post ingest cost with the WAL off and
+// under each fsync policy, the cost of one full state snapshot, and
+// recovery time as a function of how much WAL has to replay (with and
+// without a snapshot truncating the suffix).
+type WALBaseline struct {
+	Schema     int              `json:"schema"`
+	GoVersion  string           `json:"go_version"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	NumCPU     int              `json:"num_cpu"`
+	Posts      int              `json:"posts"`
+	BatchSize  int              `json:"batch_size"`
+	Subs       int              `json:"subs"`
+	Runs       int              `json:"runs"`
+	Ingest     []WALIngestCost  `json:"ingest"`
+	SnapshotNs int64            `json:"snapshot_ns"`
+	Recovery   []WALRecoveryRun `json:"recovery"`
+}
+
+// WALIngestCost is the median per-post ingest cost for one durability
+// mode; "off" is the in-memory baseline the WAL rows are priced against.
+type WALIngestCost struct {
+	Mode         string  `json:"mode"` // off | wal-off | wal-interval | wal-batch
+	NsPerPost    int64   `json:"ns_per_post"`
+	OverheadVsNo float64 `json:"overhead_vs_off"`
+}
+
+// WALRecoveryRun is one restart measurement: how long EnableDurability
+// took to bring a server back over a log of ReplayedPosts posts (with
+// ReplayedPosts < total when a snapshot truncated the suffix).
+type WALRecoveryRun struct {
+	Label           string `json:"label"`
+	ReplayedRecords int64  `json:"replayed_records"`
+	ReplayedPosts   int64  `json:"replayed_posts"`
+	SnapshotLSN     uint64 `json:"snapshot_lsn"`
+	RecoveryNs      int64  `json:"recovery_ns"`
+}
+
+const (
+	walBenchPosts   = 4000
+	walBenchBatch   = 20
+	walBenchSubs    = 4
+	walBenchRuns    = 3
+	walBenchKeyword = "walbench"
+)
+
+// walBenchServer builds the bench fleet: a few instant-mode profiles all
+// matching the workload, so every post pays match + emit + journal.
+func walBenchServer(dir string, policy wal.SyncPolicy) (*server.Server, error) {
+	s := server.New(0, 0)
+	s.SetParallelism(1)
+	// Durability first, subscriptions after: the profiles are journaled,
+	// so a recovery rebuilds the full fleet and replays posts through the
+	// real per-subscription pipelines.
+	if dir != "" {
+		if err := s.EnableDurability(server.DurabilityConfig{Dir: dir, Fsync: policy}); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < walBenchSubs; i++ {
+		_, err := s.Subscribe(server.SubscriptionConfig{
+			Topics: []match.Topic{{
+				Name:     fmt.Sprintf("t%d", i),
+				Keywords: []match.Keyword{{Text: walBenchKeyword, Weight: 1}},
+			}},
+			Lambda:    30,
+			Algorithm: "instant",
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// walBenchPostsGen synthesizes the ingest stream: every post matches the
+// fleet's shared keyword and carries realistic filler text.
+func walBenchPostsGen(n int) []server.Post {
+	posts := make([]server.Post, n)
+	var sb strings.Builder
+	for i := range posts {
+		sb.Reset()
+		fmt.Fprintf(&sb, "%s update %d ", walBenchKeyword, i)
+		sb.WriteString("with a line of ordinary chatter to pad the record out to tweet length")
+		posts[i] = server.Post{ID: int64(i + 1), Time: float64(i) / 4, Text: sb.String()}
+	}
+	return posts
+}
+
+// timeWALIngest drives the full stream through IngestBatch (the journaled
+// path) in walBenchBatch-sized batches and returns the wall time.
+func timeWALIngest(dir string, policy wal.SyncPolicy, posts []server.Post) (time.Duration, error) {
+	s, err := walBenchServer(dir, policy)
+	if err != nil {
+		return 0, err
+	}
+	defer s.CloseDurability()
+	ctx := context.Background()
+	start := time.Now()
+	for at := 0; at < len(posts); at += walBenchBatch {
+		end := at + walBenchBatch
+		if end > len(posts) {
+			end = len(posts)
+		}
+		if _, _, err := s.IngestBatch(ctx, posts[at:end], fmt.Sprintf("wb-%d", at)); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start), nil
+}
+
+func writeWALBaseline(w *os.File) error {
+	posts := walBenchPostsGen(walBenchPosts)
+	b := WALBaseline{
+		Schema:     1,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Posts:      walBenchPosts,
+		BatchSize:  walBenchBatch,
+		Subs:       walBenchSubs,
+		Runs:       walBenchRuns,
+	}
+
+	modes := []struct {
+		name    string
+		durable bool
+		policy  wal.SyncPolicy
+	}{
+		{"off", false, wal.SyncOff},
+		{"wal-off", true, wal.SyncOff},
+		{"wal-interval", true, wal.SyncInterval},
+		{"wal-batch", true, wal.SyncBatch},
+	}
+	var baselineNs int64
+	for _, m := range modes {
+		samples := make([]time.Duration, 0, walBenchRuns)
+		for r := 0; r < walBenchRuns; r++ {
+			dir := ""
+			if m.durable {
+				var err error
+				dir, err = os.MkdirTemp("", "mqdp-walbench-*")
+				if err != nil {
+					return err
+				}
+			}
+			el, err := timeWALIngest(dir, m.policy, posts)
+			if dir != "" {
+				os.RemoveAll(dir)
+			}
+			if err != nil {
+				return fmt.Errorf("wal bench %s: %w", m.name, err)
+			}
+			samples = append(samples, el)
+		}
+		med, _ := summarize(samples)
+		perPost := int64(med) / int64(len(posts))
+		cost := WALIngestCost{Mode: m.name, NsPerPost: perPost}
+		if m.name == "off" {
+			baselineNs = perPost
+		} else if baselineNs > 0 {
+			cost.OverheadVsNo = float64(perPost) / float64(baselineNs)
+		}
+		b.Ingest = append(b.Ingest, cost)
+	}
+
+	// Recovery: journal the full stream once (fsync batch), then time a
+	// cold restart replaying all of it; snapshot and time a restart that
+	// replays only the suffix; finally time the snapshot itself.
+	dir, err := os.MkdirTemp("", "mqdp-walbench-rec-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	s, err := walBenchServer(dir, wal.SyncBatch)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	for at := 0; at < len(posts); at += walBenchBatch {
+		end := at + walBenchBatch
+		if end > len(posts) {
+			end = len(posts)
+		}
+		if _, _, err := s.IngestBatch(ctx, posts[at:end], fmt.Sprintf("wb-%d", at)); err != nil {
+			return err
+		}
+	}
+	recoverRun := func(label string) (*server.Server, error) {
+		rs := server.New(0, 0)
+		rs.SetParallelism(1)
+		start := time.Now()
+		if err := rs.EnableDurability(server.DurabilityConfig{Dir: dir, Fsync: wal.SyncBatch}); err != nil {
+			return nil, err
+		}
+		el := time.Since(start)
+		m := rs.Metrics().Durability
+		b.Recovery = append(b.Recovery, WALRecoveryRun{
+			Label:           label,
+			ReplayedRecords: m.ReplayedRecords,
+			ReplayedPosts:   m.ReplayedPosts,
+			SnapshotLSN:     m.SnapshotLSN,
+			RecoveryNs:      int64(el),
+		})
+		return rs, nil
+	}
+	// Abandon s without closing: the restart sees a crash-shaped directory.
+	full, err := recoverRun("full-wal-replay")
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := full.Snapshot(); err != nil {
+		return err
+	}
+	b.SnapshotNs = int64(time.Since(start))
+	if _, err := recoverRun("from-snapshot"); err != nil {
+		return err
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

@@ -50,9 +50,26 @@
 // one ingest request; a batch cut mid-way reports the applied prefix with
 // 503 so honoring clients resume instead of resending.
 //
+// Durability (off by default; see docs/ARCHITECTURE.md, "Durability and
+// recovery"): -data-dir names a directory for the write-ahead log and
+// state snapshots. Every ingest batch, subscription change and terminal
+// latch is journaled before it is applied, snapshots are taken every
+// -snapshot-interval and on graceful shutdown, and a restart on the same
+// directory recovers the full state — subscriptions, emission buffers,
+// in-flight diversification windows, the idempotency replay cache —
+// then replays the WAL suffix, so a kill -9 loses nothing a retrying
+// client can't re-drive. -fsync picks the fsync cadence (batch = fsync
+// per ingest request, interval = background tick, off = OS page cache
+// only) and -wal-segment-bytes the segment rotation threshold. On a WAL
+// write failure the server degrades to read-only: ingest and
+// subscription changes answer 503 + Retry-After while reads keep
+// serving, and /healthz reports "degraded".
+//
 // -fault-schedule installs a deterministic in-process fault injector
 // (for chaos drills only; see internal/faultinject for the schedule
-// grammar), seeded by -fault-seed.
+// grammar), seeded by -fault-seed. With durability enabled the schedule
+// also reaches the WAL's IO failpoints ("wal.append", "wal.sync") via
+// disk: actions.
 //
 // With -debug-addr a second HTTP server exposes net/http/pprof under
 // /debug/pprof/ and expvar under /debug/vars (including an "mqdp" variable
@@ -71,6 +88,7 @@ import (
 	"expvar"
 	"flag"
 	"log/slog"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -84,6 +102,7 @@ import (
 	"mqdp/internal/obs"
 	"mqdp/internal/server"
 	"mqdp/internal/stream"
+	"mqdp/internal/wal"
 )
 
 func main() {
@@ -113,6 +132,11 @@ func main() {
 	sloIngest := flag.Duration("slo-ingest", 0, "ingest latency objective, e.g. 50ms (0 disables the ingest SLO)")
 	sloPoll := flag.Duration("slo-poll", 0, "emission-poll latency objective (0 disables the poll SLO)")
 	sloTarget := flag.Float64("slo-target", 0.99, "availability target for both SLOs, in (0, 1)")
+	dataDir := flag.String("data-dir", "", "durability directory for the write-ahead log and snapshots (empty = in-memory only)")
+	fsync := flag.String("fsync", "batch", `WAL fsync policy: "batch" (per ingest request), "interval" (background tick), "off" (OS page cache only)`)
+	fsyncInterval := flag.Duration("fsync-interval", 50*time.Millisecond, `background WAL fsync tick for -fsync interval`)
+	walSegmentBytes := flag.Int64("wal-segment-bytes", 0, "WAL segment rotation threshold in bytes (0 = default 64 MiB)")
+	snapshotInterval := flag.Duration("snapshot-interval", time.Minute, "periodic state-snapshot cadence; snapshots also happen on graceful shutdown (0 = shutdown only)")
 	flag.Parse()
 
 	var level slog.Level
@@ -196,6 +220,37 @@ func main() {
 		s.SetSLO(ingestSLO, pollSLO)
 		expvar.Publish("mqdp", expvar.Func(func() any { return reg.Snapshot() }))
 	}
+	if *dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsync)
+		if err != nil {
+			logger.Error("bad -fsync", "value", *fsync, "err", err)
+			os.Exit(2)
+		}
+		// After SetObs and SetFaultInjector: recovery replay then runs with
+		// live instruments, and chaos disk actions reach the WAL failpoints.
+		start := time.Now()
+		if err := s.EnableDurability(server.DurabilityConfig{
+			Dir:              *dataDir,
+			Fsync:            policy,
+			FsyncInterval:    *fsyncInterval,
+			SegmentBytes:     *walSegmentBytes,
+			SnapshotInterval: *snapshotInterval,
+		}); err != nil {
+			logger.Error("durability", "dir", *dataDir, "err", err)
+			os.Exit(1)
+		}
+		m := s.Metrics()
+		if m.Durability != nil {
+			logger.Info("recovered state",
+				"dir", *dataDir,
+				"fsync", *fsync,
+				"subscriptions", m.Subscriptions,
+				"replayed_records", m.Durability.ReplayedRecords,
+				"replayed_posts", m.Durability.ReplayedPosts,
+				"repaired_tail_bytes", m.Durability.RepairedBytes,
+				"recovery_time", time.Since(start))
+		}
+	}
 	if *debugAddr != "" {
 		go func() {
 			// pprof and expvar register on http.DefaultServeMux; serving it
@@ -214,16 +269,25 @@ func main() {
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
+	// Listen explicitly so the resolved address (e.g. a kernel-assigned
+	// port under ":0") is known — and logged — before serving starts;
+	// harness processes scrape it to find the server.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listen", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
 	errc := make(chan error, 1)
 	go func() {
 		logger.Info("mqdp-server listening",
-			"addr", *addr,
+			"addr", ln.Addr().String(),
 			"dedup_distance", *dedupDist,
 			"dedup_window", *dedupWindow,
 			"ingest_workers", s.Parallelism(),
 			"routing", s.RoutingEnabled(),
+			"durability", *dataDir != "",
 			"tracing", !*noObs && *trace)
-		errc <- h.ListenAndServe()
+		errc <- h.Serve(ln)
 	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -246,6 +310,11 @@ func main() {
 	defer cancel()
 	if err := h.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Warn("drain", "err", err)
+	}
+	// Final snapshot + WAL close: a graceful restart recovers from the
+	// snapshot alone, with zero records to replay.
+	if err := s.CloseDurability(); err != nil {
+		logger.Warn("durability close", "err", err)
 	}
 	m := s.Metrics()
 	logger.Info("final counters",

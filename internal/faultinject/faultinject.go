@@ -19,6 +19,7 @@
 package faultinject
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -48,6 +49,10 @@ const (
 	KindError
 	// KindPanic: panic with Msg (in-process hooks only).
 	KindPanic
+	// KindDisk: simulate a storage failure (disk full, fsync error) at an
+	// in-process IO hook — Fire returns an error wrapping ErrDisk, which
+	// the durability layer treats exactly like a real device failure.
+	KindDisk
 )
 
 func (k Kind) String() string {
@@ -66,9 +71,15 @@ func (k Kind) String() string {
 		return "error"
 	case KindPanic:
 		return "panic"
+	case KindDisk:
+		return "disk"
 	}
 	return "unknown"
 }
+
+// ErrDisk is the base of every injected storage fault, so IO layers can
+// classify injected failures with errors.Is exactly like real ones.
+var ErrDisk = errors.New("faultinject: injected disk fault")
 
 // Fault is one scheduled action.
 type Fault struct {
@@ -105,7 +116,7 @@ type Injector struct {
 //	rule     := op '@' spec '=' action
 //	spec     := N | N '-' M | N '+' | '*' | 'p' FLOAT
 //	action   := 'drop' | 'droprx' | 'delay:' DURATION |
-//	            'status:' CODE | 'error:' MSG | 'panic:' MSG
+//	            'status:' CODE | 'error:' MSG | 'panic:' MSG | 'disk:' MSG
 //
 // N, M are 1-based invocation counts of op: "3" fires on the 3rd call,
 // "3-5" on calls 3..5, "3+" on every call from the 3rd, "*" always,
@@ -214,6 +225,11 @@ func parseAction(action string) (Fault, error) {
 			arg = "injected panic"
 		}
 		return Fault{Kind: KindPanic, Msg: arg}, nil
+	case "disk":
+		if arg == "" {
+			arg = "no space left on device"
+		}
+		return Fault{Kind: KindDisk, Msg: arg}, nil
 	}
 	return Fault{}, fmt.Errorf("unknown action %q", action)
 }
@@ -269,6 +285,8 @@ func (in *Injector) Fire(op string) error {
 		return fmt.Errorf("faultinject: %s", f.Msg)
 	case KindDrop, KindDropResponse:
 		return fmt.Errorf("faultinject: injected %s", f.Kind)
+	case KindDisk:
+		return fmt.Errorf("%w: %s", ErrDisk, f.Msg)
 	}
 	return nil
 }

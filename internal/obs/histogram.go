@@ -214,6 +214,54 @@ func (h *Histogram) BucketCount(i int) int64 {
 	return h.counts[i].Load()
 }
 
+// HistogramState is the serializable state of a histogram, used by the
+// durability layer to carry per-subscription delay distributions across a
+// restart. Exemplars are trace-scoped and deliberately not persisted.
+type HistogramState struct {
+	Bounds []float64
+	Counts []int64
+	Total  int64
+	Sum    float64
+	Max    float64 // valid only when Total > 0
+}
+
+// State captures the histogram's counters. Concurrent observations may or
+// may not be included — the usual metrics contract.
+func (h *Histogram) State() HistogramState {
+	if h == nil {
+		return HistogramState{}
+	}
+	st := HistogramState{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Total:  h.total.Load(),
+		Sum:    h.Sum(),
+	}
+	for i := range h.counts {
+		st.Counts[i] = h.counts[i].Load()
+	}
+	if st.Total > 0 {
+		st.Max = math.Float64frombits(h.max.Load())
+	}
+	return st
+}
+
+// RestoreHistogram rebuilds a histogram from a captured state.
+func RestoreHistogram(st HistogramState) *Histogram {
+	h := NewHistogram(st.Bounds)
+	for i, c := range st.Counts {
+		if i < len(h.counts) {
+			h.counts[i].Store(c)
+		}
+	}
+	h.total.Store(st.Total)
+	h.sum.Store(math.Float64bits(st.Sum))
+	if st.Total > 0 {
+		h.max.Store(math.Float64bits(st.Max))
+	}
+	return h
+}
+
 // ExpBuckets returns n exponentially spaced bucket bounds starting at start
 // and multiplying by factor: start, start·factor, start·factor², …
 func ExpBuckets(start, factor float64, n int) []float64 {

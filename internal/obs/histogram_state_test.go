@@ -1,0 +1,37 @@
+package obs
+
+import "testing"
+
+func TestHistogramStateRoundTrip(t *testing.T) {
+	h := NewHistogram(DelayBuckets)
+	for _, v := range []float64{0.1, 0.5, 3, 17, 1000, 0.26} {
+		h.Observe(v)
+	}
+	r := RestoreHistogram(h.State())
+	if r.Count() != h.Count() || r.Sum() != h.Sum() || r.Max() != h.Max() {
+		t.Fatalf("restored count/sum/max %d/%v/%v, want %d/%v/%v",
+			r.Count(), r.Sum(), r.Max(), h.Count(), h.Sum(), h.Max())
+	}
+	for i := 0; i < h.NumBuckets(); i++ {
+		if r.BucketCount(i) != h.BucketCount(i) {
+			t.Fatalf("bucket %d: restored %d, want %d", i, r.BucketCount(i), h.BucketCount(i))
+		}
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		if r.Quantile(q) != h.Quantile(q) {
+			t.Fatalf("quantile %v differs after restore", q)
+		}
+	}
+	// Both keep observing identically.
+	h.Observe(42)
+	r.Observe(42)
+	if r.Quantile(0.95) != h.Quantile(0.95) || r.Max() != h.Max() {
+		t.Fatal("restored histogram diverged on further observations")
+	}
+
+	// Empty round trip.
+	e := RestoreHistogram(NewHistogram(nil).State())
+	if e.Count() != 0 || e.Max() != 0 {
+		t.Fatal("empty histogram round trip not empty")
+	}
+}

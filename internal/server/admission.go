@@ -172,3 +172,37 @@ func (c *idemCache) put(key string, e idemEntry) {
 		c.head = 0
 	}
 }
+
+// IdemSnap is one persisted replay-cache entry. Part of the durability
+// snapshot: a client retrying an ingest across a server crash still gets
+// the recorded outcome (Idempotent-Replay: true) instead of a re-apply.
+type IdemSnap struct {
+	Key      string
+	Accepted int
+	Error    string
+	Status   int
+}
+
+// export captures the cache in FIFO order, so a restore preserves the
+// eviction sequence exactly.
+func (c *idemCache) export() []IdemSnap {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]IdemSnap, 0, len(c.entries))
+	for _, key := range c.order[c.head:] {
+		e, ok := c.entries[key]
+		if !ok {
+			continue // evicted but not yet compacted out of order
+		}
+		out = append(out, IdemSnap{Key: key, Accepted: e.res.Accepted, Error: e.res.Error, Status: e.status})
+	}
+	return out
+}
+
+// restore replays exported entries through put, rebuilding the FIFO
+// bookkeeping (and honoring the current cache bound).
+func (c *idemCache) restore(snaps []IdemSnap) {
+	for _, sn := range snaps {
+		c.put(sn.Key, idemEntry{res: IngestResult{Accepted: sn.Accepted, Error: sn.Error}, status: sn.Status})
+	}
+}

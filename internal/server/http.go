@@ -91,6 +91,11 @@ func Handler(s *Server) http.Handler {
 		}
 		id, err := s.Subscribe(cfg)
 		if err != nil {
+			if errors.Is(err, ErrReadOnly) {
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
@@ -275,29 +280,19 @@ func Handler(s *Server) http.Handler {
 		decSpan.SetInt("posts", int64(len(batch)))
 		decSpan.End()
 		defer freeBatch()
-		accepted := 0
-		var ingestErr error
-		for _, p := range batch {
-			// The deadline cuts between posts, never inside one: the
-			// accepted prefix is fully applied, the rest untouched.
-			if err := s.IngestContext(ctx, p); err != nil {
-				ingestErr = err
-				break
-			}
-			accepted++
-		}
-		res := IngestResult{Accepted: accepted}
-		status := http.StatusOK
-		if ingestErr != nil {
-			// Report how much of the batch landed so clients can resume
-			// at the failed item instead of double-ingesting the prefix.
-			res.Error = ingestErr.Error()
-			status = statusFor(ingestErr)
-		}
-		if key != "" {
-			s.idem.put(key, idemEntry{res: res, status: status})
-		}
-		if status == http.StatusServiceUnavailable {
+		// The whole batch goes through IngestBatch: with durability enabled
+		// it becomes one atomic WAL record (keyed by the idempotency key)
+		// committed before any post is applied, and the recorded outcome
+		// lands in the replay cache under the same critical section. The
+		// deadline still cuts between posts, never inside one, and the
+		// response reports the applied prefix so clients resume at the
+		// failed item instead of double-ingesting.
+		res, status, ingestErr := s.IngestBatch(ctx, batch, key)
+		if errors.Is(ingestErr, ErrReadOnly) {
+			// The WAL is broken; retrying immediately cannot help. Point
+			// clients at a pause while the operator intervenes.
+			w.Header().Set("Retry-After", "1")
+		} else if status == http.StatusServiceUnavailable {
 			// Deadline cut: the remainder is retryable right away.
 			w.Header().Set("Retry-After", "0")
 		}
@@ -563,6 +558,9 @@ func statusFor(err error) int {
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		// The request ran out of its deadline budget; the accepted prefix
 		// is applied and the remainder is safe to retry.
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrReadOnly):
+		// Durability degraded: nothing was applied; retry elsewhere/later.
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusInternalServerError

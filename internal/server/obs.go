@@ -24,6 +24,9 @@ type serverObs struct {
 	misses        *obs.Counter
 	quarantined   *obs.Gauge
 	activeStreams *obs.Gauge
+	walAppendTime *obs.Histogram // one WAL record framed + buffered
+	walSyncTime   *obs.Histogram // one WAL commit (flush + fsync per policy)
+	snapshotTime  *obs.Histogram // one full state snapshot (encode + atomic write)
 }
 
 // SetObs wires the server's instruments into r; nil disables service-level
@@ -41,6 +44,8 @@ func (s *Server) SetObs(r *obs.Registry) {
 	r.RegisterCounter("mqdp_server_pushed_total", "emissions delivered over push streams", &s.pushed)
 	r.RegisterCounter("mqdp_server_gaps_total", "emission gaps reported to clients (stale cursors across poll, long-poll and SSE)", &s.gaps)
 	r.RegisterCounter("mqdp_server_routing_skipped_total", "subscriptions skipped by inverted routing (no keyword of theirs in the post)", &s.routingSkipped)
+	r.RegisterCounter("mqdp_server_wal_records_total", "records appended to the write-ahead log", &s.walRecords)
+	r.RegisterCounter("mqdp_server_wal_snapshots_total", "state snapshots written by the durability layer", &s.walSnapshots)
 	o := &serverObs{
 		reg:           r,
 		tracer:        r.Tracer(),
@@ -55,6 +60,9 @@ func (s *Server) SetObs(r *obs.Registry) {
 		misses:        r.Counter("mqdp_server_text_misses_total", "decisions whose cached text was gc'd before landing"),
 		quarantined:   r.Gauge("mqdp_server_quarantined_subscriptions", "currently quarantined subscriptions"),
 		activeStreams: r.Gauge("mqdp_server_active_push_streams", "currently served push waiters (SSE streams and blocked long-polls)"),
+		walAppendTime: r.Histogram("mqdp_server_wal_append_seconds", "wall time framing one WAL record into the segment buffer", obs.TimeBuckets),
+		walSyncTime:   r.Histogram("mqdp_server_wal_commit_seconds", "wall time of one WAL commit (buffer flush plus fsync per policy)", obs.TimeBuckets),
+		snapshotTime:  r.Histogram("mqdp_server_snapshot_seconds", "wall time of one durability snapshot (encode plus atomic write)", obs.TimeBuckets),
 	}
 	s.mu.RLock()
 	o.subs.Set(float64(len(s.subs)))

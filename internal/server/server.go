@@ -162,6 +162,9 @@ func (sub *subscription) quarantine(msg string, s *Server, o *serverObs) {
 	sub.quarantineMsg = msg
 	s.quarantines.Inc()
 	o.onQuarantine()
+	// Journal the latch (no-op without durability or during replay): after
+	// a restart the profile answers quarantined exactly like before it.
+	s.durAppendQuarantine(sub.id, msg)
 	// A quarantined pipeline never processes another post: withdraw its
 	// routing postings so it stops surfacing as an ingest candidate (the
 	// lock-free quarantined check in feed stays as the backstop for
@@ -265,6 +268,12 @@ type Server struct {
 
 	// obsState holds the registry-wired service instruments; nil = disabled.
 	obsState atomic.Pointer[serverObs]
+
+	// dur is the durability runtime (WAL + snapshots); nil = in-memory
+	// only, with zero overhead on the ingest path beyond this load.
+	dur          atomic.Pointer[durState]
+	walRecords   obs.Counter
+	walSnapshots obs.Counter
 }
 
 // SetBinaryWire enables or disables the binary frame format on the HTTP
@@ -360,8 +369,33 @@ func (e *StreamEndError) Error() string { return "server: subscription stream en
 // Unwrap makes errors.Is(err, ErrStreamEnded) match.
 func (e *StreamEndError) Unwrap() error { return ErrStreamEnded }
 
-// Subscribe registers a profile and returns its id.
+// Subscribe registers a profile and returns its id. With durability
+// enabled, the registration is journaled so it survives a crash; while
+// the durability layer is degraded, registry mutations are refused with
+// ErrReadOnly (they could not be made durable).
 func (s *Server) Subscribe(cfg SubscriptionConfig) (int64, error) {
+	d := s.dur.Load()
+	if d != nil && !d.replaying.Load() {
+		if d.degraded.Load() {
+			return 0, ErrReadOnly
+		}
+		d.walBatchMu.Lock()
+		defer d.walBatchMu.Unlock()
+	}
+	id, err := s.subscribe(0, cfg)
+	if err != nil {
+		return 0, err
+	}
+	if d != nil && !d.replaying.Load() {
+		s.durAppendSubscribe(d, id, cfg)
+	}
+	return id, nil
+}
+
+// subscribe builds and registers one subscription pipeline. id 0 assigns
+// the next registry id; a nonzero id re-registers a specific id (WAL
+// replay) and is a no-op when that id is already present.
+func (s *Server) subscribe(id int64, cfg SubscriptionConfig) (int64, error) {
 	matcher, err := match.NewMatcher(cfg.Topics)
 	if err != nil {
 		return 0, err
@@ -388,9 +422,19 @@ func (s *Server) Subscribe(cfg SubscriptionConfig) (int64, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.nextID++
+	if id == 0 {
+		s.nextID++
+		id = s.nextID
+	} else {
+		if _, ok := s.subs[id]; ok {
+			return id, nil
+		}
+		if id > s.nextID {
+			s.nextID = id
+		}
+	}
 	sub := &subscription{
-		id:        s.nextID,
+		id:        id,
 		cfg:       cfg,
 		routeSyms: routeSyms,
 		matcher:   matcher,
@@ -404,11 +448,10 @@ func (s *Server) Subscribe(cfg SubscriptionConfig) (int64, error) {
 	if o := s.obsState.Load(); o != nil {
 		o.subs.Set(float64(len(s.subs)))
 	}
-	// Copy-on-write: in-flight fan-outs keep their snapshot. Ids only grow,
-	// so appending preserves the sorted order.
-	order := make([]*subscription, len(s.order), len(s.order)+1)
-	copy(order, s.order)
-	s.order = append(order, sub)
+	// Copy-on-write: in-flight fan-outs keep their snapshot. Ids normally
+	// only grow; the sorted insert also covers replayed ids arriving after
+	// a snapshot restore.
+	s.order = insertOrdered(s.order, sub)
 	// Post the new subscription under its keyword symbols (route.Index has
 	// its own leaf mutex and publishes a fresh snapshot; in-flight fan-outs
 	// keep theirs, same contract as the order slice).
@@ -418,8 +461,27 @@ func (s *Server) Subscribe(cfg SubscriptionConfig) (int64, error) {
 
 // Unsubscribe removes a profile and terminates its live push streams:
 // blocked waiters wake immediately with an explicit stream end instead of
-// hanging until their own timeouts.
+// hanging until their own timeouts. With durability enabled the removal
+// is journaled; while degraded it is refused with ErrReadOnly.
 func (s *Server) Unsubscribe(id int64) error {
+	d := s.dur.Load()
+	if d != nil && !d.replaying.Load() {
+		if d.degraded.Load() {
+			return ErrReadOnly
+		}
+		d.walBatchMu.Lock()
+		defer d.walBatchMu.Unlock()
+	}
+	if err := s.unsubscribe(id); err != nil {
+		return err
+	}
+	if d != nil && !d.replaying.Load() {
+		s.durAppendUnsubscribe(d, id)
+	}
+	return nil
+}
+
+func (s *Server) unsubscribe(id int64) error {
 	s.mu.Lock()
 	sub, ok := s.subs[id]
 	if !ok {
@@ -458,8 +520,29 @@ func (s *Server) Ingest(p Post) error {
 
 // IngestContext is Ingest honoring a caller deadline: a post is admitted
 // atomically or not at all — ctx is only consulted before admission, so
-// an expired deadline never leaves a half-fanned-out post behind.
+// an expired deadline never leaves a half-fanned-out post behind. With
+// durability enabled the post is journaled (one single-post WAL batch
+// record, committed per the fsync policy) before it is applied; while
+// degraded, ingest is refused with ErrReadOnly.
 func (s *Server) IngestContext(ctx context.Context, p Post) error {
+	d := s.dur.Load()
+	if d == nil || d.replaying.Load() {
+		return s.ingestOne(ctx, p)
+	}
+	if d.degraded.Load() {
+		return ErrReadOnly
+	}
+	d.walBatchMu.Lock()
+	defer d.walBatchMu.Unlock()
+	if err := d.appendBatch(s, "", []Post{p}); err != nil {
+		return err
+	}
+	return s.ingestOne(ctx, p)
+}
+
+// ingestOne is the WAL-free admission + fan-out core shared by the live
+// path (which journals first) and WAL replay (whose records already exist).
+func (s *Server) ingestOne(ctx context.Context, p Post) error {
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
 	if err := ctx.Err(); err != nil {
@@ -731,6 +814,18 @@ func (sub *subscription) gc(now float64) {
 // the server closed: further Ingest calls fail with ErrClosed and further
 // Flush calls are no-ops (processor streams end exactly once).
 func (s *Server) Flush() {
+	d := s.dur.Load()
+	if d != nil && !d.replaying.Load() {
+		d.walBatchMu.Lock()
+		defer d.walBatchMu.Unlock()
+		// Journal the end-of-stream latch (first Flush only) so a restart
+		// answers ErrClosed exactly like the live process did. A degraded
+		// log can't record it, but the in-memory flush still proceeds —
+		// shutdown must not hinge on a broken disk.
+		if !s.closed.Load() && !d.degraded.Load() {
+			s.durAppendFlush(d)
+		}
+	}
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
 	if s.closed.Swap(true) {
@@ -946,12 +1041,15 @@ type Metrics struct {
 	// Routing reports whether inverted subscription routing is active on
 	// ingest; RoutingSkipped counts the subscription feeds it elided
 	// (posts × subscriptions with no keyword overlap).
-	Routing        bool                `json:"routing"`
-	RoutingSkipped int64               `json:"routing_skipped"`
-	Flushed        bool                `json:"flushed"`
-	Workers        int                 `json:"workers"`
-	SLOs           []obs.SLOStatus     `json:"slos,omitempty"`
-	Profiles       []SubscriptionStats `json:"profiles"`
+	Routing        bool            `json:"routing"`
+	RoutingSkipped int64           `json:"routing_skipped"`
+	Flushed        bool            `json:"flushed"`
+	Workers        int             `json:"workers"`
+	SLOs           []obs.SLOStatus `json:"slos,omitempty"`
+	// Durability is the WAL/snapshot/recovery section; nil (omitted) when
+	// the server runs in-memory only.
+	Durability *DurabilityMetrics  `json:"durability,omitempty"`
+	Profiles   []SubscriptionStats `json:"profiles"`
 }
 
 // Metrics aggregates service counters and every profile's snapshot.
@@ -973,6 +1071,7 @@ func (s *Server) Metrics() Metrics {
 		Flushed:        s.closed.Load(),
 		Workers:        s.Parallelism(),
 		SLOs:           s.SLOs(),
+		Durability:     s.durabilityMetrics(),
 		Profiles:       make([]SubscriptionStats, 0, len(shards)),
 	}
 	for _, sub := range shards {
@@ -987,10 +1086,13 @@ func (s *Server) Metrics() Metrics {
 
 // Health is the liveness snapshot served at GET /healthz.
 type Health struct {
-	// Status is "ok" while ingest is open, "flushed" after Flush.
+	// Status is "ok" while ingest is open, "flushed" after Flush, and
+	// "degraded" when the durability layer latched read-only mode.
 	Status        string `json:"status"`
 	Subscriptions int    `json:"subscriptions"`
 	Ingested      int64  `json:"ingested"`
+	// DegradedReason carries the IO failure that latched read-only mode.
+	DegradedReason string `json:"degraded_reason,omitempty"`
 }
 
 // Health reports liveness.
@@ -998,6 +1100,11 @@ func (s *Server) Health() Health {
 	h := Health{Status: "ok", Ingested: s.ingested.Value()}
 	if s.closed.Load() {
 		h.Status = "flushed"
+	}
+	if degraded, reason := s.Degraded(); degraded {
+		// Degraded wins: it is the state an operator must act on.
+		h.Status = "degraded"
+		h.DegradedReason = reason
 	}
 	s.mu.RLock()
 	h.Subscriptions = len(s.subs)

@@ -196,3 +196,45 @@ func (d *Deduper) remember(h Hash) {
 
 // Stats reports how many texts were offered and dropped.
 func (d *Deduper) Stats() (seen, dropped int) { return d.seen, d.dropped }
+
+// DeduperState is the serializable state of a Deduper: configuration, the
+// accepted-fingerprint window oldest→newest, and counters. The quarter
+// bucket index is derived data and is rebuilt on restore.
+type DeduperState struct {
+	MaxDistance int
+	Window      int
+	Recent      []Hash
+	Seen        int
+	Dropped     int
+}
+
+// State captures the deduper for serialization.
+func (d *Deduper) State() DeduperState {
+	st := DeduperState{
+		MaxDistance: d.maxDistance,
+		Window:      d.window,
+		Seen:        d.seen,
+		Dropped:     d.dropped,
+	}
+	// Export the ring oldest→newest so restore can replay it through
+	// remember() regardless of the window size it lands in.
+	if d.full {
+		st.Recent = append(st.Recent, d.recent[d.next:]...)
+		st.Recent = append(st.Recent, d.recent[:d.next]...)
+	} else {
+		st.Recent = append(st.Recent, d.recent[:d.next]...)
+	}
+	return st
+}
+
+// RestoreDeduper rebuilds a Deduper (including its bucket index) from a
+// captured state.
+func RestoreDeduper(st DeduperState) *Deduper {
+	d := NewDeduper(st.MaxDistance, st.Window)
+	for _, h := range st.Recent {
+		d.remember(h)
+	}
+	d.seen = st.Seen
+	d.dropped = st.Dropped
+	return d
+}

@@ -1,0 +1,45 @@
+package simhash
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// A restored deduper must make the same accept/drop decisions as the
+// original on any subsequent input, for every capture point — including
+// before and after the ring wraps.
+func TestDeduperStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	hashes := make([]Hash, 400)
+	for i := range hashes {
+		if i > 0 && rng.Intn(3) == 0 {
+			// Near-duplicate of a recent hash: flip up to 2 bits.
+			h := hashes[rng.Intn(i)]
+			for b := 0; b < rng.Intn(3); b++ {
+				h ^= 1 << uint(rng.Intn(64))
+			}
+			hashes[i] = h
+		} else {
+			hashes[i] = Hash(rng.Uint64())
+		}
+	}
+	for _, window := range []int{1, 16, 100} {
+		for split := 0; split <= len(hashes); split += 37 {
+			d := NewDeduper(2, window)
+			for _, h := range hashes[:split] {
+				d.OfferHash(h)
+			}
+			r := RestoreDeduper(d.State())
+			for _, h := range hashes[split:] {
+				if d.OfferHash(h) != r.OfferHash(h) {
+					t.Fatalf("window %d split %d: restored deduper diverged", window, split)
+				}
+			}
+			ds, dd := d.Stats()
+			rs, rd := r.Stats()
+			if ds != rs || dd != rd {
+				t.Fatalf("window %d split %d: stats %d/%d vs restored %d/%d", window, split, ds, dd, rs, rd)
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzWALSegment throws arbitrary bytes at segment recovery (the
+// durability analogue of wire.FuzzDecodeFrame): Open must either repair to
+// a replayable prefix or fail with a typed error — never panic, never
+// deliver a record whose framing did not validate.
+func FuzzWALSegment(f *testing.F) {
+	// Seed with a genuine segment, the same with a flipped byte, and a few
+	// degenerate shapes.
+	seedDir := f.TempDir()
+	l, err := Open(seedDir, Options{NoTick: true, Policy: SyncBatch})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		l.Append(byte(i), []byte("seed payload bytes"))
+	}
+	l.Commit()
+	l.Close()
+	segs, _ := listSegments(seedDir)
+	if len(segs) == 1 {
+		if data, err := os.ReadFile(segs[0].path); err == nil {
+			f.Add(data)
+			flipped := append([]byte(nil), data...)
+			flipped[len(flipped)/2] ^= 0x55
+			f.Add(flipped)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("MQWL"))
+	f.Add(append(segmentHeader(1), 0xFF, 0xFF, 0xFF, 0xFF))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "wal-0000000000000001.log"), data, 0o644); err != nil {
+			t.Skip()
+		}
+		l, err := Open(dir, Options{NoTick: true})
+		if err != nil {
+			return // typed failure is acceptable; panics are not
+		}
+		prev := uint64(0)
+		_ = l.Replay(0, func(r Record) error {
+			if r.LSN != prev+1 && prev != 0 {
+				t.Fatalf("non-contiguous LSN %d after %d", r.LSN, prev)
+			}
+			prev = r.LSN
+			return nil
+		})
+		// The repaired log must accept appends and stay replayable.
+		if _, err := l.Append(1, []byte("post-repair")); err == nil {
+			if err := l.Commit(); err != nil {
+				t.Fatalf("commit after repair: %v", err)
+			}
+		}
+		l.Close()
+		if _, err := Open(dir, Options{NoTick: true}); err != nil {
+			t.Fatalf("reopen after repair: %v", err)
+		}
+	})
+}

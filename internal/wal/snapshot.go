@@ -1,0 +1,170 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Snapshot files: snap-%016x.snap, named by the LSN they cover. Layout is
+// magic "MQSN" (4) + version (1) + covered LSN (8) + payload length (4) +
+// CRC-32C of the payload (4) + payload. Writes are atomic (temp file +
+// fsync + rename + directory fsync) so a crash mid-snapshot leaves the
+// previous snapshot intact; loads fall back to the next-older file when
+// the newest is damaged.
+const (
+	snapMagic     = "MQSN"
+	snapVersion   = 1
+	snapHeaderLen = 4 + 1 + 8 + 4 + 4
+	// snapKeep is how many valid snapshots retention preserves.
+	snapKeep = 2
+)
+
+// WriteSnapshot atomically persists payload as the snapshot covering lsn
+// and prunes all but the newest snapKeep snapshot files. It returns the
+// final file path.
+func WriteSnapshot(dir string, lsn uint64, payload []byte) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("wal: snapshot: %w", err)
+	}
+	final := filepath.Join(dir, fmt.Sprintf("snap-%016x.snap", lsn))
+	tmp, err := os.CreateTemp(dir, ".snap-*.tmp")
+	if err != nil {
+		return "", fmt.Errorf("wal: snapshot: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	hdr := make([]byte, snapHeaderLen)
+	copy(hdr, snapMagic)
+	hdr[4] = snapVersion
+	binary.LittleEndian.PutUint64(hdr[5:], lsn)
+	binary.LittleEndian.PutUint32(hdr[13:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[17:], crc32.Checksum(payload, crcTable))
+	if _, err := tmp.Write(hdr); err != nil {
+		cleanup()
+		return "", fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		cleanup()
+		return "", fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return "", fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return "", fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return "", fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return "", err
+	}
+	pruneSnapshots(dir, snapKeep)
+	return final, nil
+}
+
+// LoadLatestSnapshot returns the newest valid snapshot's covered LSN and
+// payload. Damaged files are skipped in favor of older ones; ErrNoSnapshot
+// reports that none are usable.
+func LoadLatestSnapshot(dir string) (lsn uint64, payload []byte, err error) {
+	files, err := listSnapshots(dir)
+	if err != nil {
+		return 0, nil, err
+	}
+	for i := len(files) - 1; i >= 0; i-- {
+		lsn, payload, err := readSnapshot(files[i].path)
+		if err == nil {
+			return lsn, payload, nil
+		}
+	}
+	return 0, nil, ErrNoSnapshot
+}
+
+type snapFile struct {
+	lsn  uint64
+	path string
+}
+
+func listSnapshots(dir string) ([]snapFile, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: snapshot: %w", err)
+	}
+	var files []snapFile
+	for _, e := range ents {
+		var lsn uint64
+		if _, err := fmt.Sscanf(e.Name(), "snap-%016x.snap", &lsn); err != nil || !e.Type().IsRegular() {
+			continue
+		}
+		files = append(files, snapFile{lsn: lsn, path: filepath.Join(dir, e.Name())})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].lsn < files[j].lsn })
+	return files, nil
+}
+
+func readSnapshot(path string) (lsn uint64, payload []byte, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, nil, fmt.Errorf("wal: snapshot: %w", err)
+	}
+	defer f.Close()
+	hdr := make([]byte, snapHeaderLen)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return 0, nil, fmt.Errorf("%w: snapshot %s: short header", ErrCorrupt, filepath.Base(path))
+	}
+	if string(hdr[:4]) != snapMagic {
+		return 0, nil, fmt.Errorf("%w: snapshot %s: bad magic", ErrCorrupt, filepath.Base(path))
+	}
+	if hdr[4] != snapVersion {
+		return 0, nil, fmt.Errorf("%w: snapshot %s: unsupported version %d", ErrCorrupt, filepath.Base(path), hdr[4])
+	}
+	lsn = binary.LittleEndian.Uint64(hdr[5:])
+	size := binary.LittleEndian.Uint32(hdr[13:])
+	if size > maxRecordSize {
+		return 0, nil, fmt.Errorf("%w: snapshot %s: absurd payload size %d", ErrCorrupt, filepath.Base(path), size)
+	}
+	payload = make([]byte, size)
+	if _, err := io.ReadFull(f, payload); err != nil {
+		return 0, nil, fmt.Errorf("%w: snapshot %s: truncated payload", ErrCorrupt, filepath.Base(path))
+	}
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(hdr[17:]) {
+		return 0, nil, fmt.Errorf("%w: snapshot %s: payload CRC mismatch", ErrCorrupt, filepath.Base(path))
+	}
+	return lsn, payload, nil
+}
+
+// pruneSnapshots removes all but the newest keep snapshot files. Best
+// effort: removal failures leave extra files behind, never break writes.
+func pruneSnapshots(dir string, keep int) {
+	files, err := listSnapshots(dir)
+	if err != nil || len(files) <= keep {
+		return
+	}
+	for _, f := range files[:len(files)-keep] {
+		os.Remove(f.path)
+	}
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,341 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openT(t *testing.T, dir string, opt Options) *Log {
+	t.Helper()
+	opt.NoTick = true
+	l, err := Open(dir, opt)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l
+}
+
+func appendN(t *testing.T, l *Log, n int, kind byte) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := l.Append(kind, []byte(fmt.Sprintf("record-%d-%d", kind, i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+}
+
+func collect(t *testing.T, l *Log, from uint64) []Record {
+	t.Helper()
+	var recs []Record
+	err := l.Replay(from, func(r Record) error {
+		recs = append(recs, Record{LSN: r.LSN, Kind: r.Kind, Data: append([]byte(nil), r.Data...)})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return recs
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{Policy: SyncBatch})
+	appendN(t, l, 25, 7)
+	recs := collect(t, l, 0)
+	if len(recs) != 25 {
+		t.Fatalf("replayed %d records, want 25", len(recs))
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i)+firstLSN {
+			t.Fatalf("record %d has LSN %d", i, r.LSN)
+		}
+		if want := fmt.Sprintf("record-7-%d", i); string(r.Data) != want || r.Kind != 7 {
+			t.Fatalf("record %d = kind %d %q, want kind 7 %q", i, r.Kind, r.Data, want)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reopen: LSN accounting resumes and appends extend the same stream.
+	l = openT(t, dir, Options{Policy: SyncBatch})
+	if got := l.NextLSN(); got != 26 {
+		t.Fatalf("NextLSN after reopen = %d, want 26", got)
+	}
+	appendN(t, l, 5, 9)
+	if recs := collect(t, l, 26); len(recs) != 5 || recs[0].Kind != 9 {
+		t.Fatalf("suffix replay got %d records, first kind %v", len(recs), recs[0].Kind)
+	}
+	l.Close()
+}
+
+func TestSegmentRotationAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{Policy: SyncOff, SegmentBytes: 256})
+	appendN(t, l, 100, 1)
+	if n := l.Segments(); n < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %d", n)
+	}
+	recs := collect(t, l, 0)
+	if len(recs) != 100 {
+		t.Fatalf("replayed %d records across segments, want 100", len(recs))
+	}
+
+	// Pruning everything below the last record keeps only segments that
+	// hold it (plus the open one), and replay of the suffix still works.
+	upTo := recs[59].LSN
+	if err := l.Prune(upTo); err != nil {
+		t.Fatalf("Prune: %v", err)
+	}
+	tail := collect(t, l, recs[60].LSN)
+	if len(tail) != 40 {
+		t.Fatalf("post-prune suffix replay got %d records, want 40", len(tail))
+	}
+	l.Close()
+
+	// Reopen validates the pruned chain.
+	l = openT(t, dir, Options{Policy: SyncOff, SegmentBytes: 256})
+	if got := l.NextLSN(); got != 101 {
+		t.Fatalf("NextLSN after pruned reopen = %d, want 101", got)
+	}
+	l.Close()
+}
+
+func TestRotateSealsCurrentSegment(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{Policy: SyncOff})
+	appendN(t, l, 3, 1)
+	if err := l.Rotate(); err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	if err := l.Prune(l.NextLSN() - 1); err != nil {
+		t.Fatalf("Prune: %v", err)
+	}
+	if n := l.Segments(); n != 1 {
+		t.Fatalf("segments after rotate+prune = %d, want 1", n)
+	}
+	appendN(t, l, 2, 2)
+	if recs := collect(t, l, 0); len(recs) != 2 || recs[0].LSN != 4 {
+		t.Fatalf("post-prune replay = %+v, want 2 records from LSN 4", recs)
+	}
+	l.Close()
+}
+
+// TestTornTailEveryOffset is the satellite property test: record a WAL,
+// truncate it at every byte offset, and assert recovery always yields a
+// valid prefix — no panic, no partial record, monotone LSNs from 1.
+func TestTornTailEveryOffset(t *testing.T) {
+	master := t.TempDir()
+	l := openT(t, master, Options{Policy: SyncBatch})
+	for i := 0; i < 12; i++ {
+		if _, err := l.Append(byte(i%3), bytes.Repeat([]byte{byte(i)}, 5+i*3)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs, err := listSegments(master)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("want exactly 1 master segment, got %d (err %v)", len(segs), err)
+	}
+	data, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 0; cut <= len(data); cut++ {
+		dir := t.TempDir()
+		name := filepath.Base(segs[0].path)
+		if err := os.WriteFile(filepath.Join(dir, name), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(dir, Options{Policy: SyncOff, NoTick: true})
+		if err != nil {
+			t.Fatalf("cut %d: Open failed: %v", cut, err)
+		}
+		var lsns []uint64
+		var sizes []int
+		err = l.Replay(0, func(r Record) error {
+			lsns = append(lsns, r.LSN)
+			sizes = append(sizes, len(r.Data))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("cut %d: Replay failed: %v", cut, err)
+		}
+		for i, lsn := range lsns {
+			if lsn != uint64(i)+firstLSN {
+				t.Fatalf("cut %d: non-contiguous LSN %d at index %d", cut, lsn, i)
+			}
+			if want := 5 + i*3; sizes[i] != want {
+				t.Fatalf("cut %d: record %d has %d bytes, want %d (partial apply)", cut, i, sizes[i], want)
+			}
+		}
+		// Appends after repair must produce a log that replays cleanly.
+		if _, err := l.Append(99, []byte("after-repair")); err != nil {
+			t.Fatalf("cut %d: append after repair: %v", cut, err)
+		}
+		if err := l.Commit(); err != nil {
+			t.Fatalf("cut %d: commit after repair: %v", cut, err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("cut %d: close after repair: %v", cut, err)
+		}
+		l2, err := Open(dir, Options{NoTick: true})
+		if err != nil {
+			t.Fatalf("cut %d: reopen after repair: %v", cut, err)
+		}
+		n := 0
+		last := Record{}
+		if err := l2.Replay(0, func(r Record) error {
+			n++
+			last = Record{LSN: r.LSN, Kind: r.Kind, Data: append([]byte(nil), r.Data...)}
+			return nil
+		}); err != nil {
+			t.Fatalf("cut %d: replay after repair: %v", cut, err)
+		}
+		if n != len(lsns)+1 || last.Kind != 99 || string(last.Data) != "after-repair" {
+			t.Fatalf("cut %d: replay after repair saw %d records, last %+v", cut, n, last)
+		}
+		l2.Close()
+	}
+}
+
+// Corruption in a sealed (non-last) segment is unrecoverable and must
+// surface as the typed ErrCorrupt, not be silently truncated.
+func TestCorruptSealedSegmentTyped(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{Policy: SyncOff, SegmentBytes: 128})
+	appendN(t, l, 40, 1)
+	l.Close()
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("need ≥2 segments, got %d (err %v)", len(segs), err)
+	}
+	data, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF // flip a payload byte in the sealed segment
+	if err := os.WriteFile(segs[0].path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{NoTick: true}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open over corrupt sealed segment = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFailpointStickyError(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("disk gone")
+	fail := false
+	l := openT(t, dir, Options{Policy: SyncBatch, Failpoint: func(op string) error {
+		if fail && op == "wal.sync" {
+			return boom
+		}
+		return nil
+	}})
+	appendN(t, l, 2, 1)
+	fail = true
+	if _, err := l.Append(1, []byte("x")); err != nil {
+		t.Fatalf("Append should buffer fine: %v", err)
+	}
+	if err := l.Commit(); !errors.Is(err, boom) {
+		t.Fatalf("Commit = %v, want injected error", err)
+	}
+	// Sticky: later appends refuse with the original failure.
+	if _, err := l.Append(1, []byte("y")); !errors.Is(err, boom) {
+		t.Fatalf("Append after failure = %v, want sticky injected error", err)
+	}
+	if err := l.Err(); !errors.Is(err, boom) {
+		t.Fatalf("Err() = %v, want injected error", err)
+	}
+	l.Close()
+}
+
+func TestSnapshotRoundTripAndRetention(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := LoadLatestSnapshot(dir); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("empty dir load = %v, want ErrNoSnapshot", err)
+	}
+	for i := 1; i <= 4; i++ {
+		payload := bytes.Repeat([]byte{byte(i)}, 100*i)
+		if _, err := WriteSnapshot(dir, uint64(i*10), payload); err != nil {
+			t.Fatalf("WriteSnapshot %d: %v", i, err)
+		}
+	}
+	lsn, payload, err := LoadLatestSnapshot(dir)
+	if err != nil {
+		t.Fatalf("LoadLatestSnapshot: %v", err)
+	}
+	if lsn != 40 || !bytes.Equal(payload, bytes.Repeat([]byte{4}, 400)) {
+		t.Fatalf("latest snapshot = lsn %d, %d bytes", lsn, len(payload))
+	}
+	files, _ := listSnapshots(dir)
+	if len(files) != snapKeep {
+		t.Fatalf("retention kept %d snapshots, want %d", len(files), snapKeep)
+	}
+
+	// Damage the newest: load falls back to the older valid one.
+	data, err := os.ReadFile(files[len(files)-1].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(files[len(files)-1].path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lsn, payload, err = LoadLatestSnapshot(dir)
+	if err != nil {
+		t.Fatalf("fallback load: %v", err)
+	}
+	if lsn != 30 || len(payload) != 300 {
+		t.Fatalf("fallback snapshot = lsn %d, %d bytes; want lsn 30, 300 bytes", lsn, len(payload))
+	}
+}
+
+func TestSnapshotTruncatedEveryOffset(t *testing.T) {
+	master := t.TempDir()
+	payload := []byte("the quick brown fox jumps over the lazy dog, twice over")
+	path, err := WriteSnapshot(master, 77, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, filepath.Base(path)), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := LoadLatestSnapshot(dir); !errors.Is(err, ErrNoSnapshot) {
+			t.Fatalf("cut %d: load = %v, want ErrNoSnapshot (skip damaged)", cut, err)
+		}
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncPolicy
+		ok   bool
+	}{
+		{"off", SyncOff, true}, {"interval", SyncInterval, true},
+		{"batch", SyncBatch, true}, {"", SyncBatch, true}, {"bogus", 0, false},
+	} {
+		got, err := ParseSyncPolicy(tc.in)
+		if (err == nil) != tc.ok || (tc.ok && got != tc.want) {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+}
