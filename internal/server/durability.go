@@ -34,28 +34,43 @@ import (
 //
 //	recBatch       uvarint key length, idempotency key bytes, then one
 //	               internal/wire KindStreamPosts frame with the batch.
-//	               Appended and committed BEFORE the batch is applied:
-//	               a record present in the log is (re)applied on replay,
-//	               a record lost to the crash was never applied either,
-//	               so the client's idempotent retry drives it again.
+//	               Appended BEFORE the batch is applied.
 //	recSubscribe   JSON {"id", "cfg"}
 //	recUnsubscribe JSON {"id"}
 //	recFlush       empty
 //	recQuarantine  JSON {"id", "msg"}
+//	recBatchAck    uvarint accepted count, uvarint HTTP status, error
+//	               string. Appended AFTER its recBatch applied, committed
+//	               (and fsynced per policy) before the client sees the
+//	               response — the ack is the durable record of the exact
+//	               outcome the client was told.
 //
-// Consistency: walBatchMu serializes {WAL append, apply, idempotency-cache
-// put} for ingest batches and registry mutations, and Snapshot takes it
-// (then ingestMu) before cutting — so a snapshot at LSN N contains the
-// effects of exactly the records ≤ N, and replay from N+1 is neither
-// lossy nor double-applied. Quarantine records are appended mid-apply
-// (under the ingesting caller's walBatchMu) and their replay application
-// is idempotent, as is every other record kind.
+// Ingest journaling is a batch/ack pair around the apply: the batch
+// record pins what the client sent, the ack pins what the server
+// answered (the accepted prefix length and the recorded outcome). Replay
+// applies exactly the acked prefix and restores the outcome verbatim, so
+// a batch the live run cut mid-way (request deadline) recovers to the
+// same state and idempotency answer the client observed — never a
+// deadline-free recomputation that quietly applies more than the client
+// was told. A batch record with no ack in the log means the crash landed
+// between append and response: the client never heard an outcome, so
+// replay applies the batch in full and records the recomputed outcome,
+// exactly what the interrupted live call would have produced. One Commit
+// per pair (at the ack) keeps the fsync cost at one per ingest request.
+//
+// Consistency: walBatchMu serializes {batch append, apply, ack append,
+// idempotency-cache put} for ingest batches and registry mutations, and
+// Snapshot takes it (then ingestMu) before cutting — so a snapshot at
+// LSN N contains the effects of exactly the records ≤ N (and never cuts
+// between a batch and its ack), and replay from N+1 is neither lossy nor
+// double-applied. Quarantine records are appended mid-apply (under the
+// ingesting caller's walBatchMu, between that batch and its ack) and
+// their replay application is idempotent, as is every other record kind.
 //
 // Exactly-once across a crash: the batch record carries the client's
-// idempotency key, and replay re-applies the batch AND repopulates the
-// idempotency cache with the recomputed outcome (deterministic, because
-// replay starts from the same state the live run saw). A client retrying
-// across the crash therefore gets the recorded outcome with
+// idempotency key and the ack carries the recorded outcome, which replay
+// restores into the idempotency cache verbatim. A client retrying across
+// the crash therefore gets the recorded outcome with
 // Idempotent-Replay: true, exactly as if the server had never died.
 const (
 	recBatch       byte = 1
@@ -63,6 +78,7 @@ const (
 	recUnsubscribe byte = 3
 	recFlush       byte = 4
 	recQuarantine  byte = 5
+	recBatchAck    byte = 6
 )
 
 // ErrReadOnly reports that the durability layer hit an IO failure (disk
@@ -102,6 +118,15 @@ type durState struct {
 	// replaying marks recovery: appends are suppressed (the records being
 	// applied already exist) and degraded checks are skipped.
 	replaying atomic.Bool
+
+	// pending is the replay-time batch awaiting its ack record: a recBatch
+	// stashes here and the matching recBatchAck applies the acked prefix.
+	// Only touched by the single-threaded recovery loop.
+	pending *pendingBatch
+
+	// closeOnce makes CloseDurability idempotent: concurrent shutdown
+	// paths must not double-close the snapshot-loop channel.
+	closeOnce sync.Once
 
 	// degraded latches on the first WAL/snapshot IO failure.
 	degraded       atomic.Bool
@@ -182,6 +207,12 @@ func (s *Server) EnableDurability(cfg DurabilityConfig) error {
 	rerr := log.Replay(snapLSN+1, func(rec wal.Record) error {
 		return s.applyWALRecord(d, rec)
 	})
+	if rerr == nil {
+		// A batch whose ack never reached the log: the crash cut between
+		// append and response, so the client never heard an outcome —
+		// apply it in full and record the recomputed result.
+		s.finishPendingBatch(d)
+	}
 	d.replaying.Store(false)
 	if rerr != nil {
 		s.dur.Store(nil)
@@ -206,24 +237,27 @@ func (s *Server) EnableDurability(cfg DurabilityConfig) error {
 }
 
 // CloseDurability takes a final snapshot (graceful shutdowns restart with
-// zero replay) and closes the WAL. Safe when durability was never enabled.
+// zero replay) and closes the WAL. Safe when durability was never enabled
+// and under concurrent calls: the first caller shuts down, later ones
+// wait for it and return nil.
 func (s *Server) CloseDurability() error {
 	d := s.dur.Load()
 	if d == nil {
 		return nil
 	}
-	if d.snapStop != nil {
-		close(d.snapStop)
-		<-d.snapDone
-		d.snapStop = nil
-	}
 	var firstErr error
-	if !d.degraded.Load() {
-		firstErr = s.Snapshot()
-	}
-	if err := d.log.Close(); err != nil && firstErr == nil {
-		firstErr = err
-	}
+	d.closeOnce.Do(func() {
+		if d.snapStop != nil {
+			close(d.snapStop)
+			<-d.snapDone
+		}
+		if !d.degraded.Load() {
+			firstErr = s.Snapshot()
+		}
+		if err := d.log.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	})
 	return firstErr
 }
 
@@ -301,14 +335,16 @@ func (d *durState) snapLoop(s *Server) {
 
 // IngestBatch applies one client batch atomically with respect to
 // durability: the whole batch (with its idempotency key) becomes one WAL
-// record, committed before any post is applied, and the recorded outcome
-// lands in the idempotency cache under the same critical section — so a
-// snapshot can never observe an applied batch without its replay entry.
-// It returns the client-facing result, the HTTP status, and the
-// underlying error (nil on full acceptance).
+// record appended before any post is applied, the recorded outcome is
+// journaled as the matching ack record and committed before the client
+// sees it, and the idempotency-cache entry lands under the same critical
+// section — so a snapshot can never observe an applied batch without its
+// replay entry. It returns the client-facing result, the HTTP status,
+// and the underlying error (nil on full acceptance).
 func (s *Server) IngestBatch(ctx context.Context, batch []Post, key string) (IngestResult, int, error) {
 	d := s.dur.Load()
-	if d != nil && !d.replaying.Load() {
+	journal := d != nil && !d.replaying.Load()
+	if journal {
 		if d.degraded.Load() {
 			return IngestResult{Error: ErrReadOnly.Error()}, http.StatusServiceUnavailable, ErrReadOnly
 		}
@@ -327,6 +363,17 @@ func (s *Server) IngestBatch(ctx context.Context, batch []Post, key string) (Ing
 	if err != nil {
 		res.Error = err.Error()
 		status = statusFor(err)
+	}
+	if journal {
+		if ackErr := d.appendBatchAck(s, accepted, status, res.Error); ackErr != nil {
+			// The outcome could not be made durable, so it must not be
+			// reported: a client holding an OK for a batch the restarted
+			// server never replays would lose data silently. Degraded mode
+			// refuses the retry until a restart, whose replay either never
+			// sees the batch (retry re-drives it) or finds it un-acked and
+			// applies it in full — once, either way.
+			return IngestResult{Error: ackErr.Error()}, http.StatusServiceUnavailable, ackErr
+		}
 	}
 	if key != "" {
 		s.idem.put(key, idemEntry{res: res, status: status})
@@ -348,9 +395,9 @@ func (s *Server) applyBatch(ctx context.Context, batch []Post) (int, error) {
 	return accepted, nil
 }
 
-// appendBatch journals one ingest batch: one record, committed (and
-// fsynced per policy) before the caller applies anything. Failures
-// degrade the server to read-only.
+// appendBatch journals one ingest batch record, buffered: the commit (and
+// fsync per policy) happens once, at the matching ack, so the batch/ack
+// pair costs a single fsync. Failures degrade the server to read-only.
 func (d *durState) appendBatch(s *Server, key string, batch []Post) error {
 	o := s.obsState.Load()
 	var start time.Time
@@ -373,19 +420,53 @@ func (d *durState) appendBatch(s *Server, key string, batch []Post) error {
 	if _, err := d.log.Append(recBatch, payload); err != nil {
 		return s.degrade(d, err)
 	}
-	var mid time.Time
 	if o != nil {
-		mid = time.Now()
-		o.walAppendTime.Observe(mid.Sub(start).Seconds())
+		o.walAppendTime.ObserveSince(start)
+	}
+	s.walRecords.Inc()
+	return nil
+}
+
+// appendBatchAck journals the outcome of the batch that was just applied
+// and commits the pair, making both kill-safe (and durable per the fsync
+// policy) before the client is answered.
+func (d *durState) appendBatchAck(s *Server, accepted, status int, errmsg string) error {
+	var tmp [binary.MaxVarintLen64]byte
+	payload := make([]byte, 0, 2*binary.MaxVarintLen64+len(errmsg))
+	n := binary.PutUvarint(tmp[:], uint64(accepted))
+	payload = append(payload, tmp[:n]...)
+	n = binary.PutUvarint(tmp[:], uint64(status))
+	payload = append(payload, tmp[:n]...)
+	payload = append(payload, errmsg...)
+	if _, err := d.log.Append(recBatchAck, payload); err != nil {
+		return s.degrade(d, err)
+	}
+	o := s.obsState.Load()
+	var start time.Time
+	if o != nil {
+		start = time.Now()
 	}
 	if err := d.log.Commit(); err != nil {
 		return s.degrade(d, err)
 	}
 	if o != nil {
-		o.walSyncTime.ObserveSince(mid)
+		o.walSyncTime.ObserveSince(start)
 	}
 	s.walRecords.Inc()
 	return nil
+}
+
+// decodeBatchAck parses a recBatchAck payload.
+func decodeBatchAck(data []byte) (accepted, status int, errmsg string, err error) {
+	a, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, 0, "", errors.New("server: malformed WAL ack record")
+	}
+	st, m := binary.Uvarint(data[n:])
+	if m <= 0 {
+		return 0, 0, "", errors.New("server: malformed WAL ack record")
+	}
+	return int(a), int(st), string(data[n+m:]), nil
 }
 
 // decodeBatchRecord parses a recBatch payload back into key + posts.
@@ -446,9 +527,10 @@ func (s *Server) durAppendQuarantine(id int64, msg string) {
 		ID  int64  `json:"id"`
 		Msg string `json:"msg"`
 	}{id, msg})
-	// No commit: the latch rides the next batch commit or background
-	// flush. A deterministic panic recurs on replay regardless; only a
-	// nondeterministically injected one can be lost with the tail.
+	// No commit: the latch rides its own batch's ack commit (it lands
+	// between the batch record and the ack). A deterministic panic recurs
+	// on replay regardless; only a nondeterministically injected one can
+	// be lost with the tail.
 	s.durAppend(d, recQuarantine, payload, false)
 }
 
@@ -470,6 +552,14 @@ func (s *Server) durAppend(d *durState, kind byte, payload []byte, commit bool) 
 	s.walRecords.Inc()
 }
 
+// pendingBatch is a journaled ingest batch seen during replay whose ack
+// record has not arrived yet.
+type pendingBatch struct {
+	key   string
+	posts []Post
+	skip  bool // the idempotency cache already holds this key: double-keyed record
+}
+
 // applyWALRecord replays one journal record through the live code paths.
 // Batch application errors (out-of-order posts, closed stream) are
 // recorded outcomes — the live run saw the same thing — never replay
@@ -482,16 +572,43 @@ func (s *Server) applyWALRecord(d *durState, rec wal.Record) error {
 		if err != nil {
 			return fmt.Errorf("record %d: %w", rec.LSN, err)
 		}
-		d.replayedBatches++
-		d.replayedPosts += int64(len(posts))
+		if d.pending != nil {
+			// An un-acked batch followed by another batch: a directory
+			// written before acks existed. Apply it in full — exactly the
+			// replay those logs were written for.
+			s.finishPendingBatch(d)
+		}
+		skip := false
 		if key != "" {
 			if _, ok := s.idem.get(key); ok {
 				// Already applied (double-keyed record): replay must not
 				// apply a batch twice any more than the live path would.
-				return nil
+				skip = true
 			}
 		}
-		s.IngestBatch(context.Background(), posts, key)
+		d.pending = &pendingBatch{key: key, posts: posts, skip: skip}
+	case recBatchAck:
+		accepted, status, errmsg, err := decodeBatchAck(rec.Data)
+		if err != nil {
+			return fmt.Errorf("record %d: %w", rec.LSN, err)
+		}
+		pb := d.pending
+		d.pending = nil
+		if pb == nil || pb.skip {
+			return nil
+		}
+		if accepted > len(pb.posts) {
+			accepted = len(pb.posts)
+		}
+		// Apply exactly the prefix the live run accepted and restore the
+		// outcome the client was told, verbatim — never a deadline-free
+		// recomputation that could accept more than the response reported.
+		d.replayedBatches++
+		n, _ := s.applyBatch(context.Background(), pb.posts[:accepted])
+		d.replayedPosts += int64(n)
+		if pb.key != "" {
+			s.idem.put(pb.key, idemEntry{res: IngestResult{Accepted: accepted, Error: errmsg}, status: status})
+		}
 	case recSubscribe:
 		var v struct {
 			ID  int64              `json:"id"`
@@ -535,6 +652,31 @@ func (s *Server) applyWALRecord(d *durState, rec wal.Record) error {
 	return nil
 }
 
+// finishPendingBatch applies a journaled batch whose ack never reached
+// the log — the crash (or a pre-ack-format writer) cut between apply and
+// response, so no client ever heard an outcome. The batch applies in
+// full, deadline-free, and the recomputed outcome is recorded exactly as
+// the interrupted live call would have recorded it.
+func (s *Server) finishPendingBatch(d *durState) {
+	pb := d.pending
+	d.pending = nil
+	if pb == nil || pb.skip {
+		return
+	}
+	d.replayedBatches++
+	accepted, err := s.applyBatch(context.Background(), pb.posts)
+	d.replayedPosts += int64(accepted)
+	if pb.key != "" {
+		res := IngestResult{Accepted: accepted}
+		status := http.StatusOK
+		if err != nil {
+			res.Error = err.Error()
+			status = statusFor(err)
+		}
+		s.idem.put(pb.key, idemEntry{res: res, status: status})
+	}
+}
+
 // Snapshot persists the full server state, stamped with the LSN of the
 // last journaled record, then rotates and prunes the WAL — after a
 // snapshot, recovery replays only the suffix written since.
@@ -571,13 +713,21 @@ func (s *Server) Snapshot() error {
 	if o != nil {
 		o.snapshotTime.ObserveSince(start)
 	}
-	// Retention: seal the current segment and drop everything the
-	// snapshot now covers. Failures here degrade (the log's sticky error
-	// would refuse the next append anyway); pruning is best effort.
+	// Retention: seal the current segment and drop what no retained
+	// snapshot could ever need. Pruning stops at the OLDEST retained
+	// snapshot's LSN, not this one's: if this snapshot file turns out
+	// damaged, recovery falls back a generation and replays from there —
+	// the records in between must still exist. Failures here degrade (the
+	// log's sticky error would refuse the next append anyway); pruning is
+	// best effort.
 	if err := d.log.Rotate(); err != nil {
 		return s.degrade(d, err)
 	}
-	_ = d.log.Prune(lsn)
+	pruneTo := lsn
+	if oldest, ok := wal.OldestSnapshotLSN(d.cfg.Dir); ok && oldest < pruneTo {
+		pruneTo = oldest
+	}
+	_ = d.log.Prune(pruneTo)
 	return nil
 }
 

@@ -10,8 +10,11 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sort"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"mqdp/internal/faultinject"
 	"mqdp/internal/wal"
@@ -395,7 +398,9 @@ func TestDurabilityDegradedReadOnly(t *testing.T) {
 	dir := t.TempDir()
 	s := New(0, 0)
 	s.SetParallelism(1)
-	inj, err := faultinject.ParseSchedule("wal.append@4+=disk:", 1)
+	// Each ingest appends a batch record and its ack; the subscribe is
+	// append 1, so the third ingest's batch record is append 6.
+	inj, err := faultinject.ParseSchedule("wal.append@6+=disk:", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -407,13 +412,13 @@ func TestDurabilityDegradedReadOnly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Ingest(Post{ID: 1, Time: 1, Text: "obama speaks"}); err != nil { // append 2
+	if err := s.Ingest(Post{ID: 1, Time: 1, Text: "obama speaks"}); err != nil { // appends 2+3
 		t.Fatal(err)
 	}
-	if err := s.Ingest(Post{ID: 2, Time: 2, Text: "senate votes"}); err != nil { // append 3
+	if err := s.Ingest(Post{ID: 2, Time: 2, Text: "senate votes"}); err != nil { // appends 4+5
 		t.Fatal(err)
 	}
-	// Append 4 hits the injected disk fault.
+	// Append 6 — the next batch record — hits the injected disk fault.
 	err = s.Ingest(Post{ID: 3, Time: 3, Text: "congress debates"})
 	if !errors.Is(err, ErrReadOnly) || !errors.Is(err, faultinject.ErrDisk) {
 		t.Fatalf("ingest on disk fault: %v, want ErrReadOnly wrapping ErrDisk", err)
@@ -461,6 +466,181 @@ func TestDurabilityDegradedReadOnly(t *testing.T) {
 	}
 }
 
+// TestDurabilityCutBatchReplaysAckedPrefix: a batch the live run only
+// partially accepted (request cancelled, out-of-order post) must recover
+// to exactly the accepted prefix and the exact outcome the client was
+// told — not a deadline-free re-application of the full batch.
+func TestDurabilityCutBatchReplaysAckedPrefix(t *testing.T) {
+	dir := t.TempDir()
+	a := durOpen(t, dir)
+	if _, err := a.Subscribe(durConfigs()[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Batch cut mid-way: the second post is out of order, so apply stops
+	// after one accepted post with a conflict outcome.
+	cutBatch := []Post{
+		{ID: 1, Time: 10, Text: "obama speaks"},
+		{ID: 2, Time: 5, Text: "senate votes"},
+		{ID: 3, Time: 11, Text: "congress debates"},
+	}
+	cutRes, cutStatus, err := a.IngestBatch(context.Background(), cutBatch, "cut-key")
+	if err == nil || cutRes.Accepted != 1 {
+		t.Fatalf("cut batch: res %+v err %v, want 1 accepted with an error", cutRes, err)
+	}
+	// Batch refused before any post applied: the request context was
+	// already cancelled, the live outcome is 0 accepted + retryable.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	deadRes, deadStatus, err := a.IngestBatch(ctx, []Post{{ID: 4, Time: 12, Text: "bill passes"}}, "dead-key")
+	if err == nil || deadRes.Accepted != 0 {
+		t.Fatalf("cancelled batch: res %+v err %v, want 0 accepted with an error", deadRes, err)
+	}
+	liveIngested := a.Stats().Ingested
+	// Crash (no snapshot, no close) and recover.
+
+	b := durOpen(t, dir)
+	if got := b.Stats().Ingested; got != liveIngested {
+		t.Fatalf("recovered ingested %d, want %d — replay must apply the acked prefix, not the full batch", got, liveIngested)
+	}
+	for _, tc := range []struct {
+		key    string
+		res    IngestResult
+		status int
+	}{
+		{"cut-key", cutRes, cutStatus},
+		{"dead-key", deadRes, deadStatus},
+	} {
+		e, ok := b.idem.get(tc.key)
+		if !ok {
+			t.Fatalf("%s: outcome missing from recovered replay cache", tc.key)
+		}
+		if e.res != tc.res || e.status != tc.status {
+			t.Fatalf("%s: recovered outcome %+v status %d, want %+v status %d — must replay verbatim",
+				tc.key, e.res, e.status, tc.res, tc.status)
+		}
+	}
+	// The retryable remainder re-drives cleanly against the recovered
+	// server, exactly as it would have against the live one.
+	if res, _, err := b.IngestBatch(context.Background(), []Post{{ID: 4, Time: 12, Text: "bill passes"}}, "dead-key-2"); err != nil || res.Accepted != 1 {
+		t.Fatalf("retry after recovery: res %+v err %v", res, err)
+	}
+}
+
+// TestDurabilityUndecodableRecordAbortsRecovery: a record whose framing
+// validates but whose payload cannot be decoded must fail recovery with
+// a typed error — never be silently skipped as if it were a torn tail,
+// which would start the server with partial state.
+func TestDurabilityUndecodableRecordAbortsRecovery(t *testing.T) {
+	dir := t.TempDir()
+	a := durOpen(t, dir)
+	if _, err := a.Subscribe(durConfigs()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Ingest(Post{ID: 1, Time: 1, Text: "obama speaks"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+	// Plant a validly framed batch record with an undecodable payload at
+	// the log tail (0xFF is a truncated uvarint key length).
+	l, err := wal.Open(dir, wal.Options{NoTick: true, Policy: wal.SyncBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(recBatch, []byte{0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	s := New(3, 64)
+	if err := s.EnableDurability(DurabilityConfig{Dir: dir, Fsync: wal.SyncBatch}); err == nil {
+		t.Fatal("recovery over an undecodable batch record reported success")
+	}
+}
+
+// TestDurabilitySnapshotFallbackReplaysFullSuffix: snapshot retention
+// keeps two generations so a damaged newest snapshot falls back to the
+// older one — which only works if the WAL still holds every record after
+// the OLDER snapshot. Pruning to the newest snapshot's LSN would leave a
+// silent hole in the replayed history.
+func TestDurabilitySnapshotFallbackReplaysFullSuffix(t *testing.T) {
+	posts := durPosts(90)
+	want, _ := runReference(t, posts, true)
+
+	dir := t.TempDir()
+	a := durOpen(t, dir)
+	for _, cfg := range durConfigs() {
+		if _, err := a.Subscribe(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ingest := func(ps []Post) {
+		for _, p := range ps {
+			if err := a.Ingest(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ingest(posts[:30])
+	if err := a.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	ingest(posts[30:60])
+	if err := a.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	ingest(posts[60:])
+	// Damage the newest snapshot; recovery must fall back a generation
+	// and replay everything after the older snapshot.
+	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if err != nil || len(snaps) != 2 {
+		t.Fatalf("want 2 retained snapshots, got %v (err %v)", snaps, err)
+	}
+	sort.Strings(snaps) // names embed the LSN in fixed-width hex
+	data, err := os.ReadFile(snaps[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(snaps[1], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	b := durOpen(t, dir)
+	m := b.Metrics()
+	if m.Durability.ReplayedPosts != 60 {
+		t.Fatalf("replayed %d posts, want 60 (everything after the older snapshot)", m.Durability.ReplayedPosts)
+	}
+	b.Flush()
+	compareEmissions(t, b, want)
+}
+
+// TestCloseDurabilityConcurrent: racing shutdown paths must not
+// double-close the snapshot-loop channel.
+func TestCloseDurabilityConcurrent(t *testing.T) {
+	s := New(0, 0)
+	if err := s.EnableDurability(DurabilityConfig{
+		Dir: t.TempDir(), Fsync: wal.SyncBatch, SnapshotInterval: time.Hour,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.CloseDurability(); err != nil {
+				t.Errorf("CloseDurability: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // TestDurabilityTornTailRecovery truncates the live WAL segment at an
 // arbitrary byte offset (a torn final write) and restarts: the valid
 // prefix recovers, the damage is reported, and the server keeps working.
@@ -476,8 +656,9 @@ func TestDurabilityTornTailRecovery(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// Tear the tail: chop 11 bytes off the (only) segment, landing inside
-	// the last record's frame.
+	// Tear the tail: chop 20 bytes off the (only) segment — enough to eat
+	// the final 12-byte ack record AND land inside the last batch record's
+	// frame, so the last post is torn away entirely.
 	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
 	if err != nil || len(segs) == 0 {
 		t.Fatalf("no segments: %v", err)
@@ -487,7 +668,7 @@ func TestDurabilityTornTailRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.Truncate(last, fi.Size()-11); err != nil {
+	if err := os.Truncate(last, fi.Size()-20); err != nil {
 		t.Fatal(err)
 	}
 

@@ -521,23 +521,17 @@ func (s *Server) Ingest(p Post) error {
 // IngestContext is Ingest honoring a caller deadline: a post is admitted
 // atomically or not at all — ctx is only consulted before admission, so
 // an expired deadline never leaves a half-fanned-out post behind. With
-// durability enabled the post is journaled (one single-post WAL batch
-// record, committed per the fsync policy) before it is applied; while
-// degraded, ingest is refused with ErrReadOnly.
+// durability enabled the post goes through the batch/ack journal pair of
+// IngestBatch (one single-post WAL batch record plus its acked outcome,
+// committed per the fsync policy), so replay applies exactly what this
+// call reported; while degraded, ingest is refused with ErrReadOnly.
 func (s *Server) IngestContext(ctx context.Context, p Post) error {
 	d := s.dur.Load()
 	if d == nil || d.replaying.Load() {
 		return s.ingestOne(ctx, p)
 	}
-	if d.degraded.Load() {
-		return ErrReadOnly
-	}
-	d.walBatchMu.Lock()
-	defer d.walBatchMu.Unlock()
-	if err := d.appendBatch(s, "", []Post{p}); err != nil {
-		return err
-	}
-	return s.ingestOne(ctx, p)
+	_, _, err := s.IngestBatch(ctx, []Post{p}, "")
+	return err
 }
 
 // ingestOne is the WAL-free admission + fan-out core shared by the live

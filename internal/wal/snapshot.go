@@ -89,6 +89,18 @@ func LoadLatestSnapshot(dir string) (lsn uint64, payload []byte, err error) {
 	return 0, nil, ErrNoSnapshot
 }
 
+// OldestSnapshotLSN reports the LSN of the oldest snapshot file still in
+// dir. WAL retention must keep every record after that point: if the
+// newest snapshot turns out damaged, recovery falls back to an older
+// generation and replays the log from its LSN onward.
+func OldestSnapshotLSN(dir string) (uint64, bool) {
+	files, err := listSnapshots(dir)
+	if err != nil || len(files) == 0 {
+		return 0, false
+	}
+	return files[0].lsn, true
+}
+
 type snapFile struct {
 	lsn  uint64
 	path string

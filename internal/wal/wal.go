@@ -511,7 +511,9 @@ func (l *Log) Close() error {
 // The record's Data slice is only valid inside the callback. A torn tail
 // in the last segment ends the replay cleanly (Open already truncates it;
 // Replay tolerates it again for read-only callers); corruption anywhere
-// else returns ErrCorrupt. fn errors abort the replay.
+// else returns ErrCorrupt, as does a pruned log whose oldest surviving
+// record is newer than from (the suffix would have a silent hole). fn
+// errors abort the replay and are returned as-is, torn tail or not.
 func (l *Log) Replay(from uint64, fn func(Record) error) error {
 	l.mu.Lock()
 	if err := l.flushLocked(); err != nil {
@@ -534,7 +536,25 @@ func ReplayDir(dir string, from uint64, fn func(Record) error) error {
 	return replaySegments(segs, from, fn)
 }
 
+// callbackError tags an error returned by the caller's replay callback,
+// so replaySegments can tell "fn rejected a record" apart from "the
+// segment frame is damaged" — only the latter is a tolerable torn tail.
+type callbackError struct{ err error }
+
+func (e *callbackError) Error() string { return e.err.Error() }
+func (e *callbackError) Unwrap() error { return e.err }
+
 func replaySegments(segs []segInfo, from uint64, fn func(Record) error) error {
+	if from < firstLSN {
+		from = firstLSN
+	}
+	// Gap detection: replaying a suffix whose first records were pruned
+	// away would silently skip history; refuse instead. (A from past the
+	// end of the log is fine — there is simply nothing to replay yet.)
+	if len(segs) > 0 && segs[0].first > from {
+		return fmt.Errorf("%w: replay from LSN %d but the oldest segment starts at LSN %d",
+			ErrCorrupt, from, segs[0].first)
+	}
 	for i, seg := range segs {
 		last := i == len(segs)-1
 		// Skip segments that end before the requested suffix.
@@ -548,6 +568,12 @@ func replaySegments(segs []segInfo, from uint64, fn func(Record) error) error {
 			return fn(Record{LSN: lsn, Kind: kind, Data: data})
 		})
 		if err != nil {
+			var cb *callbackError
+			if errors.As(err, &cb) {
+				// fn aborted the replay: a real failure regardless of which
+				// segment it landed in, never a repairable torn tail.
+				return cb.err
+			}
 			if last {
 				return nil // torn tail: the valid prefix was replayed
 			}
@@ -617,7 +643,8 @@ func listSegments(dir string) ([]segInfo, error) {
 // the last valid record. A framing violation (short header, absurd length,
 // CRC mismatch, truncated payload) is returned as a non-nil error with the
 // valid prefix already delivered — the caller decides between truncating
-// (last segment) and failing (sealed segment).
+// (last segment) and failing (sealed segment). An error from fn is wrapped
+// in callbackError so callers can tell it apart from frame damage.
 func scanSegmentFile(path string, wantFirst uint64, fn func(lsn uint64, kind byte, data []byte) error) (n int, goodBytes int64, err error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -664,7 +691,7 @@ func scanSegmentFile(path string, wantFirst uint64, fn func(lsn uint64, kind byt
 		}
 		if fn != nil {
 			if err := fn(lsn, buf[0], buf[1:]); err != nil {
-				return n, goodBytes, err
+				return n, goodBytes, &callbackError{err}
 			}
 		}
 		lsn++

@@ -122,8 +122,42 @@ func TestRotateSealsCurrentSegment(t *testing.T) {
 		t.Fatalf("segments after rotate+prune = %d, want 1", n)
 	}
 	appendN(t, l, 2, 2)
-	if recs := collect(t, l, 0); len(recs) != 2 || recs[0].LSN != 4 {
+	if recs := collect(t, l, 4); len(recs) != 2 || recs[0].LSN != 4 {
 		t.Fatalf("post-prune replay = %+v, want 2 records from LSN 4", recs)
+	}
+	// Replaying from before the pruned point would skip history silently;
+	// gap detection refuses it with the typed corruption error instead.
+	if err := l.Replay(1, func(Record) error { return nil }); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("replay across pruned gap = %v, want ErrCorrupt", err)
+	}
+	l.Close()
+}
+
+// TestReplayCallbackErrorPropagates: an error returned by the replay
+// callback must abort the replay and surface — even from the last
+// segment, where framing damage (torn tail) is tolerated. Swallowing it
+// would let recovery report success over a partially applied log.
+func TestReplayCallbackErrorPropagates(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{Policy: SyncBatch})
+	appendN(t, l, 5, 1)
+	boom := errors.New("apply failed")
+	seen := 0
+	err := l.Replay(0, func(r Record) error {
+		seen++
+		if r.LSN == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Replay with failing callback = %v, want the callback error", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatalf("callback error must not be classified as corruption: %v", err)
+	}
+	if seen != 3 {
+		t.Fatalf("callback ran %d times, want 3 (abort at the failing record)", seen)
 	}
 	l.Close()
 }
